@@ -1,0 +1,92 @@
+"""Ablation — centroid/averaging methods on shifted vs warped families.
+
+DESIGN.md calls out the centroid rule as k-Shape's second key design choice
+(Section 3.2). This ablation compares every averaging technique the paper
+reviews (Section 2.5) — arithmetic mean, DBA, NLAAF, PSA, the KSC centroid,
+and shape extraction — on two synthetic families:
+
+* a *shift* family (one pattern at random phases): shape extraction's home
+  turf;
+* a *warp* family (one pattern under local warping): DBA's home turf.
+
+Each centroid is scored by its mean squared similarity to the members under
+the matching geometry (NCCc for the shift family, DTW for the warp family).
+Expected shape: shape extraction dominates on shifts; DBA is the best or
+near-best DTW-based method on warps; the plain mean trails on both.
+"""
+
+import numpy as np
+
+from conftest import write_report
+from repro.averaging import arithmetic_mean, dba, ksc_centroid, nlaaf, psa
+from repro.core import ncc, shape_extraction
+from repro.distances import dtw
+from repro.harness import format_table
+from repro.preprocessing import shift_series, zscore
+
+
+def _shift_family(rng, n=14, m=96):
+    t = np.linspace(0, 1, m)
+    base = zscore(np.sin(2 * np.pi * 2 * t) + 0.6 * np.sin(2 * np.pi * 5 * t))
+    rows = [
+        shift_series(base, int(rng.integers(-8, 9))) + rng.normal(0, 0.1, m)
+        for _ in range(n)
+    ]
+    return zscore(np.asarray(rows))
+
+
+def _warp_family(rng, n=14, m=96):
+    t = np.linspace(0, 1, m)
+    rows = []
+    for _ in range(n):
+        jitter = 0.04 * np.sin(2 * np.pi * (t + rng.uniform(0, 1)))
+        rows.append(np.sin(2 * np.pi * 2 * (t + jitter)) + rng.normal(0, 0.1, m))
+    return zscore(np.asarray(rows))
+
+
+def _ncc_similarity(centroid, X):
+    """Mean max-NCCc of the centroid to the members (higher = better)."""
+    return float(np.mean([ncc(x, centroid, "c").max() for x in X]))
+
+
+def _dtw_cost(centroid, X):
+    """Mean DTW distance of the centroid to the members (lower = better)."""
+    return float(np.mean([dtw(centroid, x) for x in X]))
+
+
+def test_ablation_averaging(benchmark):
+    rng = np.random.default_rng(42)
+    shift_X = _shift_family(rng)
+    warp_X = _warp_family(rng)
+
+    benchmark(shape_extraction, shift_X, shift_X[0])
+
+    methods = {
+        "arithmetic mean": lambda X: arithmetic_mean(X),
+        "DBA": lambda X: dba(X, n_iterations=8, rng=0),
+        "NLAAF": lambda X: nlaaf(X, rng=0),
+        "PSA": lambda X: psa(X),
+        "KSC centroid": lambda X: ksc_centroid(X, reference=X[0]),
+        "shape extraction": lambda X: shape_extraction(X, reference=X[0]),
+    }
+    rows = []
+    shift_scores = {}
+    warp_costs = {}
+    for name, fn in methods.items():
+        c_shift = fn(shift_X)
+        c_warp = fn(warp_X)
+        shift_scores[name] = _ncc_similarity(c_shift, shift_X)
+        warp_costs[name] = _dtw_cost(c_warp, warp_X)
+        rows.append([name, shift_scores[name], warp_costs[name]])
+    report = format_table(
+        ["Averaging method", "shift family: mean NCCc (higher better)",
+         "warp family: mean DTW (lower better)"],
+        rows,
+        title="Ablation: centroid methods on shifted vs warped families",
+    )
+    write_report("ablation_averaging", report)
+
+    # Shape extraction must beat the arithmetic mean on the shift family.
+    assert shift_scores["shape extraction"] > shift_scores["arithmetic mean"]
+    # DBA must beat the arithmetic mean under DTW on the warp family.
+    assert warp_costs["DBA"] < warp_costs["arithmetic mean"]

@@ -1,0 +1,63 @@
+"""Ablation — k-DBA refinements per iteration (paper footnote 8).
+
+The paper notes that performing five DBA refinements per k-means iteration
+(instead of one) "improves the Rand Index by 4% but runtime increases by
+30%". This ablation reruns k-DBA with 1 vs 3 refinements per iteration on
+a small warped panel and reports both quality and runtime.
+"""
+
+import numpy as np
+
+from conftest import write_report
+from repro import KDBA, rand_index
+from repro.datasets import load_dataset
+from repro.harness import format_table, timed
+
+DATASETS = ["WarpedSines", "WarpedPulses"]
+N_RUNS = 2
+
+
+def test_ablation_kdba_refinements(benchmark):
+    import warnings
+
+    from repro.exceptions import ConvergenceWarning
+
+    datasets = [load_dataset(n) for n in DATASETS]
+    ds0 = datasets[0]
+    benchmark.pedantic(
+        lambda: KDBA(ds0.n_classes, window=0.1, random_state=0,
+                     max_iter=3).fit(ds0.X),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    stats = {}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        for refinements in (1, 3):
+            scores = []
+            total = 0.0
+            for ds in datasets:
+                for run in range(N_RUNS):
+                    model = KDBA(
+                        ds.n_classes, window=0.1,
+                        refinements_per_iter=refinements,
+                        random_state=100 + run, max_iter=10,
+                    )
+                    _, elapsed = timed(model.fit, ds.X)
+                    total += elapsed
+                    scores.append(rand_index(ds.y, model.labels_))
+            stats[refinements] = (float(np.mean(scores)), total)
+            rows.append([refinements, stats[refinements][0], total])
+    report = format_table(
+        ["Refinements/iter", "Mean Rand Index", "Total seconds"], rows,
+        title="Ablation (footnote 8): k-DBA refinements per iteration",
+    )
+    write_report("ablation_kdba_refinements", report)
+
+    # Both configurations must produce sane partitions; on a 2-dataset panel
+    # the quality difference is dominated by run-to-run variance (the paper's
+    # footnote-8 effect, +4% RI for 5 refinements, is measured over all 48
+    # datasets), so the assertion only guards against degenerate behavior.
+    assert all(0.4 <= stats[r][0] <= 1.0 for r in (1, 3))
+    assert all(stats[r][1] > 0.0 for r in (1, 3))

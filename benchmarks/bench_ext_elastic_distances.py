@@ -1,0 +1,58 @@
+"""Extension — the wider elastic-measure landscape vs SBD.
+
+The comparisons the paper builds on ([19, 81]) cover the elastic measures
+LCSS, EDR, ERP, and MSM alongside ED and DTW. This bench extends Table 2's
+1-NN protocol to those measures on a small panel (they are O(m^2) reference
+implementations), reporting accuracy and runtime factors vs ED.
+
+Expected shape: the elastic measures cluster around DTW's accuracy (all
+beating ED on shift/warp-dominated data) while costing orders of magnitude
+more than SBD — reinforcing the paper's point that SBD reaches
+elastic-measure accuracy at near-ED cost.
+"""
+
+import numpy as np
+
+from conftest import bench_datasets, write_report
+from repro.classification import one_nn_accuracy
+from repro.harness import format_table, timed
+
+DATASETS = ["SineSquare", "ShortWaves", "Ramps", "ECGFiveDays-syn"]
+MEASURES = ["ed", "sbd", "cdtw5", "lcss", "edr", "erp", "msm"]
+
+
+def test_ext_elastic_distances(benchmark):
+    datasets = bench_datasets(DATASETS)
+    ds0 = datasets[0]
+    benchmark(
+        one_nn_accuracy,
+        ds0.X_train, ds0.y_train, ds0.X_test, ds0.y_test, metric="erp",
+    )
+
+    accs = {m: [] for m in MEASURES}
+    times = {m: 0.0 for m in MEASURES}
+    for ds in datasets:
+        for measure in MEASURES:
+            acc, elapsed = timed(
+                one_nn_accuracy,
+                ds.X_train, ds.y_train, ds.X_test, ds.y_test, metric=measure,
+            )
+            accs[measure].append(acc)
+            times[measure] += elapsed
+    rows = [
+        [m.upper(), float(np.mean(accs[m])), f"{times[m] / times['ed']:.1f}x"]
+        for m in MEASURES
+    ]
+    report = format_table(
+        ["Measure", "Mean 1-NN accuracy", "Runtime vs ED"], rows,
+        title=f"Extension: elastic measures vs SBD over {len(DATASETS)} datasets",
+    )
+    write_report("ext_elastic_distances", report)
+
+    mean = {m: float(np.mean(accs[m])) for m in MEASURES}
+    # SBD must beat ED and stay within reach of the best elastic measure.
+    assert mean["sbd"] > mean["ed"]
+    best_elastic = max(mean[m] for m in ("lcss", "edr", "erp", "msm", "cdtw5"))
+    assert mean["sbd"] >= best_elastic - 0.1
+    # And SBD is far cheaper than every elastic measure.
+    assert all(times[m] > 5 * times["sbd"] for m in ("lcss", "edr", "erp", "msm"))

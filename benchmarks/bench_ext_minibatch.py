@@ -1,0 +1,60 @@
+"""Extension — mini-batch k-Shape vs full k-Shape at growing n.
+
+Extends the Appendix B scalability story: the mini-batch variant caps the
+per-update cost by its batch and reservoir sizes, so its total fit time
+grows sublinearly in n (it simply samples a fixed budget of batches) while
+full k-Shape's per-iteration cost grows linearly. Quality is measured on
+the full dataset after fitting.
+"""
+
+import numpy as np
+
+from conftest import write_report
+from repro import KShape, MiniBatchKShape, rand_index
+from repro.datasets import make_cbf
+from repro.harness import format_table, timed
+from repro.preprocessing import zscore
+
+N_SWEEP = (300, 900, 1800)
+
+
+def test_ext_minibatch(benchmark):
+    import warnings
+
+    from repro.exceptions import ConvergenceWarning
+
+    rows = []
+    quality = {}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        for n_total in N_SWEEP:
+            X, y = make_cbf(n_total // 3, 128, rng=0)
+            X = zscore(X)
+            full = KShape(3, random_state=0, max_iter=15)
+            _, t_full = timed(full.fit, X)
+            ri_full = rand_index(y, full.labels_)
+            mini = MiniBatchKShape(3, batch_size=128, n_batches=12,
+                                   reservoir_size=128, random_state=0)
+            _, t_mini = timed(mini.fit, X)
+            ri_mini = rand_index(y, mini.predict(X))
+            quality[n_total] = (ri_full, ri_mini)
+            rows.append([X.shape[0], t_full, ri_full, t_mini, ri_mini])
+
+        X, _ = make_cbf(N_SWEEP[0] // 3, 128, rng=0)
+        X = zscore(X)
+        benchmark.pedantic(
+            lambda: MiniBatchKShape(3, batch_size=128, n_batches=12,
+                                    random_state=0).fit(X),
+            rounds=3, iterations=1,
+        )
+
+    report = format_table(
+        ["n", "full sec", "full RI", "mini sec", "mini RI"], rows,
+        title="Extension: mini-batch vs full k-Shape on CBF (m=128)",
+        float_fmt="{:.3f}",
+    )
+    write_report("ext_minibatch", report)
+
+    # Mini-batch must stay within 0.15 Rand Index of full k-Shape everywhere.
+    for n_total, (ri_full, ri_mini) in quality.items():
+        assert ri_mini >= ri_full - 0.15, n_total

@@ -1,0 +1,95 @@
+"""Appendix B (Figure 12) — scalability of k-Shape vs k-AVG+ED on CBF.
+
+Regenerates the scalability study: runtime of k-Shape and k-AVG+ED as a
+function of the number of sequences n (at m=128) and of the sequence
+length m (at fixed n), on the synthetic CBF dataset.
+
+Expected shape: both methods scale linearly in n; k-Shape's dependence on
+m is superlinear (the m^2/m^3 terms of the refinement step) and overtakes
+k-AVG+ED as m grows, matching Figure 12b.
+"""
+
+import os
+
+import numpy as np
+
+from conftest import write_report
+from repro import KShape, k_avg_ed
+from repro.datasets import make_cbf
+from repro.harness import format_table, timed
+from repro.preprocessing import zscore
+
+BENCH_FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+
+N_SWEEP = (150, 300, 600, 1200) if not BENCH_FULL else (900, 1800, 3600, 9000)
+M_SWEEP = (64, 128, 256, 512) if not BENCH_FULL else (100, 500, 1000, 2000)
+FIXED_M = 128
+FIXED_N_PER_CLASS = 100 if not BENCH_FULL else 600
+MAX_ITER = 10
+
+
+def _fit_time(model_factory, X):
+    model = model_factory()
+    _, elapsed = timed(model.fit, X)
+    return elapsed
+
+
+def test_fig12_scalability(benchmark):
+    import warnings
+
+    from repro.exceptions import ConvergenceWarning
+
+    rows_n = []
+    kshape_n_times = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        for n_total in N_SWEEP:
+            X, _ = make_cbf(n_total // 3, FIXED_M, rng=0)
+            X = zscore(X)
+            t_ks = _fit_time(
+                lambda: KShape(3, random_state=0, max_iter=MAX_ITER), X
+            )
+            t_km = _fit_time(
+                lambda: k_avg_ed(3, random_state=0, max_iter=MAX_ITER), X
+            )
+            kshape_n_times.append(t_ks)
+            rows_n.append([X.shape[0], t_km, t_ks])
+
+        rows_m = []
+        for m in M_SWEEP:
+            X, _ = make_cbf(FIXED_N_PER_CLASS, m, rng=0)
+            X = zscore(X)
+            t_ks = _fit_time(
+                lambda: KShape(3, random_state=0, max_iter=MAX_ITER), X
+            )
+            t_km = _fit_time(
+                lambda: k_avg_ed(3, random_state=0, max_iter=MAX_ITER), X
+            )
+            rows_m.append([m, t_km, t_ks])
+
+        # The pytest-benchmark kernel: one k-Shape fit at the base size.
+        X, _ = make_cbf(N_SWEEP[0] // 3, FIXED_M, rng=0)
+        X = zscore(X)
+        benchmark.pedantic(
+            lambda: KShape(3, random_state=0, max_iter=MAX_ITER).fit(X),
+            rounds=3, iterations=1,
+        )
+
+    report = format_table(
+        ["n (m=128)", "k-AVG+ED sec", "k-Shape sec"], rows_n,
+        title="Figure 12a: runtime vs number of sequences (CBF)",
+        float_fmt="{:.3f}",
+    )
+    report += "\n\n" + format_table(
+        [f"m (n={FIXED_N_PER_CLASS * 3})", "k-AVG+ED sec", "k-Shape sec"],
+        rows_m,
+        title="Figure 12b: runtime vs sequence length (CBF)",
+        float_fmt="{:.3f}",
+    )
+    write_report("fig12_scalability", report)
+
+    # Reproduction shape: near-linear growth in n — an 8x larger dataset
+    # must not cost more than ~24x (3x headroom over linear for noise).
+    ratio = kshape_n_times[-1] / max(kshape_n_times[0], 1e-6)
+    scale = N_SWEEP[-1] / N_SWEEP[0]
+    assert ratio <= 3.0 * scale

@@ -1,0 +1,39 @@
+"""Figure 5 — per-dataset 1-NN accuracy scatter: SBD vs ED and SBD vs DTW.
+
+Regenerates the paper's Figure 5 as ASCII scatter plots: circles above the
+diagonal are datasets where SBD is more accurate than the measure on the
+x-axis. Expected shape: almost everything above the diagonal against ED;
+a roughly balanced cloud against DTW.
+"""
+
+from conftest import write_report
+from repro.harness import format_scatter
+
+
+def test_fig5_scatter(benchmark, distance_eval):
+    names, accuracies, _, _ = distance_eval
+
+    from repro.core import sbd
+    from repro.datasets import load_dataset
+
+    ds = load_dataset(names[0])
+    benchmark(sbd, ds.X[0], ds.X[1])
+
+    report = format_scatter(
+        accuracies["ED"], accuracies["SBD"], "ED accuracy", "SBD accuracy",
+        title="Figure 5a: SBD vs ED (one point per dataset)",
+    )
+    report += "\n\n" + format_scatter(
+        accuracies["DTW"], accuracies["SBD"], "DTW accuracy", "SBD accuracy",
+        title="Figure 5b: SBD vs DTW (one point per dataset)",
+    )
+    per_dataset = "\n".join(
+        f"  {n:20s} ED={accuracies['ED'][i]:.3f} DTW={accuracies['DTW'][i]:.3f} "
+        f"SBD={accuracies['SBD'][i]:.3f}"
+        for i, n in enumerate(names)
+    )
+    report += "\n\nPer-dataset accuracies:\n" + per_dataset
+    write_report("fig5_sbd_scatter", report)
+
+    wins_vs_ed = sum(s >= e for s, e in zip(accuracies["SBD"], accuracies["ED"]))
+    assert wins_vs_ed >= len(names) * 0.6

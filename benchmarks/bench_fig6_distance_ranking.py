@@ -1,0 +1,41 @@
+"""Figure 6 — average ranks of distance measures with the Nemenyi test.
+
+Regenerates the paper's Figure 6: the Friedman test over the per-dataset
+1-NN accuracies of ED, SBD, cDTW5, and cDTWopt, followed by the post-hoc
+Nemenyi critical difference. Expected shape: cDTWopt ranked first, then
+cDTW5 and SBD with no significant difference among the three, and ED ranked
+last, significantly worse.
+"""
+
+import numpy as np
+
+from conftest import write_report
+from repro.harness import format_rank_line
+from repro.stats import friedman_test, nemenyi_groups, nemenyi_test
+
+
+def test_fig6_ranking(benchmark, distance_eval):
+    names, accuracies, _, _ = distance_eval
+    measures = ["cDTWopt", "cDTW5", "SBD", "ED"]
+    matrix = np.column_stack([accuracies[m] for m in measures])
+
+    result = benchmark(friedman_test, matrix)
+    nem = nemenyi_test(matrix)
+    groups = nemenyi_groups(matrix, measures)
+
+    report = format_rank_line(
+        measures, nem.average_ranks, nem.critical_difference,
+        title=f"Figure 6: distance-measure ranks over {len(names)} datasets",
+    )
+    report += (
+        f"\n  Friedman chi2={result.statistic:.3f} p={result.p_value:.4f}"
+        f" (Iman-Davenport F={result.iman_davenport:.3f}"
+        f" p={result.iman_davenport_p_value:.4f})"
+    )
+    report += "\n  Nemenyi groups (wiggly line): " + "; ".join(
+        "{" + ", ".join(g) + "}" for g in groups
+    )
+    write_report("fig6_distance_ranking", report)
+
+    ranks = dict(zip(measures, nem.average_ranks))
+    assert ranks["ED"] == max(ranks.values())  # ED ranked last, as in Fig. 6

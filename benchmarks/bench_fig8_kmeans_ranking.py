@@ -1,0 +1,34 @@
+"""Figure 8 — average ranks of the k-means variants with the Nemenyi test.
+
+Expected shape: k-Shape ranked first; KSC, k-DBA, and k-AVG+ED behind it
+(the paper finds k-Shape significantly better than all three).
+"""
+
+import numpy as np
+
+from conftest import write_report
+from repro.harness import format_rank_line
+from repro.stats import friedman_test, nemenyi_groups, nemenyi_test
+
+
+def test_fig8_ranking(benchmark, kmeans_variants_eval):
+    names, scores, _ = kmeans_variants_eval
+    methods = ["k-Shape", "k-AVG+ED", "KSC", "k-DBA"]
+    matrix = np.column_stack([scores[m] for m in methods])
+
+    result = benchmark(friedman_test, matrix)
+    nem = nemenyi_test(matrix)
+    groups = nemenyi_groups(matrix, methods)
+
+    report = format_rank_line(
+        methods, nem.average_ranks, nem.critical_difference,
+        title=f"Figure 8: k-means-variant ranks over {len(names)} datasets",
+    )
+    report += f"\n  Friedman chi2={result.statistic:.3f} p={result.p_value:.4f}"
+    report += "\n  Nemenyi groups (wiggly line): " + "; ".join(
+        "{" + ", ".join(g) + "}" for g in groups
+    )
+    write_report("fig8_kmeans_ranking", report)
+
+    ranks = dict(zip(methods, nem.average_ranks))
+    assert ranks["k-Shape"] == min(ranks.values())

@@ -1,0 +1,45 @@
+"""Figure 9 — ranks of the methods that challenge k-AVG+ED.
+
+Regenerates the paper's Figure 9: average ranks of k-Shape, PAM+SBD,
+PAM+cDTW, S+SBD, and k-AVG+ED with the Nemenyi critical difference.
+Expected shape: the four challengers form one statistical group; k-AVG+ED
+is ranked last.
+"""
+
+import numpy as np
+
+from conftest import write_report
+from repro.harness import format_rank_line
+from repro.stats import friedman_test, nemenyi_groups, nemenyi_test
+
+
+def test_fig9_ranking(benchmark, nonscalable_eval, kmeans_variants_eval):
+    ds_names, ns_scores = nonscalable_eval
+    _, km_scores, _ = kmeans_variants_eval
+
+    methods = ["k-Shape", "PAM+SBD", "PAM+cDTW", "S+SBD", "k-AVG+ED"]
+    columns = {
+        "k-Shape": km_scores["k-Shape"],
+        "k-AVG+ED": km_scores["k-AVG+ED"],
+        "PAM+SBD": ns_scores["PAM+SBD"],
+        "PAM+cDTW": ns_scores["PAM+cDTW"],
+        "S+SBD": ns_scores["S+SBD"],
+    }
+    matrix = np.column_stack([columns[m] for m in methods])
+
+    result = benchmark(friedman_test, matrix)
+    nem = nemenyi_test(matrix)
+    groups = nemenyi_groups(matrix, methods)
+
+    report = format_rank_line(
+        methods, nem.average_ranks, nem.critical_difference,
+        title=f"Figure 9: top-method ranks over {len(ds_names)} datasets",
+    )
+    report += f"\n  Friedman chi2={result.statistic:.3f} p={result.p_value:.4f}"
+    report += "\n  Nemenyi groups (wiggly line): " + "; ".join(
+        "{" + ", ".join(g) + "}" for g in groups
+    )
+    write_report("fig9_method_ranking", report)
+
+    ranks = dict(zip(methods, nem.average_ranks))
+    assert ranks["k-Shape"] <= ranks["k-AVG+ED"]

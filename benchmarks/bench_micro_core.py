@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the core kernels (regression guard).
+
+Uses pytest-benchmark's statistics to track the primitives every
+experiment's runtime story rests on: SBD and its implementation variants
+(the Table 2 efficiency ablation at kernel granularity), DTW/cDTW, shape
+extraction, and one full k-Shape iteration's worth of batched assignment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import sbd, sbd_no_fft, sbd_no_pow2, shape_extraction
+from repro.core._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
+from repro.distances import cdtw, dtw, euclidean
+from repro.preprocessing import zscore
+
+M = 128
+rng = np.random.default_rng(7)
+X_PAIR = (zscore(rng.normal(0, 1, M)), zscore(rng.normal(0, 1, M)))
+CLUSTER = zscore(rng.normal(0, 1, (64, M)))
+
+
+@pytest.mark.parametrize(
+    "fn",
+    [euclidean, sbd, sbd_no_pow2, sbd_no_fft, dtw,
+     lambda a, b: cdtw(a, b, 0.05)],
+    ids=["ed", "sbd", "sbd_nopow2", "sbd_nofft", "dtw", "cdtw5"],
+)
+def test_distance_kernel(benchmark, fn):
+    result = benchmark(fn, *X_PAIR)
+    assert result >= 0.0
+
+
+def test_shape_extraction_kernel(benchmark):
+    centroid = benchmark(shape_extraction, CLUSTER, CLUSTER[0])
+    assert centroid.shape == (M,)
+
+
+def test_batched_assignment_kernel(benchmark):
+    """One centroid's batched SBD against 64 series (the k-Shape inner op)."""
+    fft_len = fft_len_for(M)
+    fft_X = rfft_batch(CLUSTER, fft_len)
+    norms = np.linalg.norm(CLUSTER, axis=1)
+    ref = CLUSTER[0]
+    fft_ref = np.fft.rfft(ref, fft_len)
+    norm_ref = float(np.linalg.norm(ref))
+
+    values, _ = benchmark(
+        ncc_c_max_batch, fft_X, norms, fft_ref, norm_ref, M, fft_len
+    )
+    assert values.shape == (64,)

@@ -1,0 +1,64 @@
+"""Table 2 — 1-NN comparison of distance measures against ED.
+
+Regenerates the paper's Table 2: per-measure win/tie/loss counts against
+the ED baseline, Wilcoxon significance, average 1-NN accuracy, and runtime
+factors relative to ED (including the LB_Keogh-accelerated cDTW rows and
+the SBD implementation ablations SBDNoFFT / SBDNoPow2).
+
+Expected shape (paper): every measure beats ED on accuracy; cDTWopt/cDTW5
+and SBD land within a whisker of each other; SBD runs orders of magnitude
+faster than the DTW family and within a small factor of ED.
+"""
+
+import numpy as np
+
+from conftest import write_report
+from repro.harness import format_comparison_table, format_table
+from repro.stats import compare_to_baseline
+
+
+def test_table2_accuracy_and_runtime(benchmark, distance_eval, lb_eval):
+    names, accuracies, runtimes, tuned_windows = distance_eval
+
+    # The timed kernel: one full SBD-based 1-NN evaluation on the first
+    # dataset (the paper's runtime unit is the 1-NN classification loop).
+    from repro.classification import one_nn_accuracy
+    from repro.datasets import load_dataset
+
+    ds = load_dataset(names[0])
+    benchmark(
+        one_nn_accuracy,
+        ds.X_train, ds.y_train, ds.X_test, ds.y_test, metric="sbd",
+    )
+
+    order = ["DTW", "cDTWopt", "cDTW5", "cDTW10", "SBDNoFFT", "SBDNoPow2", "SBD"]
+    scores = {"ED": accuracies["ED"]}
+    scores.update({m: accuracies[m] for m in order})
+    rows = compare_to_baseline(scores, "ED", alpha=0.01)
+
+    ed_total = runtimes["ED"].sum()
+    factors = {m: runtimes[m].sum() / ed_total for m in accuracies}
+    factors.update({m: lb_eval[m].sum() / ed_total for m in lb_eval})
+
+    report = format_comparison_table(
+        rows, "ED", score_name="1-NN acc",
+        runtime_factors=factors,
+        title=f"Table 2: distance measures vs ED over {len(names)} datasets",
+    )
+    lb_rows = [[m, f"{factors[m]:.1f}x"] for m in
+               ("DTW_LB", "cDTW5_LB", "cDTW10_LB")]
+    report += "\n\n" + format_table(
+        ["LB-accelerated", "Runtime vs ED"], lb_rows,
+        title="LB_Keogh-pruned runtimes",
+    )
+    report += "\n\ncDTWopt tuned windows: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in tuned_windows.items()
+    )
+    write_report("table2_distances", report)
+
+    # Reproduction checks on the *shape* of the result: SBD must beat ED
+    # significantly and be far cheaper than the DTW family.
+    by_name = {r.name: r for r in rows}
+    assert by_name["SBD"].mean_score > np.mean(accuracies["ED"])
+    assert factors["SBD"] < factors["DTW"] / 10.0
+    assert factors["SBD"] < factors["SBDNoFFT"]

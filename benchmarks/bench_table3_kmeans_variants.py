@@ -1,0 +1,55 @@
+"""Table 3 — k-means variants vs k-AVG+ED (Rand Index + runtime factors).
+
+Regenerates the paper's Table 3: k-AVG+SBD, k-AVG+DTW, KSC, k-DBA,
+k-Shape+DTW, and k-Shape, each compared against the classic k-means
+baseline with the Wilcoxon test, Rand Index averaged over repeated random
+initializations, and runtime factors.
+
+Expected shape: only k-Shape beats k-AVG+ED with statistical significance;
+k-AVG+DTW underperforms; k-Shape stays within a modest factor of
+k-AVG+ED's runtime while the DTW-based variants are orders slower.
+"""
+
+import numpy as np
+
+from conftest import write_report
+from repro.harness import format_comparison_table
+from repro.stats import compare_to_baseline
+
+
+def test_table3_kmeans_variants(benchmark, kmeans_variants_eval):
+    names, scores, runtimes = kmeans_variants_eval
+
+    from repro import KShape
+    from repro.datasets import load_dataset
+
+    ds = load_dataset(names[0])
+    benchmark.pedantic(
+        lambda: KShape(ds.n_classes, random_state=0).fit(ds.X),
+        rounds=3, iterations=1,
+    )
+
+    order = ["k-AVG+SBD", "k-AVG+DTW", "KSC", "k-DBA", "k-Shape+DTW", "k-Shape"]
+    table_scores = {"k-AVG+ED": scores["k-AVG+ED"]}
+    table_scores.update({m: scores[m] for m in order})
+    rows = compare_to_baseline(table_scores, "k-AVG+ED", alpha=0.01)
+
+    base_total = runtimes["k-AVG+ED"].sum()
+    factors = {m: runtimes[m].sum() / base_total for m in runtimes}
+    report = format_comparison_table(
+        rows, "k-AVG+ED", score_name="Rand Index",
+        runtime_factors=factors,
+        title=f"Table 3: k-means variants vs k-AVG+ED over {len(names)} datasets",
+    )
+    write_report("table3_kmeans_variants", report)
+
+    by_name = {r.name: r for r in rows}
+    # Reproduction shape: k-Shape clearly beats the k-AVG+ED baseline and
+    # sits at (or statistically tied with) the top of the variant table —
+    # on the scaled-down panel we allow a small tie margin, mirroring the
+    # paper's finding that no variant significantly beats k-Shape.
+    assert by_name["k-Shape"].mean_score > float(np.mean(scores["k-AVG+ED"]))
+    best = max(r.mean_score for r in rows)
+    assert by_name["k-Shape"].mean_score >= best - 0.03
+    # And DTW-flavored k-means costs orders of magnitude more than k-Shape.
+    assert factors["k-DBA"] > factors["k-Shape"]

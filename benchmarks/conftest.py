@@ -1,0 +1,129 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures by calling
+the evaluation protocols in :mod:`repro.harness.experiments`. Because the
+original evaluation consumed two months on a 10-server cluster, the default
+configuration is scaled down (fewer datasets, fewer repeated runs) while
+preserving the comparisons' structure; set ``REPRO_BENCH_FULL=1`` to run
+the full-scale configuration.
+
+Expensive intermediate results (1-NN accuracies, clustering scores,
+dissimilarity matrices) are computed once per session in fixtures and
+shared across the benches that need them. Each bench writes its rendered
+report to ``results/<experiment>.txt`` so EXPERIMENTS.md can reference the
+exact output.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.harness import (
+    compute_dissimilarity_matrices,
+    evaluate_distance_measures,
+    evaluate_kmeans_variants,
+    evaluate_lb_runtimes,
+    evaluate_nonscalable_methods,
+)
+
+BENCH_FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+
+# Datasets used by the scaled-down distance-measure evaluation (Table 2,
+# Figures 5-6). Chosen to span families while keeping DTW tractable.
+DISTANCE_DATASETS = (
+    ["SineSquare", "TriSaw", "FreqSines", "ShortWaves", "PulsePosition",
+     "Ramps", "Steps3", "WarpedSines", "ECGFiveDays-syn", "CBF"]
+    if not BENCH_FULL
+    else None  # all 24
+)
+
+# Datasets for the clustering evaluations (Tables 3-4, Figures 7-9).
+CLUSTERING_DATASETS = (
+    ["TriSaw", "FreqSines", "PulseWidth", "Steps3",
+     "Bumps5", "ECGFiveDays-syn"]
+    if not BENCH_FULL
+    else None
+)
+
+N_PARTITIONAL_RUNS = 10 if BENCH_FULL else 3
+N_SPECTRAL_RUNS = 100 if BENCH_FULL else 5
+CDTW_OPT_WINDOWS = (
+    tuple(w / 100 for w in range(1, 11)) if BENCH_FULL
+    else (0.02, 0.05, 0.08, 0.10)
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_datasets(names):
+    if names is None:
+        from repro.datasets import list_datasets
+
+        names = list_datasets()
+    return [load_dataset(n) for n in names]
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a report and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+# ---------------------------------------------------------------------------
+# Shared expensive computations (session-scoped).
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def distance_eval():
+    """Table 2's accuracy/runtime evaluation over the distance panel.
+
+    Returns ``(dataset_names, accuracies, runtimes, tuned_windows)``.
+    """
+    result = evaluate_distance_measures(
+        bench_datasets(DISTANCE_DATASETS),
+        cdtw_opt_windows=CDTW_OPT_WINDOWS,
+    )
+    return (
+        result.dataset_names,
+        result.accuracies,
+        result.runtimes,
+        result.tuned_windows,
+    )
+
+
+@pytest.fixture(scope="session")
+def lb_eval():
+    """Runtimes of (c)DTW 1-NN with LB_Keogh pruning (Table 2's _LB rows)."""
+    return evaluate_lb_runtimes(bench_datasets(DISTANCE_DATASETS))
+
+
+@pytest.fixture(scope="session")
+def kmeans_variants_eval():
+    """Table 3's Rand Index + runtime per dataset and k-means variant."""
+    result = evaluate_kmeans_variants(
+        bench_datasets(CLUSTERING_DATASETS),
+        n_runs=N_PARTITIONAL_RUNS,
+    )
+    return result.dataset_names, result.scores, result.runtimes
+
+
+@pytest.fixture(scope="session")
+def dissimilarity_matrices():
+    """Precomputed ED/cDTW5/SBD matrices per clustering dataset (Table 4)."""
+    datasets = bench_datasets(CLUSTERING_DATASETS)
+    return datasets, compute_dissimilarity_matrices(datasets)
+
+
+@pytest.fixture(scope="session")
+def nonscalable_eval(dissimilarity_matrices):
+    """Rand Index of the Table 4 methods (hierarchical, spectral, PAM)."""
+    datasets, matrices = dissimilarity_matrices
+    result = evaluate_nonscalable_methods(
+        datasets, matrices, n_spectral_runs=N_SPECTRAL_RUNS
+    )
+    return result.dataset_names, result.scores

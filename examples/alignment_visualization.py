@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Figure 2: ED vs DTW alignment and the Sakoe-Chiba band.
+
+Builds two out-of-phase sequences and renders (in ASCII):
+
+* the one-to-one alignment ED uses vs the elastic one-to-many alignment
+  DTW finds (Figure 2a), and
+* the Sakoe-Chiba band with the cDTW warping path inside it (Figure 2b).
+
+Run:  python examples/alignment_visualization.py
+"""
+
+import numpy as np
+
+from repro.distances import dtw, dtw_path, euclidean, sakoe_chiba_mask
+from repro.preprocessing import zscore
+
+
+def main() -> None:
+    m = 24
+    t = np.linspace(0, 1, m)
+    x = zscore(np.sin(2 * np.pi * (t + 0.00)))
+    y = zscore(np.sin(2 * np.pi * (t + 0.12)))   # out of phase
+
+    print(f"ED(x, y)  = {euclidean(x, y):.3f}  (rigid one-to-one alignment)")
+    print(f"DTW(x, y) = {dtw(x, y):.3f}  (elastic alignment)")
+    d5, path = dtw_path(x, y, window=5)
+    print(f"cDTW(x, y, w=5 cells) = {d5:.3f}")
+
+    print("\nDTW coupling (x index -> y indices):")
+    couples = {}
+    for i, j in path:
+        couples.setdefault(i, []).append(j)
+    for i in range(0, m, 4):
+        mapped = ",".join(map(str, couples[i]))
+        print(f"  x[{i:2d}] -> y[{mapped}]")
+
+    print("\nSakoe-Chiba band (.' = band, '#' = warping path):  (Figure 2b)")
+    mask = sakoe_chiba_mask(m, m, 5)
+    grid = [["." if mask[i, j] else " " for j in range(m)] for i in range(m)]
+    for i, j in path:
+        grid[i][j] = "#"
+    for row in grid:
+        print("  |" + "".join(row) + "|")
+
+    print("\nThe path hugs the diagonal but bends to absorb the phase shift —")
+    print("the local, non-linear alignment of the paper's Figure 1/2.")
+
+
+if __name__ == "__main__":
+    main()

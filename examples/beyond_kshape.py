@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The alternative clustering families the paper contrasts with k-Shape.
+
+Runs four fundamentally different approaches on the same event-shaped
+dataset and compares them:
+
+* **raw-based** k-Shape (the paper's contribution);
+* **density-based** DBSCAN over the SBD dissimilarity matrix;
+* **statistical-based** u-shapelet clustering (local discriminative
+  subsequences);
+* **feature-based** k-means on characteristics features.
+
+Run:  python examples/beyond_kshape.py
+"""
+
+import numpy as np
+
+from repro import KShape, TimeSeriesKMeans, rand_index
+from repro.clustering import DBSCAN, UShapeletClustering
+from repro.features import extract_feature_matrix
+from repro.harness import sparkline
+from repro.preprocessing import zscore
+
+
+def make_data(rng):
+    """Two classes: a single sharp bump vs a double bump, jittered."""
+    t = np.linspace(0, 1, 96)
+    rows, labels = [], []
+    for label in (0, 1):
+        for _ in range(15):
+            c = rng.uniform(0.3, 0.7)
+            if label == 0:
+                pattern = np.exp(-0.5 * ((t - c) / 0.03) ** 2)
+            else:
+                pattern = (np.exp(-0.5 * ((t - c + 0.06) / 0.03) ** 2)
+                           + np.exp(-0.5 * ((t - c - 0.06) / 0.03) ** 2))
+            rows.append(pattern + rng.normal(0, 0.05, 96))
+            labels.append(label)
+    return zscore(np.asarray(rows)), np.asarray(labels)
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    X, y = make_data(rng)
+    print(f"dataset: {X.shape[0]} sequences, 2 classes")
+    print(f"  class 0 sample: {sparkline(X[0], 60)}")
+    print(f"  class 1 sample: {sparkline(X[-1], 60)}\n")
+
+    # Raw-based.
+    ks = KShape(2, random_state=0, n_init=3).fit(X)
+    print(f"k-Shape (raw-based)        RI = {rand_index(y, ks.labels_):.3f}")
+
+    # Density-based: cluster cores, ignore noise in the score.
+    db = DBSCAN(eps=0.15, min_samples=3, metric="sbd").fit(X)
+    clustered = db.labels_ >= 0
+    score = rand_index(y[clustered], db.labels_[clustered]) if clustered.any() else 0.0
+    print(f"DBSCAN+SBD (density-based) RI = {score:.3f} "
+          f"({int((~clustered).sum())} noise points)")
+
+    # Statistical-based: u-shapelets.
+    us = UShapeletClustering(2, random_state=0).fit(X)
+    print(f"u-shapelets (statistical)  RI = {rand_index(y, us.labels_):.3f} "
+          f"({len(us.result_.extra['shapelets'])} shapelets found)")
+    for s in us.result_.extra["shapelets"]:
+        print(f"  shapelet (gap {s.gap:.2f}): {sparkline(s.values, 40)}")
+
+    # Feature-based.
+    F = extract_feature_matrix(X)
+    fb = TimeSeriesKMeans(2, metric="ed", n_init=5, random_state=0).fit(F)
+    print(f"characteristics features   RI = {rand_index(y, fb.labels_):.3f}")
+
+    print("\nAll four families can solve this two-class problem, but note the "
+          "knobs each needed:\nDBSCAN an eps tuned to the SBD scale, "
+          "u-shapelets a subsequence search, features a\nhand-picked vector "
+          "— while k-Shape ran parameter-free. That is the paper's\n"
+          "domain-independence argument (Section 2.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The paper's running example: out-of-phase ECG classes (Figures 1 and 4).
+
+Generates the ECGFiveDays-style two-class dataset (class A has a sharp
+leading rise, class B a gradual one; instances are randomly out of phase),
+then shows:
+
+1. why the arithmetic-mean centroid smears the classes while shape
+   extraction preserves them (Figure 4), and
+2. how k-Shape's Rand Index compares to k-AVG+ED and PAM+cDTW, the
+   strongest non-scalable baseline (the paper reports 84% vs 53% for
+   k-medoids+cDTW on this dataset).
+
+Run:  python examples/ecg_clustering.py
+"""
+
+import numpy as np
+
+from repro import KMedoids, KShape, k_avg_ed, rand_index, sbd
+from repro.averaging import arithmetic_mean
+from repro.core import shape_extraction
+from repro.datasets import load_dataset
+from repro.harness import sparkline as ascii_sparkline
+
+
+def main() -> None:
+    dataset = load_dataset("ECGFiveDays-syn")
+    X, y = dataset.X, dataset.y
+    print(dataset.summary())
+
+    print("\nSample sequences (note the phase differences within a class):")
+    for label, tag in ((0, "A"), (1, "B")):
+        members = X[y == label]
+        for i in range(2):
+            print(f"  class {tag}: {ascii_sparkline(members[i])}")
+
+    print("\nCentroids per class — arithmetic mean vs shape extraction:")
+    for label, tag in ((0, "A"), (1, "B")):
+        members = X[y == label]
+        mean_c = arithmetic_mean(members, znormalize=True)
+        shape_c = shape_extraction(members, reference=members[0])
+        print(f"  class {tag} mean : {ascii_sparkline(mean_c)}")
+        print(f"  class {tag} shape: {ascii_sparkline(shape_c)}")
+        print(f"    SBD(mean, shape) = {sbd(mean_c, shape_c):.3f} "
+              "(how much the mean deviates from the extracted shape)")
+
+    print("\nClustering comparison (Rand Index, 3 seeded runs each):")
+    for name, factory in (
+        ("k-Shape", lambda seed: KShape(2, random_state=seed)),
+        ("k-AVG+ED", lambda seed: k_avg_ed(2, random_state=seed)),
+        ("PAM+cDTW", lambda seed: KMedoids(2, metric="cdtw5", random_state=seed)),
+    ):
+        scores = [
+            rand_index(y, factory(seed).fit(X).labels_) for seed in range(3)
+        ]
+        print(f"  {name:10s} Rand Index = {np.mean(scores):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""A tour of the paper's Section 2.2 invariances, each with its tool.
+
+For every distortion the paper catalogs, this script builds a distorted
+copy of a base pattern and shows which preprocessing step or distance
+measure neutralizes it:
+
+* scaling & translation  -> z-normalization
+* shift (global)         -> SBD
+* local warping          -> (c)DTW
+* uniform scaling        -> us_sbd (stretch-searching SBD)
+* occlusion              -> fill_missing + SBD
+* complexity (noise)     -> moving_average + SBD
+
+Run:  python examples/invariances_tour.py
+"""
+
+import numpy as np
+
+from repro import cdtw, euclidean, sbd
+from repro.distances import us_sbd
+from repro.preprocessing import (
+    fill_missing,
+    moving_average,
+    shift_series,
+    zscore,
+)
+
+
+def report(name, naive, treated, treatment):
+    print(f"{name:22s} naive ED/SBD = {naive:7.3f}   "
+          f"after {treatment:28s} = {treated:7.3f}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    t = np.linspace(0, 1, 128)
+    base = np.sin(2 * np.pi * 2 * t) + 0.5 * np.sin(2 * np.pi * 5 * t)
+    zbase = zscore(base)
+    print("distortion             before                after treatment\n")
+
+    # 1. Scaling and translation: y = a*x + b.
+    distorted = 3.0 * base + 10.0
+    report("scaling+translation", euclidean(base, distorted),
+           euclidean(zbase, zscore(distorted)), "z-normalization")
+
+    # 2. Global shift: out-of-phase copy.
+    shifted = shift_series(zbase, 9)
+    report("shift (global)", euclidean(zbase, shifted),
+           sbd(zbase, shifted), "SBD")
+
+    # 3. Local warping.
+    warped_t = t + 0.03 * np.sin(2 * np.pi * (t + 0.3))
+    warped = zscore(np.sin(2 * np.pi * 2 * warped_t)
+                    + 0.5 * np.sin(2 * np.pi * 5 * warped_t))
+    report("local warping", euclidean(zbase, warped),
+           cdtw(zbase, warped, 0.1), "cDTW (10% band)")
+
+    # 4. Uniform scaling: the same shape played 20% faster.
+    fast = zscore(np.sin(2 * np.pi * 2 * 1.2 * t)
+                  + 0.5 * np.sin(2 * np.pi * 5 * 1.2 * t))
+    report("uniform scaling", sbd(zbase, fast),
+           us_sbd(zbase, fast, scales=(0.7, 0.83, 1.0, 1.2)),
+           "us_sbd (speed search)")
+
+    # 5. Occlusion: a missing chunk.
+    damaged = zbase.copy()
+    damaged[40:56] = np.nan
+    repaired = zscore(fill_missing(damaged))
+    print(f"{'occlusion':22s} naive: undefined (NaN)        "
+          f"after fill_missing + SBD          = {sbd(zbase, repaired):7.3f}")
+
+    # 6. Complexity: heavy noise on one copy.
+    noisy = zscore(base + rng.normal(0, 0.8, 128))
+    smoothed = zscore(moving_average(noisy, 7))
+    report("complexity (noise)", sbd(zbase, noisy),
+           sbd(zbase, smoothed), "moving_average + SBD")
+
+    print("\nEach invariance the paper catalogs (Section 2.2) maps to a "
+          "specific tool;\nz-normalization + SBD covers the two the paper "
+          "argues are generally sufficient.")
+
+
+if __name__ == "__main__":
+    main()

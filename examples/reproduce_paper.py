@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""A miniature end-to-end reproduction of the paper's evaluation.
+
+Runs Table 2 (distance measures vs ED) and Table 3 (k-means variants vs
+k-AVG+ED) through the same library protocols the benchmark suite uses, on
+a small 3-dataset panel so it finishes in well under a minute. For the
+full panels run ``pytest benchmarks/ --benchmark-only``.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.datasets import load_dataset
+from repro.harness import (
+    evaluate_distance_measures,
+    evaluate_kmeans_variants,
+    format_comparison_table,
+)
+from repro.stats import compare_to_baseline
+
+PANEL = ["TriSaw", "PulsePosition", "ECGFiveDays-syn"]
+
+
+def main() -> None:
+    datasets = [load_dataset(name) for name in PANEL]
+    print("panel:", ", ".join(ds.summary() for ds in datasets), "\n")
+
+    print("Running the Table 2 protocol (1-NN, all distance measures)...")
+    dist = evaluate_distance_measures(datasets, cdtw_opt_windows=(0.05,))
+    order = ["DTW", "cDTWopt", "cDTW5", "cDTW10",
+             "SBDNoFFT", "SBDNoPow2", "SBD"]
+    scores = {"ED": dist.accuracies["ED"]}
+    scores.update({m: dist.accuracies[m] for m in order})
+    rows = compare_to_baseline(scores, "ED")
+    print(format_comparison_table(
+        rows, "ED", score_name="1-NN acc",
+        runtime_factors=dist.runtime_factors("ED"),
+        title="Table 2 (miniature)",
+    ))
+
+    print("\nRunning the Table 3 protocol (k-means variants, 2 runs each)...")
+    km = evaluate_kmeans_variants(
+        datasets,
+        methods=("k-AVG+ED", "k-AVG+SBD", "KSC", "k-Shape"),
+        n_runs=2,
+    )
+    rows = compare_to_baseline(km.scores, "k-AVG+ED")
+    print(format_comparison_table(
+        rows, "k-AVG+ED", score_name="Rand Index",
+        runtime_factors=km.runtime_factors("k-AVG+ED"),
+        title="Table 3 (miniature)",
+    ))
+
+    print("\nThe paper's shape in miniature: SBD rivals the DTW family at a")
+    print("fraction of the cost, and k-Shape tops the k-means variants.")
+
+
+if __name__ == "__main__":
+    main()

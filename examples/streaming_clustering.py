@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Streaming clustering with mini-batch k-Shape.
+
+Feeds sequences to :class:`repro.MiniBatchKShape` in small batches — as a
+live pipeline would — and tracks how the clustering quality on a held-out
+reference set evolves as more data streams past. Finishes by comparing
+against full (batch) k-Shape on the complete dataset.
+
+Run:  python examples/streaming_clustering.py
+"""
+
+import numpy as np
+
+from repro import KShape, MiniBatchKShape, rand_index
+from repro.preprocessing import zscore
+
+
+def make_stream(n_per_class: int, rng):
+    t = np.linspace(0, 1, 64)
+    rows, labels = [], []
+    for label, freq in enumerate((2.0, 4.0, 7.0)):
+        for _ in range(n_per_class):
+            rows.append(np.sin(2 * np.pi * (freq * t + rng.uniform(0, 1)))
+                        + rng.normal(0, 0.1, 64))
+            labels.append(label)
+    order = rng.permutation(len(rows))
+    return zscore(np.asarray(rows))[order], np.asarray(labels)[order]
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    X, y = make_stream(80, rng)
+    holdout, y_holdout = X[:60], y[:60]
+    stream, y_stream = X[60:], y[60:]
+    print(f"stream: {stream.shape[0]} sequences in batches of 30; "
+          f"holdout: {holdout.shape[0]}")
+
+    model = MiniBatchKShape(3, reservoir_size=60, random_state=0)
+    print("\nbatch  seen  holdout Rand Index")
+    for start in range(0, stream.shape[0], 30):
+        model.partial_fit(stream[start:start + 30])
+        score = rand_index(y_holdout, model.predict(holdout))
+        print(f"{start // 30 + 1:5d}  {model.n_seen_:4d}  {score:.3f}")
+
+    full = KShape(3, random_state=0).fit(X)
+    print(f"\nfull k-Shape on all {X.shape[0]} sequences: "
+          f"Rand Index {rand_index(y, full.labels_):.3f}")
+    print(f"mini-batch final (holdout): "
+          f"{rand_index(y_holdout, model.predict(holdout)):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, dependency-free entry points for the most common workflows:
+
+* ``list-datasets`` — print the synthetic archive index;
+* ``cluster``       — cluster one archive dataset (or UCR files) with any
+  method and report Rand Index / ARI;
+* ``classify``      — 1-NN distance-measure evaluation on one dataset;
+* ``estimate-k``    — silhouette-based cluster-count estimation;
+* ``export``        — write an archive dataset as UCR-style TSV files;
+* ``search``        — find the best matches of a training sequence inside a
+  concatenation of the test split (a quick MASS demo on real data).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load(args):
+    from .datasets import load_dataset, load_ucr_dataset
+
+    if args.ucr_dir:
+        return load_ucr_dataset(args.ucr_dir, args.dataset)
+    return load_dataset(args.dataset)
+
+
+def _build_method(name: str, k: int, seed):
+    from . import KDBA, KSC, Hierarchical, KMedoids, KShape, SpectralClustering
+    from .clustering import TimeSeriesKMeans
+
+    table = {
+        "kshape": lambda: KShape(k, random_state=seed, n_init=3),
+        "kavg-ed": lambda: TimeSeriesKMeans(k, metric="ed", random_state=seed,
+                                            n_init=3),
+        "kavg-sbd": lambda: TimeSeriesKMeans(k, metric="sbd", random_state=seed,
+                                             n_init=3),
+        "ksc": lambda: KSC(k, random_state=seed),
+        "kdba": lambda: KDBA(k, window=0.1, random_state=seed, max_iter=20),
+        "pam-ed": lambda: KMedoids(k, metric="ed", random_state=seed),
+        "pam-sbd": lambda: KMedoids(k, metric="sbd", random_state=seed),
+        "pam-cdtw": lambda: KMedoids(k, metric="cdtw5", random_state=seed),
+        "hier-single": lambda: Hierarchical(k, "single", metric="sbd"),
+        "hier-average": lambda: Hierarchical(k, "average", metric="sbd"),
+        "hier-complete": lambda: Hierarchical(k, "complete", metric="sbd"),
+        "spectral": lambda: SpectralClustering(k, metric="sbd",
+                                               random_state=seed),
+    }
+    if name not in table:
+        raise SystemExit(
+            f"unknown method {name!r}; choose from: {', '.join(sorted(table))}"
+        )
+    return table[name]()
+
+
+def cmd_list_datasets(_args) -> int:
+    from .datasets import list_datasets, load_dataset
+
+    for name in list_datasets():
+        print(load_dataset(name).summary())
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from . import adjusted_rand_index, rand_index
+
+    ds = _load(args)
+    model = _build_method(args.method, ds.n_classes, args.seed)
+    model.fit(ds.X)
+    print(ds.summary())
+    print(f"method       : {args.method}")
+    print(f"Rand Index   : {rand_index(ds.y, model.labels_):.4f}")
+    print(f"Adjusted RI  : {adjusted_rand_index(ds.y, model.labels_):.4f}")
+    print(f"cluster sizes: {np.bincount(model.labels_).tolist()}")
+    return 0
+
+
+def cmd_classify(args) -> int:
+    from .classification import one_nn_accuracy
+
+    ds = _load(args)
+    print(ds.summary())
+    for measure in args.measures.split(","):
+        acc = one_nn_accuracy(
+            ds.X_train, ds.y_train, ds.X_test, ds.y_test, metric=measure.strip()
+        )
+        print(f"1-NN {measure.strip():10s} accuracy = {acc:.4f}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    from .datasets import export_ucr_format
+
+    ds = _load(args)
+    train, test = export_ucr_format(ds, args.directory)
+    print(f"wrote {train}")
+    print(f"wrote {test}")
+    return 0
+
+
+def cmd_search(args) -> int:
+    from .search import top_k_matches
+
+    ds = _load(args)
+    query = ds.X_train[args.query_index]
+    haystack = ds.X_test.ravel()
+    print(ds.summary())
+    print(f"query: training sequence #{args.query_index} "
+          f"(class {ds.y_train[args.query_index]})")
+    for start, dist in top_k_matches(query, haystack, k=args.k):
+        source = start // ds.length
+        print(f"  match at offset {start} (test sequence ~#{source}, "
+              f"class {ds.y_test[min(source, ds.n_test - 1)]}): "
+              f"distance {dist:.3f}")
+    return 0
+
+
+def cmd_estimate_k(args) -> int:
+    from .evaluation import estimate_n_clusters
+
+    ds = _load(args)
+    best, scores = estimate_n_clusters(
+        ds.X, k_range=range(2, args.max_k + 1), random_state=args.seed
+    )
+    print(ds.summary())
+    for k in sorted(scores):
+        marker = "  <-- best" if k == best else ""
+        print(f"k={k}: silhouette={scores[k]:.4f}{marker}")
+    print(f"true number of classes: {ds.n_classes}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="k-Shape reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-datasets", help="print the synthetic archive index")
+
+    def add_dataset_args(p):
+        p.add_argument("dataset", help="archive dataset name (or UCR name)")
+        p.add_argument("--ucr-dir", default=None,
+                       help="directory holding real UCR files")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_cluster = sub.add_parser("cluster", help="cluster one dataset")
+    add_dataset_args(p_cluster)
+    p_cluster.add_argument("--method", default="kshape")
+
+    p_classify = sub.add_parser("classify", help="1-NN distance evaluation")
+    add_dataset_args(p_classify)
+    p_classify.add_argument("--measures", default="ed,sbd,cdtw5")
+
+    p_estimate = sub.add_parser("estimate-k", help="estimate cluster count")
+    add_dataset_args(p_estimate)
+    p_estimate.add_argument("--max-k", type=int, default=6)
+
+    p_export = sub.add_parser("export", help="write UCR-style TSV files")
+    add_dataset_args(p_export)
+    p_export.add_argument("--directory", default="./ucr_export")
+
+    p_search = sub.add_parser("search", help="query search demo (MASS)")
+    add_dataset_args(p_search)
+    p_search.add_argument("--query-index", type=int, default=0)
+    p_search.add_argument("-k", type=int, default=3)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-datasets": cmd_list_datasets,
+        "cluster": cmd_cluster,
+        "classify": cmd_classify,
+        "estimate-k": cmd_estimate_k,
+        "export": cmd_export,
+        "search": cmd_search,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

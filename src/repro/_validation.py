@@ -1,0 +1,127 @@
+"""Input validation helpers shared across the package.
+
+These helpers normalize user input to float64 numpy arrays and raise
+consistent, descriptive errors from :mod:`repro.exceptions`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .exceptions import (
+    EmptyInputError,
+    InvalidParameterError,
+    ShapeMismatchError,
+)
+
+ArrayLike = Union[np.ndarray, list, tuple]
+
+
+def as_series(x: ArrayLike, name: str = "x") -> np.ndarray:
+    """Coerce ``x`` to a 1-D float64 array.
+
+    Parameters
+    ----------
+    x:
+        The time series: any 1-D array-like of numbers. A 2-D array with a
+        single row or column is flattened.
+    name:
+        Name used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D float64 array.
+
+    Raises
+    ------
+    EmptyInputError
+        If the series has no elements.
+    ShapeMismatchError
+        If the input is not coercible to 1-D.
+    InvalidParameterError
+        If the series contains NaN or infinity.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 2 and 1 in arr.shape:
+        arr = arr.ravel()
+    if arr.ndim != 1:
+        raise ShapeMismatchError(
+            f"{name} must be 1-dimensional, got shape {arr.shape}"
+        )
+    if arr.size == 0:
+        raise EmptyInputError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise InvalidParameterError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def as_dataset(X: ArrayLike, name: str = "X") -> np.ndarray:
+    """Coerce ``X`` to a 2-D float64 array of shape ``(n, m)``.
+
+    A single 1-D series is promoted to shape ``(1, m)``.
+
+    Raises
+    ------
+    EmptyInputError
+        If the collection has no sequences or zero-length sequences.
+    ShapeMismatchError
+        If the input is ragged or more than 2-D.
+    InvalidParameterError
+        If any value is NaN or infinite.
+    """
+    try:
+        arr = np.asarray(X, dtype=np.float64)
+    except ValueError as exc:  # ragged nested sequences
+        raise ShapeMismatchError(
+            f"{name} must be a rectangular 2-D array of equal-length series"
+        ) from exc
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ShapeMismatchError(
+            f"{name} must be 2-dimensional (n, m), got shape {arr.shape}"
+        )
+    if arr.size == 0:
+        raise EmptyInputError(f"{name} must contain at least one value")
+    if not np.all(np.isfinite(arr)):
+        raise InvalidParameterError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_equal_length(x: np.ndarray, y: np.ndarray) -> None:
+    """Raise :class:`ShapeMismatchError` unless ``x`` and ``y`` match in length."""
+    if x.shape[-1] != y.shape[-1]:
+        raise ShapeMismatchError(
+            f"sequences must have equal length, got {x.shape[-1]} and {y.shape[-1]}"
+        )
+
+
+def check_positive_int(value: int, name: str, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer >= ``minimum`` and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise InvalidParameterError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def check_n_clusters(k: int, n: int) -> int:
+    """Validate a cluster count ``k`` against dataset size ``n``."""
+    k = check_positive_int(k, "n_clusters")
+    if k > n:
+        raise InvalidParameterError(
+            f"n_clusters={k} cannot exceed the number of sequences n={n}"
+        )
+    return k
+
+
+def as_rng(
+    seed: Optional[Union[int, np.random.Generator]],
+) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed, Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,17 @@
+"""Time-series averaging techniques (paper Section 2.5)."""
+
+from .dba import dba, dba_update
+from .ksc_centroid import ksc_centroid
+from .mean import arithmetic_mean
+from .nlaaf import nlaaf, nlaaf_pair
+from .psa import psa
+
+__all__ = [
+    "arithmetic_mean",
+    "dba",
+    "dba_update",
+    "nlaaf",
+    "nlaaf_pair",
+    "psa",
+    "ksc_centroid",
+]

@@ -1,0 +1,57 @@
+"""NLAAF: Nonlinear Alignment and Averaging Filters (Gupta et al. [32]).
+
+Reviewed in paper Section 2.5: NLAAF averages a set of sequences pairwise —
+each pair is aligned with DTW and replaced by the sequence of midpoints of
+the coupled coordinates — and the reduction is applied until one sequence
+remains. The pairwise average of two length-``m`` sequences has the length
+of their warping path (up to ``2m - 1``), so we resample back to ``m`` to
+keep averages composable, a standard practical choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_dataset, as_rng, as_series
+from ..distances.dtw import dtw_path
+from ..preprocessing.utils import resample_linear
+
+__all__ = ["nlaaf_pair", "nlaaf"]
+
+
+def nlaaf_pair(x, y, weight_x: float = 1.0, weight_y: float = 1.0, window=None) -> np.ndarray:
+    """Weighted DTW-coupled average of two sequences, resampled to ``len(x)``.
+
+    Each point of the result is the weighted center of a coupled coordinate
+    pair along the optimal warping path. With unit weights this is plain
+    NLAAF; the weights make the routine reusable by PSA.
+    """
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    _, path = dtw_path(xv, yv, window=window)
+    total = weight_x + weight_y
+    merged = np.array(
+        [(weight_x * xv[i] + weight_y * yv[j]) / total for i, j in path]
+    )
+    return resample_linear(merged, xv.shape[0])
+
+
+def nlaaf(X, window=None, rng=None) -> np.ndarray:
+    """NLAAF average of a stack of sequences.
+
+    Sequences are shuffled (NLAAF's result is order-dependent; shuffling
+    avoids systematic bias), then reduced pairwise tournament-style: each
+    round averages consecutive pairs, odd elements pass through.
+    """
+    data = as_dataset(X, "X")
+    generator = as_rng(rng)
+    order = generator.permutation(data.shape[0])
+    pool = [data[i] for i in order]
+    while len(pool) > 1:
+        nxt = []
+        for i in range(0, len(pool) - 1, 2):
+            nxt.append(nlaaf_pair(pool[i], pool[i + 1], window=window))
+        if len(pool) % 2 == 1:
+            nxt.append(pool[-1])
+        pool = nxt
+    return pool[0]

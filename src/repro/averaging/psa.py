@@ -1,0 +1,51 @@
+"""PSA: Prioritized Shape Averaging (Niennattrakul & Ratanamahatana [59]).
+
+Reviewed in paper Section 2.5: PSA averages sequences hierarchically. The
+two most similar items (under DTW) are merged first into a weighted average
+— the weight of a merged sequence is the number of original sequences it
+summarizes — and merging repeats up the tree until one sequence remains.
+The weighted DTW-coupled average reuses :func:`repro.averaging.nlaaf.nlaaf_pair`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_dataset
+from ..distances.dtw import dtw
+from .nlaaf import nlaaf_pair
+
+__all__ = ["psa"]
+
+
+def psa(X, window=None) -> np.ndarray:
+    """PSA average of a stack of sequences.
+
+    Complexity is ``O(n^2)`` DTW computations for the initial similarity
+    scan plus ``O(n)`` merges — intended for cluster-sized inputs.
+    """
+    data = as_dataset(X, "X")
+    items = [data[i].copy() for i in range(data.shape[0])]
+    weights = [1.0] * len(items)
+    while len(items) > 1:
+        # Find the closest pair under DTW.
+        best = (np.inf, 0, 1)
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                d = dtw(items[i], items[j], window=window)
+                if d < best[0]:
+                    best = (d, i, j)
+        _, i, j = best
+        merged = nlaaf_pair(
+            items[i], items[j],
+            weight_x=weights[i], weight_y=weights[j],
+            window=window,
+        )
+        merged_weight = weights[i] + weights[j]
+        # Remove j first (j > i) so i's position stays valid.
+        for idx in (j, i):
+            items.pop(idx)
+            weights.pop(idx)
+        items.append(merged)
+        weights.append(merged_weight)
+    return items[0]

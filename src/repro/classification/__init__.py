@@ -1,0 +1,17 @@
+"""1-NN classification used for distance-measure evaluation (Section 4)."""
+
+from .nearest_centroid import NearestShapeCentroid
+from .nearest_neighbor import (
+    leave_one_out_accuracy,
+    one_nn_accuracy,
+    one_nn_classify,
+    tune_cdtw_window,
+)
+
+__all__ = [
+    "one_nn_classify",
+    "one_nn_accuracy",
+    "leave_one_out_accuracy",
+    "tune_cdtw_window",
+    "NearestShapeCentroid",
+]

@@ -1,0 +1,48 @@
+"""Clustering algorithms: the paper's scalable and non-scalable baselines."""
+
+from .base import (
+    BaseClusterer,
+    ClusterResult,
+    random_assignment,
+    repair_empty_clusters,
+)
+from .dbscan import DBSCAN
+from .density_peaks import DensityPeaks
+from .fuzzy import FuzzyCShapes, weighted_shape_extraction
+from .hierarchical import LINKAGES, Hierarchical, cut_tree, linkage_matrix
+from .kdba import KDBA
+from .kmeans import TimeSeriesKMeans, k_avg_dtw, k_avg_ed, k_avg_sbd
+from .kmedoids import KMedoids, pam_build, pam_swap
+from .ksc import KSC
+from .spectral import SpectralClustering, gaussian_affinity, spectral_embedding
+from .ushapelets import Shapelet, UShapeletClustering, subsequence_distance
+
+__all__ = [
+    "BaseClusterer",
+    "ClusterResult",
+    "random_assignment",
+    "repair_empty_clusters",
+    "TimeSeriesKMeans",
+    "k_avg_ed",
+    "k_avg_sbd",
+    "k_avg_dtw",
+    "KDBA",
+    "KSC",
+    "KMedoids",
+    "pam_build",
+    "pam_swap",
+    "Hierarchical",
+    "linkage_matrix",
+    "cut_tree",
+    "LINKAGES",
+    "SpectralClustering",
+    "DBSCAN",
+    "DensityPeaks",
+    "FuzzyCShapes",
+    "weighted_shape_extraction",
+    "UShapeletClustering",
+    "Shapelet",
+    "subsequence_distance",
+    "gaussian_affinity",
+    "spectral_embedding",
+]

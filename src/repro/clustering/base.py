@@ -1,0 +1,147 @@
+"""Shared infrastructure for clustering algorithms.
+
+Provides the :class:`ClusterResult` container every algorithm returns, the
+random initialization and empty-cluster repair strategies the partitional
+methods share, and a tiny estimator base class with the usual
+``fit`` / ``fit_predict`` surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .._validation import as_dataset, as_rng, check_n_clusters
+from ..exceptions import NotFittedError
+
+__all__ = [
+    "ClusterResult",
+    "random_assignment",
+    "repair_empty_clusters",
+    "BaseClusterer",
+]
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of a clustering run.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` integer array assigning each sequence to a cluster in
+        ``[0, k)``.
+    centroids:
+        ``(k, m)`` array of cluster representatives, or ``None`` for methods
+        without explicit centroids (hierarchical, spectral).
+    inertia:
+        Sum of squared distances of sequences to their assigned centroid
+        (the paper's Equation 1 objective), when the method defines one.
+    n_iter:
+        Number of refinement iterations performed.
+    converged:
+        Whether the method stopped because memberships stabilized (rather
+        than hitting the iteration cap).
+    """
+
+    labels: np.ndarray
+    centroids: Optional[np.ndarray] = None
+    inertia: float = float("nan")
+    n_iter: int = 0
+    converged: bool = True
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+
+def random_assignment(n: int, k: int, rng) -> np.ndarray:
+    """Randomly assign ``n`` items to ``k`` clusters, each cluster non-empty.
+
+    k-Shape (Algorithm 3) and the k-means variants initialize memberships
+    uniformly at random; this helper additionally guarantees every cluster
+    receives at least one member so the first refinement step is well-defined.
+    """
+    generator = as_rng(rng)
+    k = check_n_clusters(k, n)
+    labels = generator.integers(0, k, size=n)
+    # Force one member per cluster by planting k distinct indices.
+    planted = generator.choice(n, size=k, replace=False)
+    labels[planted] = np.arange(k)
+    return labels
+
+
+def repair_empty_clusters(labels: np.ndarray, k: int, rng) -> np.ndarray:
+    """Reassign one random member to each empty cluster.
+
+    Iterative refinement can empty a cluster; the standard repair (also used
+    by reference k-Shape implementations) moves a randomly chosen sequence
+    from a cluster with more than one member into each empty cluster.
+    """
+    generator = as_rng(rng)
+    labels = labels.copy()
+    counts = np.bincount(labels, minlength=k)
+    for j in np.flatnonzero(counts == 0):
+        donors = np.flatnonzero(counts[labels] > 1)
+        if donors.size == 0:  # degenerate: n == k duplicates; leave as-is
+            break
+        pick = generator.choice(donors)
+        counts[labels[pick]] -= 1
+        labels[pick] = j
+        counts[j] += 1
+    return labels
+
+
+class BaseClusterer:
+    """Minimal estimator interface shared by all clustering algorithms.
+
+    Subclasses implement ``_fit(X, rng) -> ClusterResult``; this base class
+    handles input coercion, the ``labels_`` / ``centroids_`` attributes, and
+    ``fit_predict``.
+    """
+
+    def __init__(self, n_clusters: int, random_state=None):
+        self.n_clusters = n_clusters
+        self.random_state = random_state
+        self.result_: Optional[ClusterResult] = None
+
+    def _fit(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
+        raise NotImplementedError
+
+    def fit(self, X) -> "BaseClusterer":
+        """Cluster the ``(n, m)`` dataset ``X``."""
+        data = as_dataset(X, "X")
+        check_n_clusters(self.n_clusters, data.shape[0])
+        rng = as_rng(self.random_state)
+        self.result_ = self._fit(data, rng)
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Cluster ``X`` and return the label array."""
+        return self.fit(X).labels_
+
+    def _check_fitted(self) -> ClusterResult:
+        if self.result_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before accessing results"
+            )
+        return self.result_
+
+    @property
+    def labels_(self) -> np.ndarray:
+        return self._check_fitted().labels
+
+    @property
+    def centroids_(self) -> Optional[np.ndarray]:
+        return self._check_fitted().centroids
+
+    @property
+    def inertia_(self) -> float:
+        return self._check_fitted().inertia
+
+    @property
+    def n_iter_(self) -> int:
+        return self._check_fitted().n_iter

@@ -1,0 +1,190 @@
+"""Agglomerative hierarchical clustering (paper Tables 1 and 4, [40]).
+
+Implements bottom-up agglomeration from a dissimilarity matrix with the
+three linkage criteria the paper evaluates — **single**, **average**, and
+**complete** — via the Lance-Williams update formulas, plus **ward**
+(minimum within-cluster variance) as a common extension. Ward's update is
+exact for Euclidean distances; on non-Euclidean matrices (SBD, cDTW) it is
+the usual heuristic application. The merge history is
+returned as a scipy-style linkage matrix, and :func:`cut_tree` cuts the
+dendrogram at the minimum height producing ``k`` clusters, matching the
+paper's protocol ("a threshold that cuts the produced dendrogram at the
+minimum height such that k clusters are formed").
+
+Hierarchical clustering is deterministic; the paper reports it over one run.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .._validation import check_n_clusters
+from ..distances.base import DistanceFn
+from ..distances.matrix import pairwise_distances
+from ..exceptions import InvalidParameterError
+from .base import BaseClusterer, ClusterResult
+
+__all__ = ["linkage_matrix", "cut_tree", "Hierarchical", "LINKAGES"]
+
+LINKAGES = ("single", "average", "complete", "ward")
+
+
+def linkage_matrix(D: np.ndarray, linkage: str = "average") -> np.ndarray:
+    """Agglomerate a dissimilarity matrix into a linkage matrix.
+
+    Parameters
+    ----------
+    D:
+        Symmetric ``(n, n)`` dissimilarity matrix with a zero diagonal.
+    linkage:
+        ``"single"`` (min), ``"average"`` (size-weighted mean),
+        ``"complete"`` (max), or ``"ward"`` (variance-minimizing)
+        inter-cluster dissimilarity.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n - 1, 4)`` matrix; row ``t`` holds the two cluster ids merged at
+        step ``t`` (original points are ``0..n-1``, merged clusters are
+        ``n + t``), the merge height, and the new cluster's size — the same
+        layout as ``scipy.cluster.hierarchy.linkage``.
+    """
+    if linkage not in LINKAGES:
+        raise InvalidParameterError(
+            f"linkage must be one of {LINKAGES}, got {linkage!r}"
+        )
+    D = np.asarray(D, dtype=np.float64)
+    if D.ndim != 2 or D.shape[0] != D.shape[1]:
+        raise InvalidParameterError("D must be a square dissimilarity matrix")
+    n = D.shape[0]
+    if n < 2:
+        return np.empty((0, 4))
+    # Working copy with inf on the diagonal so argmin skips self-pairs.
+    work = D.copy()
+    np.fill_diagonal(work, np.inf)
+    active = np.ones(n, dtype=bool)
+    sizes = np.ones(n)
+    cluster_ids = np.arange(n)  # current cluster id stored at each slot
+    merges = np.empty((n - 1, 4))
+    next_id = n
+    for step in range(n - 1):
+        # Find the closest active pair.
+        masked = np.where(active[:, None] & active[None, :], work, np.inf)
+        flat = int(np.argmin(masked))
+        i, j = divmod(flat, n)
+        if i > j:
+            i, j = j, i
+        height = masked[i, j]
+        merges[step] = (cluster_ids[i], cluster_ids[j], height, sizes[i] + sizes[j])
+        # Lance-Williams update of slot i; slot j is retired.
+        di, dj = work[i], work[j]
+        if linkage == "single":
+            updated = np.minimum(di, dj)
+        elif linkage == "complete":
+            updated = np.maximum(di, dj)
+        elif linkage == "ward":
+            # Lance-Williams for Ward on squared dissimilarities:
+            # d(k, i+j)^2 = ((n_i + n_k) d_ki^2 + (n_j + n_k) d_kj^2
+            #               - n_k d_ij^2) / (n_i + n_j + n_k)
+            nk = sizes
+            with np.errstate(invalid="ignore"):
+                updated_sq = (
+                    (sizes[i] + nk) * di**2
+                    + (sizes[j] + nk) * dj**2
+                    - nk * height**2
+                ) / (sizes[i] + sizes[j] + nk)
+            updated = np.sqrt(np.maximum(updated_sq, 0.0))
+        else:  # average
+            updated = (sizes[i] * di + sizes[j] * dj) / (sizes[i] + sizes[j])
+        work[i], work[:, i] = updated, updated
+        work[i, i] = np.inf
+        active[j] = False
+        sizes[i] += sizes[j]
+        cluster_ids[i] = next_id
+        next_id += 1
+    return merges
+
+
+def cut_tree(merges: np.ndarray, n_clusters: int) -> np.ndarray:
+    """Cut a linkage matrix so exactly ``n_clusters`` clusters remain.
+
+    Applies the first ``n - k`` merges (the cheapest ones, since
+    agglomeration is monotone for these linkages) and labels the resulting
+    components ``0..k-1`` in order of their smallest member index.
+    """
+    n = merges.shape[0] + 1
+    k = check_n_clusters(n_clusters, n)
+    parent = np.arange(n + merges.shape[0], dtype=int)
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for t in range(n - k):
+        a, b = int(merges[t, 0]), int(merges[t, 1])
+        new = n + t
+        parent[find(a)] = new
+        parent[find(b)] = new
+    roots = np.array([find(i) for i in range(n)])
+    _, labels = np.unique(roots, return_inverse=True)
+    # Relabel so cluster ids follow first appearance order.
+    order = {}
+    out = np.empty(n, dtype=int)
+    for idx, lab in enumerate(labels):
+        if lab not in order:
+            order[lab] = len(order)
+        out[idx] = order[lab]
+    return out
+
+
+class Hierarchical(BaseClusterer):
+    """Agglomerative clustering with single/average/complete linkage.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters the dendrogram is cut into.
+    linkage:
+        One of ``"single"``, ``"average"``, ``"complete"``.
+    metric:
+        Registered distance name, callable, or ``"precomputed"`` (then
+        ``fit`` expects the ``(n, n)`` dissimilarity matrix).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        linkage: str = "average",
+        metric: Union[str, DistanceFn] = "ed",
+        random_state=None,
+    ):
+        super().__init__(n_clusters, random_state)
+        if linkage not in LINKAGES:
+            raise InvalidParameterError(
+                f"linkage must be one of {LINKAGES}, got {linkage!r}"
+            )
+        self.linkage = linkage
+        self.metric = metric
+
+    def _fit(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
+        if isinstance(self.metric, str) and self.metric == "precomputed":
+            D = np.asarray(X, dtype=np.float64)
+        else:
+            D = pairwise_distances(X, metric=self.metric)
+        merges = linkage_matrix(D, linkage=self.linkage)
+        labels = cut_tree(merges, self.n_clusters)
+        return ClusterResult(
+            labels=labels,
+            centroids=None,
+            n_iter=merges.shape[0],
+            converged=True,
+            extra={"linkage_matrix": merges},
+        )
+
+    @property
+    def linkage_matrix_(self) -> np.ndarray:
+        return self._check_fitted().extra["linkage_matrix"]

@@ -1,0 +1,71 @@
+"""k-DBA: k-means with DTW assignment and DBA centroids (paper Table 3, [64]).
+
+k-DBA modifies both knobs of the k-means engine: sequences are assigned to
+clusters under (optionally constrained) DTW, and centroids are refined with
+one DBA pass per iteration, seeded with the centroid of the previous
+iteration — exactly the "refine the centroids of the current run once"
+protocol the paper's Section 4 describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..averaging.dba import dba_update
+from ..distances.base import make_cdtw
+from .kmeans import TimeSeriesKMeans
+
+__all__ = ["KDBA"]
+
+
+class KDBA(TimeSeriesKMeans):
+    """k-means with DTW distance and DBA centroid computation.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    window:
+        Optional Sakoe-Chiba constraint (int cells or float fraction)
+        applied to both the assignment DTW and the DBA alignments; ``None``
+        uses unconstrained DTW as in [64].
+    refinements_per_iter:
+        DBA passes per k-means iteration. The paper's footnote 8 notes that
+        five refinements improve Rand Index slightly at ~30% extra runtime;
+        the default of 1 matches the main experiments.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        window=None,
+        refinements_per_iter: int = 1,
+        max_iter: int = 100,
+        n_init: int = 1,
+        random_state=None,
+    ):
+        metric = make_cdtw(window) if window is not None else "dtw"
+        self.window = window
+        self.refinements_per_iter = refinements_per_iter
+        super().__init__(
+            n_clusters,
+            metric=metric,
+            centroid_fn=self._dba_centroid,
+            max_iter=max_iter,
+            n_init=n_init,
+            random_state=random_state,
+        )
+
+    def _dba_centroid(
+        self, members: np.ndarray, previous: np.ndarray
+    ) -> np.ndarray:
+        """DBA refinement seeded with the previous centroid.
+
+        An all-zero previous centroid (first iteration) would be a poor DBA
+        seed, so the member mean is used instead.
+        """
+        seed = previous if np.any(previous) else members.mean(axis=0)
+        centroid = seed
+        for _ in range(self.refinements_per_iter):
+            centroid = dba_update(members, centroid, window=self.window)
+        return centroid

@@ -1,0 +1,60 @@
+"""KSC: K-Spectral Centroid clustering (Yang & Leskovec [87]; paper Table 3).
+
+KSC is k-means with the pairwise scale-and-shift distance ``d_hat``
+(:mod:`repro.distances.ksc`) in the assignment step and the
+matrix-decomposition centroid (:mod:`repro.averaging.ksc_centroid`) in the
+refinement step. As in k-Shape and k-DBA, each refinement aligns members to
+the centroid of the previous iteration.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Optional
+
+import numpy as np
+
+from ..averaging.ksc_centroid import ksc_centroid
+from ..distances.ksc import ksc_distance
+from .kmeans import TimeSeriesKMeans
+
+__all__ = ["KSC"]
+
+
+class KSC(TimeSeriesKMeans):
+    """K-Spectral Centroid clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    max_shift:
+        Optional cap on the shift search of the KSC distance and alignment
+        (the original KSC explores a limited shift range); ``None`` searches
+        all shifts.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_shift: Optional[int] = None,
+        max_iter: int = 100,
+        n_init: int = 1,
+        random_state=None,
+    ):
+        self.max_shift = max_shift
+        super().__init__(
+            n_clusters,
+            metric=partial(ksc_distance, max_shift=max_shift),
+            centroid_fn=self._ksc_centroid,
+            max_iter=max_iter,
+            n_init=n_init,
+            random_state=random_state,
+        )
+
+    def _ksc_centroid(
+        self, members: np.ndarray, previous: np.ndarray
+    ) -> np.ndarray:
+        return ksc_centroid(
+            members, reference=previous, max_shift=self.max_shift
+        )

@@ -1,0 +1,237 @@
+"""Unsupervised-shapelet clustering (Zakaria, Mueen & Keogh [89]).
+
+The paper's related work (Section 6) singles out *u-shapelets* as the
+statistical-based alternative to shape-based clustering: instead of
+comparing whole sequences, short subsequences (**shapelets**) that best
+separate the data are discovered, and sequences are clustered by their
+distances to those shapelets.
+
+This implementation follows the original algorithm's structure:
+
+1. enumerate candidate subsequences of the configured lengths (on a stride,
+   from a capped sample of sequences, to bound the search);
+2. score each candidate by the **gap** it induces: order all sequences by
+   their normalized distance to the candidate, search for the split that
+   maximizes ``gap = mean(far) - std(far) - (mean(near) + std(near))``
+   subject to a balance constraint on the split sizes;
+3. greedily select the best-gap shapelet, remove the sequences it already
+   separates (the "near" side), and repeat on the remainder until the gap
+   collapses or ``max_shapelets`` is reached;
+4. cluster the resulting ``(n, n_shapelets)`` distance map with Euclidean
+   k-means.
+
+Distances between a shapelet and a sequence use the standard
+length-normalized minimum z-normalized subsequence distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import InvalidParameterError
+from ..preprocessing.normalization import zscore
+from .base import BaseClusterer, ClusterResult
+from .kmeans import TimeSeriesKMeans
+
+__all__ = ["subsequence_distance", "UShapeletClustering", "Shapelet"]
+
+
+@dataclass
+class Shapelet:
+    """A discovered shapelet and its provenance."""
+
+    values: np.ndarray
+    source_index: int
+    start: int
+    gap: float
+
+
+def subsequence_distance(shapelet, series) -> float:
+    """Minimum z-normalized distance from a shapelet to any window of a series.
+
+    Both the shapelet and each window are z-normalized before comparison and
+    the Euclidean distance is normalized by ``sqrt(len(shapelet))`` so that
+    scores are comparable across shapelet lengths.
+
+    Vectorized: all windows are normalized and compared in one matrix
+    product, using ``||z - s||^2 = ||z||^2 + ||s||^2 - 2 z.s`` with both
+    operands z-normalized (norm ``sqrt(len)`` each, or 0 for flat windows).
+    """
+    s = zscore(np.asarray(shapelet, dtype=np.float64))
+    x = np.asarray(series, dtype=np.float64)
+    ls = s.shape[0]
+    if ls > x.shape[0]:
+        raise InvalidParameterError(
+            f"shapelet length {ls} exceeds series length {x.shape[0]}"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(x, ls)
+    mu = windows.mean(axis=1, keepdims=True)
+    sd = windows.std(axis=1)
+    centered = windows - mu
+    dots = centered @ s
+    s_norm_sq = float(np.dot(s, s))
+    # For non-flat windows: ||z||^2 = ls and z.s = dots / sd.
+    flat = sd < 1e-12
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cross = np.where(flat, 0.0, dots / np.where(flat, 1.0, sd))
+    z_norm_sq = np.where(flat, 0.0, float(ls))
+    sq = np.maximum(z_norm_sq + s_norm_sq - 2.0 * cross, 0.0)
+    return float(np.sqrt(sq.min() / ls))
+
+
+def _gap_score(
+    distances: np.ndarray, min_fraction: float
+) -> Tuple[float, float]:
+    """Best gap over all balanced splits of the sorted distance line.
+
+    Returns ``(gap, threshold)``; gap is ``-inf`` when no balanced split
+    exists.
+    """
+    n = distances.shape[0]
+    order = np.sort(distances)
+    lo = max(1, int(np.ceil(min_fraction * n)))
+    hi = n - lo
+    best_gap, best_threshold = -np.inf, np.nan
+    for split in range(lo, hi + 1):
+        near, far = order[:split], order[split:]
+        gap = (far.mean() - far.std()) - (near.mean() + near.std())
+        if gap > best_gap:
+            best_gap = gap
+            best_threshold = (
+                (order[split - 1] + order[split]) / 2.0 if split < n else order[-1]
+            )
+    return best_gap, best_threshold
+
+
+class UShapeletClustering(BaseClusterer):
+    """Clustering through greedily discovered unsupervised shapelets.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters for the final k-means over the distance map.
+    shapelet_lengths:
+        Candidate subsequence lengths; defaults to ~25% and ~40% of the
+        series length.
+    stride:
+        Step between candidate start positions (and a cap on enumeration
+        cost); defaults to ``max(1, m // 16)``.
+    max_source_series:
+        Candidates are drawn from at most this many (randomly chosen)
+        sequences per round.
+    max_shapelets:
+        Upper bound on discovered shapelets.
+    min_fraction:
+        Balance constraint: each side of a split must hold at least this
+        fraction of the remaining sequences.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        shapelet_lengths: Optional[Sequence[int]] = None,
+        stride: Optional[int] = None,
+        max_source_series: int = 10,
+        max_shapelets: int = 5,
+        min_fraction: float = 0.15,
+        random_state=None,
+    ):
+        super().__init__(n_clusters, random_state)
+        self.shapelet_lengths = shapelet_lengths
+        self.stride = stride
+        self.max_source_series = check_positive_int(
+            max_source_series, "max_source_series"
+        )
+        self.max_shapelets = check_positive_int(max_shapelets, "max_shapelets")
+        if not 0.0 < min_fraction < 0.5:
+            raise InvalidParameterError(
+                f"min_fraction must be in (0, 0.5), got {min_fraction}"
+            )
+        self.min_fraction = min_fraction
+        self.shapelets_: List[Shapelet] = []
+
+    # ------------------------------------------------------------------
+    def _candidates(
+        self, X: np.ndarray, active: np.ndarray, rng: np.random.Generator
+    ):
+        """Yield (values, source_index, start) candidate subsequences."""
+        m = X.shape[1]
+        lengths = self.shapelet_lengths or [
+            max(4, int(0.25 * m)), max(4, int(0.4 * m))
+        ]
+        stride = self.stride or max(1, m // 16)
+        sources = active
+        if sources.shape[0] > self.max_source_series:
+            sources = rng.choice(
+                sources, size=self.max_source_series, replace=False
+            )
+        for idx in sources:
+            for length in lengths:
+                if length > m:
+                    continue
+                for start in range(0, m - length + 1, stride):
+                    window = X[idx, start : start + length]
+                    if window.std() < 1e-9:
+                        continue  # flat windows separate nothing
+                    yield window, int(idx), start
+
+    def _discover(self, X: np.ndarray, rng: np.random.Generator) -> List[Shapelet]:
+        n = X.shape[0]
+        active = np.arange(n)
+        shapelets: List[Shapelet] = []
+        while active.shape[0] >= 4 and len(shapelets) < self.max_shapelets:
+            best: Optional[Shapelet] = None
+            best_threshold = np.nan
+            best_dists = None
+            for window, src, start in self._candidates(X, active, rng):
+                dists = np.array([
+                    subsequence_distance(window, X[i]) for i in active
+                ])
+                gap, threshold = _gap_score(dists, self.min_fraction)
+                if best is None or gap > best.gap:
+                    best = Shapelet(window.copy(), src, start, gap)
+                    best_threshold = threshold
+                    best_dists = dists
+            if best is None or best.gap <= 0:
+                break
+            shapelets.append(best)
+            # Drop the separated ("near") sequences and keep mining.
+            keep = best_dists > best_threshold
+            if keep.sum() == active.shape[0] or keep.sum() == 0:
+                break
+            active = active[keep]
+        return shapelets
+
+    def _fit(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
+        shapelets = self._discover(X, rng)
+        if not shapelets:
+            # Degenerate data (e.g., all-flat): everything in one cluster,
+            # remaining clusters repaired to singletons for validity.
+            from .base import repair_empty_clusters
+
+            labels = repair_empty_clusters(
+                np.zeros(X.shape[0], dtype=int), self.n_clusters, rng
+            )
+            return ClusterResult(labels=labels, extra={"shapelets": []})
+        self.shapelets_ = shapelets
+        distance_map = np.column_stack([
+            [subsequence_distance(s.values, row) for row in X]
+            for s in shapelets
+        ])
+        inner = TimeSeriesKMeans(
+            self.n_clusters, metric="ed", n_init=5, random_state=rng
+        )
+        inner.fit(distance_map)
+        assert inner.result_ is not None
+        return ClusterResult(
+            labels=inner.result_.labels,
+            centroids=None,
+            inertia=inner.result_.inertia,
+            n_iter=inner.result_.n_iter,
+            converged=inner.result_.converged,
+            extra={"shapelets": shapelets, "distance_map": distance_map},
+        )

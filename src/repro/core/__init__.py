@@ -1,0 +1,27 @@
+"""The paper's primary contribution: SBD, shape extraction, and k-Shape."""
+
+from .constrained import ConstrainedKShape, merge_must_links
+from .crosscorr import NCC_NORMALIZATIONS, cross_correlation, ncc, ncc_max
+from .kshape import KShape, kshape
+from .minibatch import MiniBatchKShape
+from .sbd import align_to, sbd, sbd_no_fft, sbd_no_pow2, sbd_with_alignment
+from .shape_extraction import align_cluster, shape_extraction
+
+__all__ = [
+    "cross_correlation",
+    "ncc",
+    "ncc_max",
+    "NCC_NORMALIZATIONS",
+    "sbd",
+    "sbd_no_fft",
+    "sbd_no_pow2",
+    "sbd_with_alignment",
+    "align_to",
+    "shape_extraction",
+    "align_cluster",
+    "KShape",
+    "MiniBatchKShape",
+    "ConstrainedKShape",
+    "merge_must_links",
+    "kshape",
+]

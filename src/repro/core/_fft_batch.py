@@ -1,0 +1,77 @@
+"""Vectorized FFT cross-correlation kernels used by k-Shape internally.
+
+These helpers batch the NCCc computation of one reference sequence against
+many sequences at once, which turns k-Shape's assignment and alignment steps
+into a handful of numpy FFT calls per iteration instead of ``n * k``
+individual ones. They are private: the public, per-pair API lives in
+:mod:`repro.core.crosscorr` and :mod:`repro.core.sbd`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..preprocessing.utils import next_power_of_two
+
+__all__ = ["fft_len_for", "rfft_batch", "ncc_c_max_batch"]
+
+
+def fft_len_for(m: int) -> int:
+    """Power-of-two FFT length for series of length ``m`` (Algorithm 1)."""
+    return next_power_of_two(2 * m - 1)
+
+
+def rfft_batch(X: np.ndarray, fft_len: int) -> np.ndarray:
+    """Real FFT of each row of ``X`` padded to ``fft_len``."""
+    return np.fft.rfft(X, fft_len, axis=-1)
+
+
+def ncc_c_max_batch(
+    fft_X: np.ndarray,
+    norms_X: np.ndarray,
+    fft_ref: np.ndarray,
+    norm_ref: float,
+    m: int,
+    fft_len: int,
+    eps: float = 1e-12,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max NCCc (and optimal shift) of a reference against a batch of rows.
+
+    Parameters
+    ----------
+    fft_X:
+        ``(n, fft_len//2 + 1)`` precomputed rFFTs of the batch rows.
+    norms_X:
+        ``(n,)`` L2 norms of the batch rows.
+    fft_ref:
+        rFFT of the reference sequence.
+    norm_ref:
+        L2 norm of the reference sequence.
+    m:
+        Original series length.
+    fft_len:
+        FFT length used for the transforms.
+
+    Returns
+    -------
+    (values, shifts):
+        ``values[i]`` is ``max_w NCCc(row_i, ref)``; ``shifts[i]`` is the lag
+        by which *ref* must be shifted (positive = right) to best align with
+        row ``i``. Rows or references with zero norm yield value 0, shift 0.
+    """
+    cc = np.fft.irfft(fft_X * np.conj(fft_ref), fft_len, axis=-1)
+    if m > 1:
+        full = np.concatenate((cc[:, -(m - 1):], cc[:, :m]), axis=-1)
+    else:
+        full = cc[:, :1]
+    denom = norms_X * norm_ref
+    idx = np.argmax(full, axis=-1)
+    rows = np.arange(full.shape[0])
+    values = full[rows, idx]
+    safe = denom > eps
+    out = np.zeros_like(values)
+    np.divide(values, denom, out=out, where=safe)
+    shifts = np.where(safe, idx - (m - 1), 0)
+    return out, shifts

@@ -1,0 +1,212 @@
+"""Constrained (semi-supervised) k-Shape.
+
+The paper presents clustering as the label-free alternative to costly
+annotation (Section 1) — but partial supervision often exists as pairwise
+hints: *these two recordings are the same event* (must-link), *these two
+are not* (cannot-link). This module extends k-Shape with COP-KMeans-style
+hard constraints:
+
+* must-link pairs are closed transitively into groups that are always
+  assigned together (by their summed SBD to each centroid);
+* cannot-link pairs make a cluster infeasible for a group whenever a
+  conflicting group already sits there in the current assignment pass;
+  groups are processed nearest-first so the confident assignments claim
+  clusters early.
+
+Refinement is unchanged: shape extraction per cluster (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..clustering.base import BaseClusterer, ClusterResult, repair_empty_clusters
+from ..exceptions import ConvergenceWarning, InvalidParameterError
+from ._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
+from .shape_extraction import shape_extraction
+
+__all__ = ["ConstrainedKShape", "merge_must_links"]
+
+
+def merge_must_links(n: int, must_link: Iterable[Tuple[int, int]]) -> np.ndarray:
+    """Transitive closure of must-link pairs: a group id per sequence."""
+    parent = np.arange(n)
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for a, b in must_link:
+        if not (0 <= a < n and 0 <= b < n):
+            raise InvalidParameterError(
+                f"must-link pair ({a}, {b}) out of range for n={n}"
+            )
+        parent[find(int(a))] = find(int(b))
+    roots = np.array([find(i) for i in range(n)])
+    _, groups = np.unique(roots, return_inverse=True)
+    return groups
+
+
+class ConstrainedKShape(BaseClusterer):
+    """k-Shape with hard must-link / cannot-link constraints.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    must_link, cannot_link:
+        Iterables of index pairs. Must-links are closed transitively; a
+        cannot-link between (members of) two must-link groups makes the
+        constraint set infeasible and raises at ``fit``.
+    max_iter:
+        Iteration cap.
+
+    Notes
+    -----
+    Assignment is greedy per must-link group (nearest-first); if every
+    cluster is blocked for some group by cannot-links, the group falls back
+    to its unconstrained nearest cluster with a warning — preferring a
+    soft violation over a crash mid-stream.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        must_link: Sequence[Tuple[int, int]] = (),
+        cannot_link: Sequence[Tuple[int, int]] = (),
+        max_iter: int = 100,
+        random_state=None,
+    ):
+        super().__init__(n_clusters, random_state)
+        self.must_link = [tuple(p) for p in must_link]
+        self.cannot_link = [tuple(p) for p in cannot_link]
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+
+    # ------------------------------------------------------------------
+    def _group_structures(self, n: int):
+        groups = merge_must_links(n, self.must_link)
+        n_groups = int(groups.max()) + 1
+        members: List[np.ndarray] = [
+            np.flatnonzero(groups == g) for g in range(n_groups)
+        ]
+        conflicts: List[set] = [set() for _ in range(n_groups)]
+        for a, b in self.cannot_link:
+            if not (0 <= a < n and 0 <= b < n):
+                raise InvalidParameterError(
+                    f"cannot-link pair ({a}, {b}) out of range for n={n}"
+                )
+            ga, gb = groups[a], groups[b]
+            if ga == gb:
+                raise InvalidParameterError(
+                    f"infeasible constraints: ({a}, {b}) are cannot-linked "
+                    "but connected by must-links"
+                )
+            conflicts[ga].add(int(gb))
+            conflicts[gb].add(int(ga))
+        return groups, members, conflicts
+
+    def _assign_groups(
+        self,
+        dists: np.ndarray,
+        members: List[np.ndarray],
+        conflicts: List[set],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Greedy constrained assignment of groups to clusters."""
+        n_groups = len(members)
+        k = dists.shape[1]
+        group_dists = np.stack([dists[m].sum(axis=0) for m in members])
+        # Nearest-first ordering: confident groups claim clusters early.
+        order = np.argsort(group_dists.min(axis=1))
+        group_assign = np.full(n_groups, -1)
+        violated = False
+        for g in order:
+            taken = {group_assign[other] for other in conflicts[g]
+                     if group_assign[other] >= 0}
+            choices = np.argsort(group_dists[g])
+            placed = False
+            for cluster in choices:
+                if int(cluster) not in taken:
+                    group_assign[g] = int(cluster)
+                    placed = True
+                    break
+            if not placed:  # every cluster blocked: soft-violate
+                group_assign[g] = int(choices[0])
+                violated = True
+        if violated:
+            warnings.warn(
+                "cannot-link constraints could not all be satisfied this "
+                "iteration; nearest-cluster fallback used",
+                ConvergenceWarning,
+                stacklevel=3,
+            )
+        labels = np.empty(sum(m.shape[0] for m in members), dtype=int)
+        for g, m in enumerate(members):
+            labels[m] = group_assign[g]
+        return labels
+
+    def _fit(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
+        n, m = X.shape
+        k = self.n_clusters
+        groups, members, conflicts = self._group_structures(n)
+        fft_len = fft_len_for(m)
+        fft_X = rfft_batch(X, fft_len)
+        norms = np.linalg.norm(X, axis=1)
+        # Initial memberships: random per group, conflicts repaired by the
+        # first constrained assignment pass below.
+        labels = rng.integers(0, k, size=n)
+        for g, mem in enumerate(members):
+            labels[mem] = labels[mem[0]]
+        labels = repair_empty_clusters(labels, k, rng)
+        centroids = np.zeros((k, m))
+        converged = False
+        n_iter = 0
+        dists = np.zeros((n, k))
+        for n_iter in range(1, self.max_iter + 1):
+            previous = labels
+            for j in range(k):
+                cluster_members = X[labels == j]
+                if cluster_members.shape[0] == 0:
+                    continue
+                centroids[j] = shape_extraction(
+                    cluster_members, reference=centroids[j]
+                )
+            for j in range(k):
+                values, _ = ncc_c_max_batch(
+                    fft_X, norms,
+                    np.fft.rfft(centroids[j], fft_len),
+                    float(np.linalg.norm(centroids[j])),
+                    m, fft_len,
+                )
+                dists[:, j] = 1.0 - values
+            labels = self._assign_groups(dists, members, conflicts, rng)
+            labels = repair_empty_clusters(labels, k, rng)
+            # Repair may split a must-link group; restore group atomicity.
+            for mem in members:
+                if np.unique(labels[mem]).shape[0] > 1:
+                    labels[mem] = labels[mem[0]]
+            if np.array_equal(labels, previous):
+                converged = True
+                break
+        if not converged:
+            warnings.warn(
+                f"ConstrainedKShape did not converge in {self.max_iter} "
+                "iterations",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        inertia = float(np.sum(dists[np.arange(n), labels] ** 2))
+        return ClusterResult(
+            labels=labels,
+            centroids=centroids.copy(),
+            inertia=inertia,
+            n_iter=n_iter,
+            converged=converged,
+            extra={"groups": groups},
+        )

@@ -1,0 +1,164 @@
+"""Cross-correlation and its normalizations (paper Section 3.1).
+
+The paper builds its shape-based distance on the cross-correlation sequence
+``CC_w(x, y) = R_{w-m}(x, y)`` for ``w`` in ``{1, ..., 2m-1}`` (Equations
+6-7), where ``R_k`` is the inner product of ``y`` with ``x`` shifted by
+``k`` positions (zero-padded, Equation 5). Three normalizations are studied
+(Equation 8):
+
+* ``NCCb`` — the *biased* estimator, dividing by ``m``;
+* ``NCCu`` — the *unbiased* estimator, dividing by ``m - |lag|``;
+* ``NCCc`` — the *coefficient* normalization, dividing by the geometric
+  mean of the autocorrelations ``sqrt(R_0(x,x) * R_0(y,y))``, which bounds
+  values in [-1, 1] and is the one SBD adopts.
+
+Computation is offered three ways, mirroring the paper's Table 2 ablation:
+the naive O(m^2) inner-product method (``method="direct"``), the FFT-based
+O(m log m) method (``method="fft"``), and the FFT method with power-of-two
+padding (the default, Algorithm 1 line 1).
+
+Indexing convention: returned cross-correlation sequences are 0-indexed
+numpy arrays of length ``2m - 1``; index ``i`` holds lag ``k = i - (m - 1)``
+(so the center index ``m - 1`` is the zero-lag inner product). The paper's
+1-indexed position ``w`` equals ``i + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import as_series, check_equal_length
+from ..exceptions import InvalidParameterError
+from ..preprocessing.utils import next_power_of_two
+
+__all__ = [
+    "cross_correlation",
+    "ncc",
+    "ncc_max",
+    "NCC_NORMALIZATIONS",
+]
+
+NCC_NORMALIZATIONS = ("b", "u", "c")
+
+
+def _cc_direct(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """O(m^2) cross-correlation via explicit inner products (Equation 7)."""
+    return np.correlate(x, y, mode="full")
+
+
+def _cc_fft(x: np.ndarray, y: np.ndarray, power_of_two: bool) -> np.ndarray:
+    """O(m log m) cross-correlation via the convolution theorem (Equation 12)."""
+    m = x.shape[0]
+    size = 2 * m - 1
+    fft_len = next_power_of_two(size) if power_of_two else size
+    fx = np.fft.rfft(x, fft_len)
+    fy = np.fft.rfft(y, fft_len)
+    cc = np.fft.irfft(fx * np.conj(fy), fft_len)
+    # Circular correlation: lag k >= 0 lives at index k, lag k < 0 at
+    # index fft_len + k. Reorder to the "full" layout with lag -(m-1) first.
+    return np.concatenate((cc[-(m - 1):], cc[:m])) if m > 1 else cc[:1].copy()
+
+
+def cross_correlation(
+    x,
+    y,
+    method: str = "fft",
+    power_of_two: bool = True,
+) -> np.ndarray:
+    """Full cross-correlation sequence of two equal-length series.
+
+    Parameters
+    ----------
+    x, y:
+        1-D series of equal length ``m``.
+    method:
+        ``"fft"`` uses the convolution theorem (Equation 12);
+        ``"direct"`` evaluates Equation 7 explicitly. Both produce the same
+        values up to floating-point error.
+    power_of_two:
+        With ``method="fft"``, pad the transforms to the next power-of-two
+        length after ``2m - 1`` (Algorithm 1). Ignored for ``"direct"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length ``2m - 1`` array; index ``i`` holds lag ``i - (m - 1)``.
+    """
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    check_equal_length(xv, yv)
+    if method == "fft":
+        return _cc_fft(xv, yv, power_of_two)
+    if method == "direct":
+        return _cc_direct(xv, yv)
+    raise InvalidParameterError(
+        f"method must be 'fft' or 'direct', got {method!r}"
+    )
+
+
+def ncc(
+    x,
+    y,
+    norm: str = "c",
+    method: str = "fft",
+    power_of_two: bool = True,
+    eps: float = 1e-12,
+) -> np.ndarray:
+    """Normalized cross-correlation sequence (Equation 8).
+
+    Parameters
+    ----------
+    norm:
+        One of ``"b"`` (biased), ``"u"`` (unbiased), ``"c"`` (coefficient).
+    eps:
+        Guard threshold: with ``norm="c"``, if either autocorrelation is
+        (numerically) zero the sequence is all zeros, mirroring the
+        convention that a flat series correlates with nothing.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length ``2m - 1`` normalized cross-correlation sequence.
+    """
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    check_equal_length(xv, yv)
+    if norm not in NCC_NORMALIZATIONS:
+        raise InvalidParameterError(
+            f"norm must be one of {NCC_NORMALIZATIONS}, got {norm!r}"
+        )
+    cc = cross_correlation(xv, yv, method=method, power_of_two=power_of_two)
+    m = xv.shape[0]
+    if norm == "b":
+        return cc / m
+    if norm == "u":
+        lags = np.abs(np.arange(2 * m - 1) - (m - 1))
+        return cc / (m - lags)
+    denom = np.sqrt(np.dot(xv, xv) * np.dot(yv, yv))
+    if denom < eps:
+        return np.zeros_like(cc)
+    return cc / denom
+
+
+def ncc_max(
+    x,
+    y,
+    norm: str = "c",
+    method: str = "fft",
+    power_of_two: bool = True,
+) -> Tuple[float, int]:
+    """Peak of the normalized cross-correlation and the shift achieving it.
+
+    Returns
+    -------
+    (value, shift):
+        ``value`` is the maximum of the NCC sequence; ``shift`` is the lag
+        ``s = argmax - (m - 1)``, i.e. the number of positions ``y`` must be
+        shifted (positive = right) to best align with ``x``.
+    """
+    seq = ncc(x, y, norm=norm, method=method, power_of_two=power_of_two)
+    idx = int(np.argmax(seq))
+    m = (seq.shape[0] + 1) // 2
+    return float(seq[idx]), idx - (m - 1)

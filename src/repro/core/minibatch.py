@@ -1,0 +1,202 @@
+"""Mini-batch k-Shape for large or streaming collections (extension).
+
+k-Shape's per-iteration cost is linear in ``n`` (Appendix B), but every
+iteration still touches the whole dataset. For ``n`` far beyond memory — or
+for sequences arriving as a stream — this module provides a mini-batch
+variant in the spirit of mini-batch k-means:
+
+* centroids are seeded from a first batch with a few full k-Shape
+  iterations;
+* each subsequent batch is assigned to the closest centroid under SBD and
+  appended to a bounded per-cluster **reservoir**; the affected centroids
+  are refreshed by shape extraction over their reservoir;
+* :meth:`MiniBatchKShape.partial_fit` exposes the same update for
+  caller-driven streams, and :meth:`predict` assigns new sequences without
+  touching the centroids.
+
+The reservoir bound makes each update O(batch + k * reservoir) regardless
+of how much data has streamed past.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Optional
+
+import numpy as np
+
+from .._validation import as_dataset, as_rng, check_n_clusters, check_positive_int
+from ..clustering.base import ClusterResult
+from ..exceptions import ConvergenceWarning, NotFittedError
+from ._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
+from .kshape import KShape
+from .shape_extraction import shape_extraction
+
+__all__ = ["MiniBatchKShape"]
+
+
+class MiniBatchKShape:
+    """Streaming / mini-batch variant of k-Shape.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    batch_size:
+        Sequences drawn per mini-batch in :meth:`fit`.
+    n_batches:
+        Mini-batch updates performed by :meth:`fit` after seeding.
+    reservoir_size:
+        Maximum members retained per cluster for centroid refreshes; older
+        members are evicted FIFO.
+    seed_iter:
+        Full k-Shape iterations used to seed centroids from the first batch.
+    random_state:
+        Seed or Generator driving batch sampling and seeding.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        batch_size: int = 64,
+        n_batches: int = 20,
+        reservoir_size: int = 128,
+        seed_iter: int = 5,
+        random_state=None,
+    ):
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.n_batches = check_positive_int(n_batches, "n_batches")
+        self.reservoir_size = check_positive_int(reservoir_size, "reservoir_size")
+        self.seed_iter = check_positive_int(seed_iter, "seed_iter")
+        self.random_state = random_state
+        self.centroids_: Optional[np.ndarray] = None
+        self._reservoirs: Optional[List[np.ndarray]] = None
+        self._rng = None
+        self.n_seen_: int = 0
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> np.ndarray:
+        if self.centroids_ is None:
+            raise NotFittedError(
+                "MiniBatchKShape has no centroids yet; call fit or partial_fit"
+            )
+        return self.centroids_
+
+    def _assign(self, X: np.ndarray) -> np.ndarray:
+        """Closest-centroid labels for a batch under SBD."""
+        centroids = self._require_fitted()
+        n, m = X.shape
+        fft_len = fft_len_for(m)
+        fft_X = rfft_batch(X, fft_len)
+        norms = np.linalg.norm(X, axis=1)
+        dists = np.empty((n, self.n_clusters))
+        for j in range(self.n_clusters):
+            values, _ = ncc_c_max_batch(
+                fft_X, norms,
+                np.fft.rfft(centroids[j], fft_len),
+                float(np.linalg.norm(centroids[j])),
+                m, fft_len,
+            )
+            dists[:, j] = 1.0 - values
+        return np.argmin(dists, axis=1)
+
+    def _seed(self, batch: np.ndarray, rng: np.random.Generator) -> None:
+        k = check_n_clusters(self.n_clusters, batch.shape[0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            seeder = KShape(k, max_iter=self.seed_iter, random_state=rng)
+            seeder.fit(batch)
+        self.centroids_ = seeder.centroids_.copy()
+        self._reservoirs = [
+            batch[seeder.labels_ == j][-self.reservoir_size:].copy()
+            for j in range(k)
+        ]
+
+    def partial_fit(self, X) -> "MiniBatchKShape":
+        """Consume one batch of sequences, updating centroids incrementally.
+
+        The first call seeds the centroids (it must contain at least
+        ``n_clusters`` sequences); later calls may be any size >= 1.
+        """
+        batch = as_dataset(X, "X")
+        if self._rng is None:
+            self._rng = as_rng(self.random_state)
+        if self.centroids_ is None:
+            self._seed(batch, self._rng)
+            self.n_seen_ += batch.shape[0]
+            return self
+        if batch.shape[1] != self.centroids_.shape[1]:
+            from ..exceptions import ShapeMismatchError
+
+            raise ShapeMismatchError(
+                f"batch length {batch.shape[1]} does not match centroids "
+                f"({self.centroids_.shape[1]})"
+            )
+        labels = self._assign(batch)
+        for j in np.unique(labels):
+            members = batch[labels == j]
+            pool = np.vstack([self._reservoirs[j], members])
+            self._reservoirs[j] = pool[-self.reservoir_size:]
+            self.centroids_[j] = shape_extraction(
+                self._reservoirs[j], reference=self.centroids_[j]
+            )
+        self.n_seen_ += batch.shape[0]
+        return self
+
+    def fit(self, X) -> "MiniBatchKShape":
+        """Fit by sampling ``n_batches`` mini-batches from ``X``."""
+        data = as_dataset(X, "X")
+        check_n_clusters(self.n_clusters, data.shape[0])
+        self._rng = as_rng(self.random_state)
+        self.centroids_ = None
+        self._reservoirs = None
+        self.n_seen_ = 0
+        n = data.shape[0]
+        size = min(self.batch_size, n)
+        first = self._rng.choice(n, size=max(size, self.n_clusters),
+                                 replace=False)
+        self.partial_fit(data[first])
+        for _ in range(self.n_batches):
+            idx = self._rng.choice(n, size=size, replace=False)
+            self.partial_fit(data[idx])
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Assign sequences to the current centroids (no update)."""
+        data = as_dataset(X, "X")
+        return self._assign(data)
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit on mini-batches of ``X``, then label all of ``X``."""
+        return self.fit(X).predict(X)
+
+    def result(self, X) -> ClusterResult:
+        """Package a final assignment of ``X`` as a :class:`ClusterResult`."""
+        data = as_dataset(X, "X")
+        labels = self._assign(data)
+        centroids = self._require_fitted()
+        n, m = data.shape
+        fft_len = fft_len_for(m)
+        fft_X = rfft_batch(data, fft_len)
+        norms = np.linalg.norm(data, axis=1)
+        inertia = 0.0
+        for j in range(self.n_clusters):
+            members = labels == j
+            if not members.any():
+                continue
+            values, _ = ncc_c_max_batch(
+                fft_X[members], norms[members],
+                np.fft.rfft(centroids[j], fft_len),
+                float(np.linalg.norm(centroids[j])),
+                m, fft_len,
+            )
+            inertia += float(np.sum((1.0 - values) ** 2))
+        return ClusterResult(
+            labels=labels,
+            centroids=centroids.copy(),
+            inertia=inertia,
+            n_iter=self.n_batches,
+            converged=True,
+            extra={"n_seen": self.n_seen_},
+        )

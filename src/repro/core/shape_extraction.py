@@ -1,0 +1,116 @@
+"""Shape extraction: centroid computation for SBD (paper Section 3.2, Alg. 2).
+
+Given the sequences of a cluster, the centroid is the maximizer of the sum
+of squared normalized cross-correlations to all members (Equation 13). The
+paper reduces this — after aligning every member toward a reference
+sequence — to maximizing the Rayleigh quotient of
+
+    M = Q^T S Q,   S = X'^T X',   Q = I - (1/m) O
+
+where ``X'`` stacks the aligned members, ``I`` is the identity and ``O``
+the all-ones matrix (Equation 15). The maximizer is the eigenvector of the
+largest eigenvalue of the real symmetric matrix ``M``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.linalg import eigh
+
+from .._validation import as_dataset, as_series
+from ..exceptions import ShapeMismatchError
+from ..preprocessing.normalization import zscore
+from ..preprocessing.utils import shift_series
+from ._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
+
+__all__ = ["shape_extraction", "align_cluster"]
+
+
+def align_cluster(X, reference) -> np.ndarray:
+    """Align each row of ``X`` toward ``reference`` using SBD's optimal shift.
+
+    A zero reference (as in k-Shape's very first iteration, where centroids
+    are initialized to all-zero vectors) leaves the sequences untouched:
+    cross-correlation against a flat series carries no alignment signal.
+
+    The alignment is computed with one batched FFT cross-correlation rather
+    than per-pair calls, so aligning a whole cluster costs a few numpy FFTs.
+    """
+    data = as_dataset(X, "X")
+    ref = as_series(reference, "reference")
+    if data.shape[1] != ref.shape[0]:
+        raise ShapeMismatchError(
+            f"reference length {ref.shape[0]} does not match series length "
+            f"{data.shape[1]}"
+        )
+    if not np.any(ref):
+        return data.copy()
+    m = data.shape[1]
+    fft_len = fft_len_for(m)
+    fft_rows = rfft_batch(data, fft_len)
+    norms = np.linalg.norm(data, axis=1)
+    fft_ref = np.fft.rfft(ref, fft_len)
+    norm_ref = float(np.linalg.norm(ref))
+    # ncc_c_max_batch returns the lag shifting *ref* toward each row; the
+    # member must move by the opposite lag to meet the reference.
+    _, shifts = ncc_c_max_batch(fft_rows, norms, fft_ref, norm_ref, m, fft_len)
+    aligned = np.empty_like(data)
+    for i in range(data.shape[0]):
+        aligned[i] = shift_series(data[i], -int(shifts[i]))
+    return aligned
+
+
+def shape_extraction(
+    X,
+    reference: Optional[np.ndarray] = None,
+    znormalize: bool = True,
+) -> np.ndarray:
+    """Extract the most representative shape of a set of series (Algorithm 2).
+
+    Parameters
+    ----------
+    X:
+        ``(n, m)`` stack of (z-normalized) series forming one cluster.
+    reference:
+        Sequence the members are aligned toward before the eigendecomposition
+        — in k-Shape, the centroid from the previous iteration. ``None`` (or
+        an all-zero reference) skips alignment.
+    znormalize:
+        z-normalize the extracted centroid before returning it, so the
+        centroid lives in the same normalized space as the data. The raw
+        eigenvector has unit L2 norm; rescaling does not change any
+        SBD/NCCc comparison because the coefficient normalization is
+        scale-invariant.
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D centroid of length ``m``.
+    """
+    data = as_dataset(X, "X")
+    n, m = data.shape
+    if reference is not None:
+        data = align_cluster(data, reference)
+    if n == 1:
+        only = data[0]
+        return zscore(only) if znormalize else only.copy()
+
+    # Re-z-normalize after alignment: zero-padded shifting perturbs each
+    # member's mean and norm, which would otherwise down-weight heavily
+    # shifted members in the scatter matrix (the reference implementation
+    # does the same).
+    data = zscore(data)
+    s_matrix = data.T @ data                                # S = X'^T X'
+    q_matrix = np.eye(m) - np.ones((m, m)) / m              # Q = I - O/m
+    m_matrix = q_matrix.T @ s_matrix @ q_matrix             # M = Q^T S Q
+    # Largest-eigenvalue eigenvector of the real symmetric matrix M.
+    _, vecs = eigh(m_matrix, subset_by_index=[m - 1, m - 1])
+    centroid = vecs[:, 0]
+
+    # Eigenvectors are sign-ambiguous: pick the orientation that correlates
+    # positively with the cluster's mean shape.
+    if np.dot(centroid, data.mean(axis=0)) < 0:
+        centroid = -centroid
+    return zscore(centroid) if znormalize else centroid

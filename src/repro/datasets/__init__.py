@@ -1,0 +1,65 @@
+"""Datasets: synthetic UCR-style archive, CBF, ECG, and real-UCR loaders."""
+
+from .archive import ARCHIVE_SEED, list_datasets, load_archive, load_dataset
+from .base import Dataset
+from .cbf import CBF_CLASSES, cbf_instance, make_cbf, make_cbf_dataset
+from .ecg import ecg_beat, make_ecg_dataset, make_ecg_five_days
+from .generators import (
+    chirp,
+    double_pulse,
+    gaussian_pulse,
+    make_labeled_set,
+    ramp,
+    sawtooth_wave,
+    sine_wave,
+    smooth_random_warp,
+    square_wave,
+    step_function,
+    triangle_wave,
+)
+from .io import (
+    export_ucr_format,
+    load_result,
+    load_saved_dataset,
+    save_dataset,
+    save_result,
+)
+from .split import as_split_dataset, stratified_split
+from .streams import replay_stream
+from .ucr import load_ucr_dataset, read_ucr_file
+
+__all__ = [
+    "Dataset",
+    "list_datasets",
+    "load_dataset",
+    "load_archive",
+    "ARCHIVE_SEED",
+    "make_cbf",
+    "make_cbf_dataset",
+    "cbf_instance",
+    "CBF_CLASSES",
+    "make_ecg_five_days",
+    "make_ecg_dataset",
+    "ecg_beat",
+    "make_labeled_set",
+    "sine_wave",
+    "square_wave",
+    "triangle_wave",
+    "sawtooth_wave",
+    "gaussian_pulse",
+    "double_pulse",
+    "step_function",
+    "ramp",
+    "chirp",
+    "smooth_random_warp",
+    "load_ucr_dataset",
+    "read_ucr_file",
+    "save_dataset",
+    "load_saved_dataset",
+    "export_ucr_format",
+    "save_result",
+    "load_result",
+    "replay_stream",
+    "stratified_split",
+    "as_split_dataset",
+]

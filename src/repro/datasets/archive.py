@@ -1,0 +1,390 @@
+"""The synthetic archive standing in for the UCR collection (paper Section 4).
+
+The UCR archive is not redistributable, so the evaluation runs over 30
+seeded synthetic datasets spanning the same axes: 2-5 classes, lengths
+32-512, tens-to-hundreds of sequences, and pattern families exercising the
+Section 2.2 distortions (phase shift, local warping, event position/width,
+frequency content, trends, noise). Every dataset is deterministic in its
+seed, z-normalized per sequence, and split into train/test like UCR.
+
+Use :func:`list_datasets` for the names, :func:`load_dataset` for one
+dataset, and :func:`load_archive` for the whole suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .._validation import as_rng
+from ..exceptions import UnknownNameError
+from .base import Dataset
+from .cbf import make_cbf
+from .ecg import make_ecg_five_days
+from .generators import (
+    chirp,
+    double_pulse,
+    gaussian_pulse,
+    make_labeled_set,
+    ramp,
+    sawtooth_wave,
+    sine_wave,
+    square_wave,
+    step_function,
+    triangle_wave,
+)
+
+__all__ = ["list_datasets", "load_dataset", "load_archive", "ARCHIVE_SEED"]
+
+ARCHIVE_SEED = 20150531  # SIGMOD'15 started May 31, 2015.
+
+
+# ---------------------------------------------------------------------------
+# Class-maker factories. Each returns ``maker(t, rng) -> values`` with the
+# within-class randomness (phase, position, width, ...) drawn from ``rng``.
+# ---------------------------------------------------------------------------
+
+def _periodic(pattern, freq: float, max_phase: float = 1.0):
+    def maker(t, rng):
+        return pattern(t, freq=freq, phase=rng.uniform(0.0, max_phase))
+
+    return maker
+
+
+def _harmonic_mix(weights: Tuple[float, ...], max_phase: float = 1.0):
+    def maker(t, rng):
+        phase = rng.uniform(0.0, max_phase)
+        out = np.zeros_like(t)
+        for h, w in enumerate(weights, start=1):
+            out += w * sine_wave(t, freq=h, phase=h * phase)
+        return out
+
+    return maker
+
+
+def _pulse(center: float, width: float, jitter: float = 0.05):
+    def maker(t, rng):
+        c = center + rng.uniform(-jitter, jitter)
+        w = width * rng.uniform(0.8, 1.25)
+        return gaussian_pulse(t, c, w)
+
+    return maker
+
+
+def _double_pulse(spacing: float, jitter: float = 0.04):
+    def maker(t, rng):
+        first = rng.uniform(0.15, 0.45)
+        gap = spacing + rng.uniform(-jitter, jitter)
+        return double_pulse(
+            t, centers=(first, min(first + gap, 0.95)), widths=(0.05, 0.05)
+        )
+
+    return maker
+
+
+def _two_events(first_up: bool, second_up: bool):
+    def maker(t, rng):
+        p1 = rng.uniform(0.15, 0.35)
+        p2 = rng.uniform(0.55, 0.8)
+        s1 = 1.0 if first_up else -1.0
+        s2 = 1.0 if second_up else -1.0
+        return s1 * gaussian_pulse(t, p1, 0.04) + s2 * gaussian_pulse(t, p2, 0.04)
+
+    return maker
+
+
+def _step(direction: float, lo: float = 0.3, hi: float = 0.7):
+    def maker(t, rng):
+        return direction * step_function(t, rng.uniform(lo, hi))
+
+    return maker
+
+
+def _ramp(up: bool):
+    def maker(t, rng):
+        start = rng.uniform(0.1, 0.3)
+        end = rng.uniform(0.6, 0.9)
+        r = ramp(t, start, end)
+        return r if up else 1.0 - r
+
+    return maker
+
+
+def _chirp(up: bool):
+    def maker(t, rng):
+        f0 = rng.uniform(0.8, 1.2)
+        f1 = rng.uniform(5.0, 7.0)
+        return chirp(t, f0, f1) if up else chirp(t, f1, f0)
+
+    return maker
+
+
+def _trend(slope: float, season_freq: float = 3.0, season_amp: float = 0.4):
+    def maker(t, rng):
+        phase = rng.uniform(0.0, 1.0)
+        return slope * t + season_amp * sine_wave(t, season_freq, phase)
+
+    return maker
+
+
+def _am_signal(modulated: bool):
+    def maker(t, rng):
+        phase = rng.uniform(0.0, 1.0)
+        carrier = sine_wave(t, 8.0, phase)
+        if not modulated:
+            return carrier
+        envelope = 0.5 * (1.0 + sine_wave(t, 1.0, rng.uniform(0.0, 1.0)))
+        return envelope * carrier
+
+    return maker
+
+
+def _random_walk(smooth: bool):
+    def maker(t, rng):
+        steps = rng.normal(0.0, 1.0, t.shape[0])
+        walk = np.cumsum(steps)
+        if smooth:
+            kernel = np.ones(5) / 5.0
+            walk = np.convolve(walk, kernel, mode="same")
+        else:
+            walk = steps  # white noise: rough complexity class
+        return walk
+
+    return maker
+
+
+def _spike_train(rate: float):
+    def maker(t, rng):
+        m = t.shape[0]
+        out = np.zeros(m)
+        n_spikes = max(1, rng.poisson(rate))
+        positions = rng.integers(0, m, size=n_spikes)
+        out[positions] = rng.uniform(0.8, 1.2, size=n_spikes)
+        return out
+
+    return maker
+
+
+def _duty_cycle(duty: float):
+    def maker(t, rng):
+        phase = rng.uniform(0.0, 1.0)
+        cycle = np.mod(2.0 * t + phase, 1.0)
+        return np.where(cycle < duty, 1.0, -1.0)
+
+    return maker
+
+
+def _damped(growing: bool):
+    def maker(t, rng):
+        phase = rng.uniform(0.0, 0.3)
+        envelope = np.exp((2.0 if growing else -2.0) * t)
+        return envelope * sine_wave(t, 4.0, phase)
+
+    return maker
+
+
+def _freq_trend(freq: float, slope: float):
+    def maker(t, rng):
+        phase = rng.uniform(0.0, 1.0)
+        return slope * t + sine_wave(t, freq, phase)
+
+    return maker
+
+
+def _plateau(width: float):
+    def maker(t, rng):
+        start = rng.uniform(0.1, 0.9 - width)
+        return np.where((t >= start) & (t <= start + width), 1.0, 0.0)
+
+    return maker
+
+
+# ---------------------------------------------------------------------------
+# Dataset builders.
+# ---------------------------------------------------------------------------
+
+def _from_makers(
+    name: str,
+    makers,
+    n_train_pc: int,
+    n_test_pc: int,
+    length: int,
+    noise: float,
+    seed: int,
+    warp: float = 0.0,
+    family: str = "synthetic",
+) -> Dataset:
+    rng = as_rng(seed)
+    X_train, y_train = make_labeled_set(
+        makers, n_train_pc, length, noise=noise, warp_strength=warp, rng=rng
+    )
+    X_test, y_test = make_labeled_set(
+        makers, n_test_pc, length, noise=noise, warp_strength=warp, rng=rng
+    )
+    return Dataset.from_raw(
+        name,
+        X_train,
+        y_train,
+        X_test,
+        y_test,
+        metadata={
+            "family": family,
+            "seed": seed,
+            "noise": noise,
+            "warp": warp,
+        },
+    )
+
+
+def _ecg_builder(name: str, seed: int, max_phase: float, n_tr: int, n_te: int) -> Dataset:
+    rng = as_rng(seed)
+    X_train, y_train = make_ecg_five_days(n_tr, 136, 0.12, max_phase, rng)
+    X_test, y_test = make_ecg_five_days(n_te, 136, 0.12, max_phase, rng)
+    return Dataset.from_raw(
+        name, X_train, y_train, X_test, y_test,
+        metadata={"family": "ecg", "seed": seed, "max_phase": max_phase},
+    )
+
+
+def _cbf_builder(name: str, seed: int, n_tr: int, n_te: int, length: int) -> Dataset:
+    rng = as_rng(seed)
+    X_train, y_train = make_cbf(n_tr, length, rng)
+    X_test, y_test = make_cbf(n_te, length, rng)
+    return Dataset.from_raw(
+        name, X_train, y_train, X_test, y_test,
+        metadata={"family": "cbf", "seed": seed},
+    )
+
+
+def _spec(name, makers, n_tr, n_te, length, noise, warp=0.0, family="synthetic"):
+    return (
+        name,
+        lambda seed: _from_makers(
+            name, makers, n_tr, n_te, length, noise, seed, warp, family
+        ),
+    )
+
+
+def _build_specs() -> List[Tuple[str, Callable[[int], Dataset]]]:
+    specs: List[Tuple[str, Callable[[int], Dataset]]] = [
+        # Periodic families — strong phase shift, SBD/DTW territory.
+        _spec("SineSquare", [_periodic(sine_wave, 2), _periodic(square_wave, 2)],
+              10, 30, 64, 0.25),
+        _spec("TriSaw", [_periodic(triangle_wave, 2), _periodic(sawtooth_wave, 2)],
+              10, 30, 64, 0.2),
+        _spec("Waves4", [_periodic(sine_wave, 2), _periodic(square_wave, 2),
+                         _periodic(triangle_wave, 2), _periodic(sawtooth_wave, 2)],
+              8, 20, 96, 0.2),
+        _spec("FreqSines", [_periodic(sine_wave, f) for f in (1, 2, 3)],
+              8, 25, 96, 0.3),
+        _spec("Harmonics", [_harmonic_mix((1.0,)), _harmonic_mix((1.0, 0.7)),
+                            _harmonic_mix((1.0, 0.0, 0.7))],
+              8, 25, 128, 0.25),
+        _spec("NoisySines", [_periodic(sine_wave, 2), _periodic(triangle_wave, 2)],
+              12, 35, 64, 0.6),
+        _spec("LongSines", [_periodic(sine_wave, 3), _harmonic_mix((1.0, 0.6))],
+              6, 14, 512, 0.3),
+        _spec("ShortWaves", [_periodic(sine_wave, 1), _periodic(square_wave, 1),
+                             _periodic(sawtooth_wave, 1)],
+              10, 30, 32, 0.25),
+        # Event-position / width families — GunPoint-like.
+        _spec("PulsePosition", [_pulse(0.3, 0.06), _pulse(0.7, 0.06)],
+              10, 30, 128, 0.2, family="events"),
+        _spec("PulseWidth", [_pulse(0.5, 0.04, jitter=0.1),
+                             _pulse(0.5, 0.14, jitter=0.1)],
+              10, 30, 128, 0.2, family="events"),
+        _spec("Bumps5", [_pulse(c, 0.05) for c in (0.15, 0.32, 0.5, 0.68, 0.85)],
+              6, 18, 128, 0.2, family="events"),
+        _spec("DoublePulse", [_double_pulse(s) for s in (0.2, 0.35, 0.5)],
+              8, 24, 128, 0.2, family="events"),
+        _spec("TwoPatterns", [_two_events(a, b) for a in (True, False)
+                              for b in (True, False)],
+              8, 20, 128, 0.25, family="events"),
+        _spec("Steps3", [_step(1.0), _step(-1.0), _double_pulse(0.3)],
+              8, 24, 96, 0.25, family="events"),
+        _spec("Ramps", [_ramp(True), _ramp(False)],
+              10, 30, 96, 0.25, family="events"),
+        # Frequency-sweep and modulation families.
+        _spec("Chirps", [_chirp(True), _chirp(False)],
+              10, 30, 128, 0.3, family="spectral"),
+        _spec("AMSignals", [_am_signal(True), _am_signal(False)],
+              10, 30, 128, 0.3, family="spectral"),
+        # Trend/seasonality families.
+        _spec("Trends3", [_trend(3.0), _trend(0.0), _trend(-3.0)],
+              8, 24, 96, 0.3, family="trend"),
+        _spec("SeasonalTrend", [_trend(s, f) for s in (2.5, -2.5)
+                                for f in (2.0, 5.0)],
+              6, 18, 128, 0.3, family="trend"),
+        # Locally warped families — cDTW/DTW territory.
+        _spec("WarpedSines", [_periodic(sine_wave, 2, 0.15),
+                              _periodic(square_wave, 2, 0.15)],
+              10, 30, 96, 0.2, warp=0.06, family="warped"),
+        _spec("WarpedPulses", [_pulse(0.35, 0.07, jitter=0.03),
+                               _pulse(0.65, 0.07, jitter=0.03)],
+              10, 30, 96, 0.2, warp=0.08, family="warped"),
+        # Complexity / stochastic-structure families.
+        _spec("RandomWalks", [_random_walk(True), _random_walk(False)],
+              10, 30, 128, 0.1, family="stochastic"),
+        _spec("SpikeTrains", [_spike_train(r) for r in (3.0, 10.0, 25.0)],
+              8, 24, 128, 0.05, family="stochastic"),
+        # Waveform-structure families.
+        _spec("DutyCycle", [_duty_cycle(0.2), _duty_cycle(0.5)],
+              10, 30, 96, 0.25, family="synthetic"),
+        _spec("DampedOsc", [_damped(False), _damped(True)],
+              10, 30, 128, 0.25, family="synthetic"),
+        _spec("FreqTrend", [_freq_trend(f, sl) for f in (2.0, 6.0)
+                            for sl in (2.0, -2.0)],
+              6, 18, 128, 0.3, family="trend"),
+        _spec("Plateaus", [_plateau(w) for w in (0.1, 0.25, 0.45)],
+              8, 24, 128, 0.2, family="events"),
+    ]
+    specs.append(("ECGFiveDays-syn",
+                  lambda seed: _ecg_builder("ECGFiveDays-syn", seed, 0.35, 12, 40)))
+    specs.append(("ECGPhase",
+                  lambda seed: _ecg_builder("ECGPhase", seed, 0.6, 12, 40)))
+    specs.append(("CBF", lambda seed: _cbf_builder("CBF", seed, 10, 30, 128)))
+    return specs
+
+
+_SPECS: Dict[str, Callable[[int], Dataset]] = dict(_build_specs())
+_CACHE: Dict[Tuple[str, int], Dataset] = {}
+
+
+def list_datasets() -> Tuple[str, ...]:
+    """Names of all archive datasets, in their canonical order."""
+    return tuple(_SPECS)
+
+
+def load_dataset(name: str, seed: int = None) -> Dataset:
+    """Load one archive dataset by name.
+
+    Parameters
+    ----------
+    name:
+        A name from :func:`list_datasets`.
+    seed:
+        Override the archive seed (each dataset derives its own stream from
+        ``seed`` plus a stable per-name offset).
+
+    Raises
+    ------
+    UnknownNameError
+        For names outside the archive; the message lists valid ones.
+    """
+    if name not in _SPECS:
+        raise UnknownNameError(
+            f"unknown dataset {name!r}; available: {', '.join(_SPECS)}"
+        )
+    base_seed = ARCHIVE_SEED if seed is None else seed
+    # A stable per-dataset offset decorrelates the streams.
+    offset = sum(ord(c) for c in name)
+    key = (name, base_seed)
+    if key not in _CACHE:
+        _CACHE[key] = _SPECS[name](base_seed + offset)
+    return _CACHE[key]
+
+
+def load_archive(seed: int = None) -> List[Dataset]:
+    """Load the full archive (30 datasets) in canonical order."""
+    return [load_dataset(name, seed=seed) for name in list_datasets()]

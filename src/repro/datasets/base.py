@@ -1,0 +1,124 @@
+"""Dataset container mirroring the UCR archive layout (paper Section 4).
+
+UCR datasets are class-labeled, z-normalized, equal-length, and pre-split
+into train and test sets. :class:`Dataset` captures exactly that: the
+distance-measure evaluation (Table 2) uses the split, while the clustering
+evaluation (Tables 3-4) fuses train and test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from .._validation import as_dataset
+from ..exceptions import ShapeMismatchError
+from ..preprocessing.normalization import zscore
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labeled, split, z-normalized time-series dataset.
+
+    Attributes
+    ----------
+    name:
+        Identifier used by the registry and result tables.
+    X_train, X_test:
+        ``(n, m)`` float arrays of z-normalized sequences.
+    y_train, y_test:
+        Integer class labels, one per sequence.
+    metadata:
+        Free-form provenance (generator family, seed, noise level, ...).
+    """
+
+    name: str
+    X_train: np.ndarray
+    y_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        for attr in ("X_train", "X_test"):
+            arr = as_dataset(getattr(self, attr), attr)
+            object.__setattr__(self, attr, arr)
+        for x_attr, y_attr in (("X_train", "y_train"), ("X_test", "y_test")):
+            labels = np.asarray(getattr(self, y_attr)).ravel()
+            if labels.shape[0] != getattr(self, x_attr).shape[0]:
+                raise ShapeMismatchError(
+                    f"{y_attr} must have one label per {x_attr} sequence"
+                )
+            object.__setattr__(self, y_attr, labels)
+        if self.X_train.shape[1] != self.X_test.shape[1]:
+            raise ShapeMismatchError(
+                "train and test sequences must share their length"
+            )
+
+    @classmethod
+    def from_raw(
+        cls,
+        name: str,
+        X_train,
+        y_train,
+        X_test,
+        y_test,
+        metadata: Dict = None,
+        znormalize: bool = True,
+    ) -> "Dataset":
+        """Build a dataset, z-normalizing each sequence (the UCR convention)."""
+        X_train = as_dataset(X_train, "X_train")
+        X_test = as_dataset(X_test, "X_test")
+        if znormalize:
+            X_train = zscore(X_train)
+            X_test = zscore(X_test)
+        return cls(
+            name=name,
+            X_train=X_train,
+            y_train=np.asarray(y_train),
+            X_test=X_test,
+            y_test=np.asarray(y_test),
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def X(self) -> np.ndarray:
+        """Fused train+test sequences (the clustering evaluation input)."""
+        return np.vstack([self.X_train, self.X_test])
+
+    @property
+    def y(self) -> np.ndarray:
+        """Fused train+test labels."""
+        return np.concatenate([self.y_train, self.y_test])
+
+    @property
+    def n_classes(self) -> int:
+        return int(np.unique(self.y).shape[0])
+
+    @property
+    def length(self) -> int:
+        return int(self.X_train.shape[1])
+
+    @property
+    def n_train(self) -> int:
+        return int(self.X_train.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        return int(self.X_test.shape[0])
+
+    @property
+    def n_total(self) -> int:
+        return self.n_train + self.n_test
+
+    def summary(self) -> str:
+        """One-line description like the UCR archive index."""
+        return (
+            f"{self.name}: {self.n_classes} classes, length {self.length}, "
+            f"{self.n_train} train / {self.n_test} test"
+        )

@@ -1,0 +1,93 @@
+"""The Cylinder-Bell-Funnel dataset (Saito [71]; paper Appendix B).
+
+CBF is the synthetic three-class benchmark the paper uses for its
+scalability experiments (Figure 12) because both the number of sequences
+``n`` and the length ``m`` can be varied freely without changing the
+dataset's character. The three classes over positions ``i = 1..m`` are
+
+* **cylinder**: ``c(i) = (6 + eta) * X_[a, b](i) + eps(i)``
+* **bell**:     ``b(i) = (6 + eta) * X_[a, b](i) * (i - a)/(b - a) + eps(i)``
+* **funnel**:   ``f(i) = (6 + eta) * X_[a, b](i) * (b - i)/(b - a) + eps(i)``
+
+where ``X_[a, b]`` is the indicator of the event interval, ``a`` is drawn
+uniformly from [16, 32] and ``b - a`` from [32, 96] (scaled proportionally
+for lengths other than the original 128), and ``eta``, ``eps(i)`` are
+standard normal draws.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import as_rng, check_positive_int
+from ..exceptions import InvalidParameterError
+from .base import Dataset
+
+__all__ = ["cbf_instance", "make_cbf", "CBF_CLASSES"]
+
+CBF_CLASSES = ("cylinder", "bell", "funnel")
+
+
+def cbf_instance(kind: str, length: int = 128, rng=None) -> np.ndarray:
+    """One CBF sequence of class ``kind`` (``"cylinder"``/``"bell"``/``"funnel"``)."""
+    if kind not in CBF_CLASSES:
+        raise InvalidParameterError(
+            f"kind must be one of {CBF_CLASSES}, got {kind!r}"
+        )
+    length = check_positive_int(length, "length", minimum=8)
+    generator = as_rng(rng)
+    scale = length / 128.0
+    a = generator.uniform(16.0, 32.0) * scale
+    b = a + generator.uniform(32.0, 96.0) * scale
+    b = min(b, length - 1.0)
+    i = np.arange(length, dtype=np.float64)
+    indicator = ((i >= a) & (i <= b)).astype(np.float64)
+    eta = generator.normal()
+    eps = generator.normal(size=length)
+    span = max(b - a, 1.0)
+    if kind == "cylinder":
+        shape = indicator
+    elif kind == "bell":
+        shape = indicator * (i - a) / span
+    else:  # funnel
+        shape = indicator * (b - i) / span
+    return (6.0 + eta) * shape + eps
+
+
+def make_cbf(
+    n_per_class: int = 30,
+    length: int = 128,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A CBF sample: ``(3 * n_per_class, length)`` sequences and labels 0/1/2."""
+    check_positive_int(n_per_class, "n_per_class")
+    generator = as_rng(rng)
+    rows = []
+    labels = []
+    for label, kind in enumerate(CBF_CLASSES):
+        for _ in range(n_per_class):
+            rows.append(cbf_instance(kind, length=length, rng=generator))
+            labels.append(label)
+    return np.asarray(rows), np.asarray(labels)
+
+
+def make_cbf_dataset(
+    n_train_per_class: int = 10,
+    n_test_per_class: int = 30,
+    length: int = 128,
+    seed: int = 0,
+) -> Dataset:
+    """CBF as a :class:`~repro.datasets.base.Dataset` with a train/test split."""
+    generator = as_rng(seed)
+    X_train, y_train = make_cbf(n_train_per_class, length, generator)
+    X_test, y_test = make_cbf(n_test_per_class, length, generator)
+    return Dataset.from_raw(
+        "CBF",
+        X_train,
+        y_train,
+        X_test,
+        y_test,
+        metadata={"family": "cbf", "seed": seed},
+    )

@@ -1,0 +1,103 @@
+"""Synthetic ECG generator modeled on ECGFiveDays (paper Figures 1 and 4).
+
+The paper's running example is the two-class ECGFiveDays dataset: both
+classes contain heartbeats of the same patient, but
+
+* **class A** shows a *sharp* rise, a drop, and another gradual increase;
+* **class B** shows a *gradual* increase, a drop, and another gradual
+  increase.
+
+Instances of both classes are out of phase with each other (heartbeats can
+start anywhere in the measurement window), which is exactly the global
+alignment regime where SBD/k-Shape excel (the paper reports 84% k-Shape
+accuracy vs 53% for k-medoids+cDTW on this dataset).
+
+We synthesize beats as compositions of localized pulses whose onsets share
+a per-instance random phase, with class A's leading pulse much sharper than
+class B's.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import as_rng, check_positive_int
+from .base import Dataset
+from .generators import gaussian_pulse
+
+__all__ = ["ecg_beat", "make_ecg_five_days", "make_ecg_dataset"]
+
+
+def ecg_beat(t, kind: str, phase: float, jitter_rng) -> np.ndarray:
+    """One ECG-like beat on the grid ``t`` with global phase ``phase``.
+
+    ``kind="A"`` uses a narrow (sharp) leading pulse; ``kind="B"`` a wide
+    (gradual) one. Both share the drop and the trailing gradual increase, so
+    only the leading edge separates the classes — as in Figure 1.
+    """
+    tt = np.mod(np.asarray(t, dtype=np.float64) - phase, 1.0)
+    jw = jitter_rng.uniform(0.9, 1.1)
+    if kind == "A":
+        lead = 2.2 * gaussian_pulse(tt, 0.18, 0.025 * jw)   # sharp rise
+    else:
+        lead = 1.4 * gaussian_pulse(tt, 0.18, 0.085 * jw)   # gradual rise
+    drop = -1.6 * gaussian_pulse(tt, 0.38, 0.05 * jw)       # shared drop
+    tail = 1.0 * gaussian_pulse(tt, 0.72, 0.12 * jw)        # gradual increase
+    return lead + drop + tail
+
+
+def make_ecg_five_days(
+    n_per_class: int = 30,
+    length: int = 136,
+    noise: float = 0.12,
+    max_phase: float = 0.35,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample the two-class ECG set: ``(2 * n_per_class, length)`` plus labels.
+
+    Parameters
+    ----------
+    max_phase:
+        Largest random phase offset (fraction of the window), controlling
+        how far out of phase instances can be.
+    """
+    check_positive_int(n_per_class, "n_per_class")
+    generator = as_rng(rng)
+    t = np.linspace(0.0, 1.0, length)
+    rows = []
+    labels = []
+    for label, kind in enumerate(("A", "B")):
+        for _ in range(n_per_class):
+            phase = generator.uniform(0.0, max_phase)
+            beat = ecg_beat(t, kind, phase, generator)
+            rows.append(beat + generator.normal(0.0, noise, size=length))
+            labels.append(label)
+    return np.asarray(rows), np.asarray(labels)
+
+
+def make_ecg_dataset(
+    n_train_per_class: int = 12,
+    n_test_per_class: int = 40,
+    length: int = 136,
+    noise: float = 0.12,
+    max_phase: float = 0.35,
+    seed: int = 0,
+) -> Dataset:
+    """ECGFiveDays analog as a split :class:`~repro.datasets.base.Dataset`."""
+    generator = as_rng(seed)
+    X_train, y_train = make_ecg_five_days(
+        n_train_per_class, length, noise, max_phase, generator
+    )
+    X_test, y_test = make_ecg_five_days(
+        n_test_per_class, length, noise, max_phase, generator
+    )
+    return Dataset.from_raw(
+        "ECGFiveDays-syn",
+        X_train,
+        y_train,
+        X_test,
+        y_test,
+        metadata={"family": "ecg", "seed": seed, "max_phase": max_phase},
+    )

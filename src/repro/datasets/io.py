@@ -1,0 +1,127 @@
+"""Dataset and result persistence.
+
+Round-trip helpers so experiments can be saved, shared, and re-loaded:
+
+* :func:`save_dataset` / :func:`load_saved_dataset` — a
+  :class:`~repro.datasets.base.Dataset` as a single ``.npz`` archive
+  (arrays) with the metadata embedded as JSON;
+* :func:`export_ucr_format` — write a dataset as UCR-style
+  ``<Name>_TRAIN.tsv`` / ``<Name>_TEST.tsv`` text files, the format
+  :func:`repro.datasets.ucr.load_ucr_dataset` reads back — useful for
+  feeding the synthetic archive into other tools;
+* :func:`save_result` / :func:`load_result` — a
+  :class:`~repro.clustering.base.ClusterResult` as ``.npz``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import numpy as np
+
+from ..clustering.base import ClusterResult
+from ..exceptions import InvalidParameterError
+from .base import Dataset
+
+__all__ = [
+    "save_dataset",
+    "load_saved_dataset",
+    "export_ucr_format",
+    "save_result",
+    "load_result",
+]
+
+
+def save_dataset(dataset: Dataset, path: str) -> str:
+    """Persist a dataset as a ``.npz`` archive; returns the path written."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    np.savez_compressed(
+        path,
+        X_train=dataset.X_train,
+        y_train=dataset.y_train,
+        X_test=dataset.X_test,
+        y_test=dataset.y_test,
+        name=np.array(dataset.name),
+        metadata=np.array(json.dumps(dataset.metadata, default=str)),
+    )
+    return path
+
+
+def load_saved_dataset(path: str) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    if not os.path.exists(path):
+        raise InvalidParameterError(f"no such file: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        return Dataset(
+            name=str(archive["name"]),
+            X_train=archive["X_train"],
+            y_train=archive["y_train"],
+            X_test=archive["X_test"],
+            y_test=archive["y_test"],
+            metadata=json.loads(str(archive["metadata"])),
+        )
+
+
+def export_ucr_format(dataset: Dataset, directory: str) -> tuple:
+    """Write a dataset as UCR-style TSV files under ``directory``.
+
+    Creates ``<name>_TRAIN.tsv`` and ``<name>_TEST.tsv`` (label first,
+    tab-separated values), readable by
+    :func:`repro.datasets.ucr.load_ucr_dataset`.
+
+    Returns
+    -------
+    (train_path, test_path)
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for split, X, y in (
+        ("TRAIN", dataset.X_train, dataset.y_train),
+        ("TEST", dataset.X_test, dataset.y_test),
+    ):
+        path = os.path.join(directory, f"{dataset.name}_{split}.tsv")
+        with open(path, "w") as handle:
+            for label, row in zip(y, X):
+                values = "\t".join(f"{v:.10g}" for v in row)
+                handle.write(f"{label}\t{values}\n")
+        paths.append(path)
+    return tuple(paths)
+
+
+def save_result(result: ClusterResult, path: str) -> str:
+    """Persist a clustering result as a ``.npz`` archive."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    centroids = (
+        result.centroids
+        if result.centroids is not None
+        else np.empty((0, 0))
+    )
+    np.savez_compressed(
+        path,
+        labels=result.labels,
+        centroids=centroids,
+        has_centroids=np.array(result.centroids is not None),
+        inertia=np.array(result.inertia),
+        n_iter=np.array(result.n_iter),
+        converged=np.array(result.converged),
+        extra=np.array(json.dumps(result.extra, default=str)),
+    )
+    return path
+
+
+def load_result(path: str) -> ClusterResult:
+    """Load a clustering result written by :func:`save_result`."""
+    if not os.path.exists(path):
+        raise InvalidParameterError(f"no such file: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        has_centroids = bool(archive["has_centroids"])
+        return ClusterResult(
+            labels=archive["labels"],
+            centroids=archive["centroids"] if has_centroids else None,
+            inertia=float(archive["inertia"]),
+            n_iter=int(archive["n_iter"]),
+            converged=bool(archive["converged"]),
+            extra=json.loads(str(archive["extra"])),
+        )

@@ -1,0 +1,80 @@
+"""Train/test splitting utilities for custom datasets.
+
+The archive and UCR loaders arrive pre-split; for user-assembled
+collections (``make_labeled_set`` or external data), :func:`stratified_split`
+produces the same structure: a per-class proportional split, returned
+either as arrays or packaged as a :class:`~repro.datasets.base.Dataset`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import as_dataset, as_rng
+from ..exceptions import InvalidParameterError, ShapeMismatchError
+from .base import Dataset
+
+__all__ = ["stratified_split", "as_split_dataset"]
+
+
+def stratified_split(
+    X,
+    y,
+    train_fraction: float = 0.3,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split a labeled collection per class.
+
+    Every class contributes ``round(train_fraction * count)`` sequences to
+    the training side, with at least one sequence per class on each side
+    (classes with fewer than two members are rejected).
+
+    Returns
+    -------
+    (X_train, y_train, X_test, y_test)
+    """
+    data = as_dataset(X, "X")
+    labels = np.asarray(y).ravel()
+    if labels.shape[0] != data.shape[0]:
+        raise ShapeMismatchError("y must have one label per sequence")
+    if not 0.0 < train_fraction < 1.0:
+        raise InvalidParameterError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    generator = as_rng(rng)
+    train_idx, test_idx = [], []
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        if members.shape[0] < 2:
+            raise InvalidParameterError(
+                f"class {cls!r} has fewer than 2 sequences; cannot split"
+            )
+        members = generator.permutation(members)
+        n_train = int(round(train_fraction * members.shape[0]))
+        n_train = min(max(n_train, 1), members.shape[0] - 1)
+        train_idx.extend(members[:n_train])
+        test_idx.extend(members[n_train:])
+    train_idx = np.array(sorted(train_idx))
+    test_idx = np.array(sorted(test_idx))
+    return data[train_idx], labels[train_idx], data[test_idx], labels[test_idx]
+
+
+def as_split_dataset(
+    name: str,
+    X,
+    y,
+    train_fraction: float = 0.3,
+    rng=None,
+    znormalize: bool = True,
+) -> Dataset:
+    """Split and package a labeled collection as a :class:`Dataset`."""
+    X_train, y_train, X_test, y_test = stratified_split(
+        X, y, train_fraction=train_fraction, rng=rng
+    )
+    return Dataset.from_raw(
+        name, X_train, y_train, X_test, y_test,
+        metadata={"family": "custom", "train_fraction": train_fraction},
+        znormalize=znormalize,
+    )

@@ -1,0 +1,60 @@
+"""Replay a dataset as a batch stream (for mini-batch / streaming runs).
+
+:class:`repro.core.minibatch.MiniBatchKShape` consumes batches via
+``partial_fit``; this helper turns any sequence collection (or
+:class:`~repro.datasets.base.Dataset`) into a seeded, optionally shuffled,
+optionally repeating stream of ``(X_batch, y_batch)`` pairs — convenient
+for experiments and demos that simulate live arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .._validation import as_dataset, as_rng, check_positive_int
+from ..exceptions import ShapeMismatchError
+
+__all__ = ["replay_stream"]
+
+
+def replay_stream(
+    X,
+    y=None,
+    batch_size: int = 32,
+    shuffle: bool = True,
+    epochs: int = 1,
+    rng=None,
+) -> Iterator[Tuple[np.ndarray, Optional[np.ndarray]]]:
+    """Yield ``(X_batch, y_batch)`` pairs replaying a collection.
+
+    Parameters
+    ----------
+    X:
+        ``(n, m)`` collection (labels come along when ``y`` is given;
+        otherwise ``y_batch`` is ``None``).
+    batch_size:
+        Sequences per batch; the final batch of an epoch may be smaller.
+    shuffle:
+        Reshuffle the order at the start of every epoch.
+    epochs:
+        Number of passes over the data.
+    rng:
+        Seed or Generator driving the shuffles.
+    """
+    data = as_dataset(X, "X")
+    labels = None
+    if y is not None:
+        labels = np.asarray(y).ravel()
+        if labels.shape[0] != data.shape[0]:
+            raise ShapeMismatchError("y must have one label per sequence")
+    check_positive_int(batch_size, "batch_size")
+    check_positive_int(epochs, "epochs")
+    generator = as_rng(rng)
+    n = data.shape[0]
+    for _ in range(epochs):
+        order = generator.permutation(n) if shuffle else np.arange(n)
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            yield data[idx], (labels[idx] if labels is not None else None)

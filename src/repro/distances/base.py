@@ -1,0 +1,91 @@
+"""Distance registry: named access to every measure in the evaluation.
+
+The paper's experiments name their measures ``ED``, ``DTW``, ``cDTW5``,
+``cDTW10``, ``SBD``, etc. (Tables 1-4). This registry maps those names to
+callables ``(x, y) -> float`` so the benchmark harness, clustering methods,
+and 1-NN classifier can be parameterized by name.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..core.sbd import sbd, sbd_no_fft, sbd_no_pow2
+from ..exceptions import UnknownNameError
+from .dtw import cdtw, dtw
+from .elastic import edr, erp, lcss_distance, msm
+from .euclidean import euclidean, squared_euclidean
+from .ksc import ksc_distance
+
+DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+
+__all__ = [
+    "DistanceFn",
+    "register_distance",
+    "get_distance",
+    "list_distances",
+    "make_cdtw",
+]
+
+_REGISTRY: Dict[str, DistanceFn] = {}
+
+
+def register_distance(name: str, fn: DistanceFn, overwrite: bool = False) -> None:
+    """Register a distance callable under ``name`` (case-insensitive).
+
+    Raises
+    ------
+    UnknownNameError
+        If the name is taken and ``overwrite`` is False.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise UnknownNameError(
+            f"distance {name!r} is already registered; pass overwrite=True"
+        )
+    _REGISTRY[key] = fn
+
+
+def get_distance(name: str) -> DistanceFn:
+    """Look up a distance by its paper name (e.g. ``"SBD"``, ``"cDTW5"``).
+
+    Raises
+    ------
+    UnknownNameError
+        For unregistered names; the message lists the available ones.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        available = ", ".join(sorted(_REGISTRY))
+        raise UnknownNameError(
+            f"unknown distance {name!r}; available: {available}"
+        )
+    return _REGISTRY[key]
+
+
+def list_distances() -> Tuple[str, ...]:
+    """Sorted names of all registered distances."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_cdtw(window: float) -> DistanceFn:
+    """A cDTW callable with a fixed Sakoe-Chiba window (fraction or cells)."""
+    return partial(cdtw, window=window)
+
+
+register_distance("ed", euclidean)
+register_distance("sqed", squared_euclidean)
+register_distance("dtw", dtw)
+register_distance("cdtw5", make_cdtw(0.05))
+register_distance("cdtw10", make_cdtw(0.10))
+register_distance("sbd", sbd)
+register_distance("sbd_nofft", sbd_no_fft)
+register_distance("sbd_nopow2", sbd_no_pow2)
+register_distance("ksc", ksc_distance)
+register_distance("lcss", lcss_distance)
+register_distance("edr", partial(edr, normalize=True))
+register_distance("erp", erp)
+register_distance("msm", msm)

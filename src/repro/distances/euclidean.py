@@ -1,0 +1,34 @@
+"""Euclidean distance (paper Section 2.3, Equation 3).
+
+ED is the baseline every measure in the paper's Table 2 is compared to: the
+most efficient measure with reasonably high accuracy, requiring equal-length
+sequences and no parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_series, check_equal_length
+
+__all__ = ["euclidean", "squared_euclidean"]
+
+
+def euclidean(x, y) -> float:
+    """Euclidean distance between two equal-length series.
+
+    ``ED(x, y) = sqrt(sum_i (x_i - y_i)^2)``
+    """
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    check_equal_length(xv, yv)
+    return float(np.linalg.norm(xv - yv))
+
+
+def squared_euclidean(x, y) -> float:
+    """Squared Euclidean distance (avoids the sqrt; same ordering as ED)."""
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    check_equal_length(xv, yv)
+    diff = xv - yv
+    return float(np.dot(diff, diff))

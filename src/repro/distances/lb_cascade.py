@@ -1,0 +1,105 @@
+"""Additional DTW lower bounds and the standard pruning cascade.
+
+LB_Keogh (in :mod:`repro.distances.lower_bounds`) is the tightest cheap
+bound the paper's baselines use, but production 1-NN search pipelines
+(e.g., the UCR Suite [65] the paper cites) chain progressively tighter
+bounds so most candidates are discarded by the cheapest ones:
+
+* **LB_Kim** (simplified constant-time form) — compares the first, last,
+  maximum, and minimum points of the two sequences; each absolute
+  difference individually lower-bounds the warping cost. For z-normalized
+  sequences the first/last points carry most of the signal.
+* **LB_Yi** — O(m): points of ``x`` above ``max(y)`` or below ``min(y)``
+  must pay at least their excursion beyond that global envelope.
+* **LB_Keogh reversed** — LB_Keogh with roles swapped; the maximum of both
+  directions is still a lower bound and is tighter than either alone.
+* :func:`cascade` — evaluates bounds cheapest-first and returns the first
+  one exceeding a pruning threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import as_series, check_equal_length
+from .lower_bounds import lb_keogh
+
+__all__ = ["lb_kim", "lb_yi", "lb_keogh_max", "cascade"]
+
+
+def lb_kim(x, y) -> float:
+    """Simplified constant-time LB_Kim lower bound on DTW.
+
+    Any warping path couples the two first points and the two last points,
+    and the global max/min of one sequence must be matched by *some* point
+    of the other, so each of the four absolute differences lower-bounds
+    the total cost. Returns the largest of them (in the sqrt-of-squares
+    scale used by :func:`repro.distances.dtw.dtw`).
+    """
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    first = abs(xv[0] - yv[0])
+    last = abs(xv[-1] - yv[-1])
+    top = abs(xv.max() - yv.max())
+    bottom = abs(xv.min() - yv.min())
+    return float(max(first, last, top, bottom))
+
+
+def lb_yi(x, y) -> float:
+    """LB_Yi lower bound on DTW: excursions beyond the global envelope.
+
+    Every point of ``x`` above ``max(y)`` must be matched to a point of
+    ``y`` at distance at least its excess over ``max(y)`` (symmetrically
+    below ``min(y)``), so the summed squared excursions lower-bound the
+    squared DTW cost.
+    """
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    hi, lo = yv.max(), yv.min()
+    above = np.maximum(xv - hi, 0.0)
+    below = np.maximum(lo - xv, 0.0)
+    return float(np.sqrt(np.sum(above**2 + below**2)))
+
+
+def lb_keogh_max(x, y, window) -> float:
+    """Symmetrized LB_Keogh: the larger of both envelope directions.
+
+    ``max(LB_Keogh(x | env(y)), LB_Keogh(y | env(x)))`` is still a valid
+    cDTW lower bound and is tighter than either single direction.
+    """
+    return max(lb_keogh(x, y, window), lb_keogh(y, x, window))
+
+
+def cascade(
+    x,
+    y,
+    window,
+    threshold: float,
+) -> Tuple[bool, str, float]:
+    """Run the standard bound cascade against a pruning ``threshold``.
+
+    Evaluates LB_Kim, then LB_Yi, then symmetric LB_Keogh — cheapest first —
+    and stops at the first bound that meets or exceeds ``threshold`` (i.e.,
+    proves the true cDTW distance cannot beat the best-so-far).
+
+    Returns
+    -------
+    (pruned, stage, bound):
+        ``pruned`` is True when some bound reached the threshold; ``stage``
+        names the deciding bound (``"lb_kim"``/``"lb_yi"``/``"lb_keogh"``,
+        or ``"none"``); ``bound`` is that stage's value.
+    """
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    check_equal_length(xv, yv)
+    for stage, fn in (
+        ("lb_kim", lambda: lb_kim(xv, yv)),
+        ("lb_yi", lambda: lb_yi(xv, yv)),
+        ("lb_keogh", lambda: lb_keogh_max(xv, yv, window)),
+    ):
+        value = fn()
+        if value >= threshold:
+            return True, stage, value
+    return False, "none", value

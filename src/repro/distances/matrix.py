@@ -1,0 +1,127 @@
+"""Dissimilarity matrices for the non-scalable methods (paper Section 5.3).
+
+PAM, hierarchical, and spectral clustering all consume an ``n``-by-``n``
+dissimilarity matrix; the paper stresses that *computing* this matrix is
+what makes those methods unable to scale. These helpers compute pairwise
+and cross matrices for any registered or user-supplied distance, exploiting
+symmetry and vectorizing the measures that allow it (ED, SBD).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .._validation import as_dataset
+from ..core._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
+from .base import DistanceFn, get_distance
+
+__all__ = ["pairwise_distances", "cross_distances", "sbd_matrix", "euclidean_matrix"]
+
+
+def _resolve(metric: Union[str, DistanceFn]) -> DistanceFn:
+    if callable(metric):
+        return metric
+    return get_distance(metric)
+
+
+def euclidean_matrix(X, Y=None) -> np.ndarray:
+    """Vectorized Euclidean distance matrix between rows of ``X`` and ``Y``."""
+    A = as_dataset(X, "X")
+    B = A if Y is None else as_dataset(Y, "Y")
+    sq = (
+        np.sum(A**2, axis=1)[:, None]
+        - 2.0 * (A @ B.T)
+        + np.sum(B**2, axis=1)[None, :]
+    )
+    np.maximum(sq, 0.0, out=sq)
+    out = np.sqrt(sq)
+    if Y is None:
+        np.fill_diagonal(out, 0.0)
+    return out
+
+
+def sbd_matrix(X, Y=None) -> np.ndarray:
+    """Vectorized SBD distance matrix using one batched FFT per row of ``Y``."""
+    A = as_dataset(X, "X")
+    B = A if Y is None else as_dataset(Y, "Y")
+    n, m = A.shape
+    fft_len = fft_len_for(m)
+    fft_a = rfft_batch(A, fft_len)
+    norms_a = np.linalg.norm(A, axis=1)
+    out = np.empty((n, B.shape[0]))
+    for j in range(B.shape[0]):
+        fft_b = np.fft.rfft(B[j], fft_len)
+        norm_b = float(np.linalg.norm(B[j]))
+        values, _ = ncc_c_max_batch(fft_a, norms_a, fft_b, norm_b, m, fft_len)
+        out[:, j] = 1.0 - values
+    np.maximum(out, 0.0, out=out)
+    if Y is None:
+        np.fill_diagonal(out, 0.0)
+    return out
+
+
+def pairwise_distances(
+    X,
+    metric: Union[str, DistanceFn] = "ed",
+    symmetric: bool = True,
+) -> np.ndarray:
+    """``(n, n)`` dissimilarity matrix over the rows of ``X``.
+
+    Parameters
+    ----------
+    X:
+        ``(n, m)`` dataset.
+    metric:
+        Registered distance name or a callable ``(x, y) -> float``.
+    symmetric:
+        When True (all the paper's measures are symmetric), only the upper
+        triangle is computed and mirrored.
+
+    Notes
+    -----
+    ``"ed"`` and ``"sbd"`` dispatch to fully vectorized implementations.
+    """
+    if isinstance(metric, str):
+        key = metric.lower()
+        if key == "ed":
+            return euclidean_matrix(X)
+        if key == "sbd":
+            return sbd_matrix(X)
+    fn = _resolve(metric)
+    data = as_dataset(X, "X")
+    n = data.shape[0]
+    out = np.zeros((n, n))
+    for i in range(n):
+        start = i + 1 if symmetric else 0
+        for j in range(start, n):
+            if i == j:
+                continue
+            d = fn(data[i], data[j])
+            out[i, j] = d
+            if symmetric:
+                out[j, i] = d
+    return out
+
+
+def cross_distances(
+    X,
+    Y,
+    metric: Union[str, DistanceFn] = "ed",
+) -> np.ndarray:
+    """``(n_x, n_y)`` matrix of distances from rows of ``X`` to rows of ``Y``."""
+    if isinstance(metric, str):
+        key = metric.lower()
+        if key == "ed":
+            return euclidean_matrix(X, Y)
+        if key == "sbd":
+            return sbd_matrix(X, Y)
+    fn = _resolve(metric)
+    A = as_dataset(X, "X")
+    B = as_dataset(Y, "Y")
+    out = np.empty((A.shape[0], B.shape[0]))
+    for i in range(A.shape[0]):
+        for j in range(B.shape[0]):
+            out[i, j] = fn(A[i], B[j])
+    return out

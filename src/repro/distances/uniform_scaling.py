@@ -1,0 +1,84 @@
+"""Uniform-scaling-invariant distances (paper Section 2.2).
+
+The paper's invariance taxonomy includes **uniform scaling**: "sequences
+that differ in length require either stretching of the shorter sequence or
+shrinking of the longer sequence" (e.g., heartbeats measured over periods
+of different duration). These wrappers add that invariance to any base
+measure by searching a grid of stretch factors:
+
+* :func:`uniform_scaling_distance` — minimum base-measure distance over
+  candidate playback speeds: speed ``s`` re-times ``y`` as
+  ``y_s(t) = y(min(s * t, 1))`` on ``x``'s grid, so ``s < 1`` stretches a
+  prefix of ``y`` across the window and ``s > 1`` compresses ``y`` into the
+  front of the window (holding its final value afterwards);
+* :func:`us_ed` / :func:`us_sbd` — the ED- and SBD-based instantiations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_series
+from ..core.sbd import sbd
+from ..exceptions import InvalidParameterError
+from .base import DistanceFn, get_distance
+
+__all__ = ["uniform_scaling_distance", "us_ed", "us_sbd"]
+
+
+def uniform_scaling_distance(
+    x,
+    y,
+    metric: Union[str, DistanceFn] = "ed",
+    scales: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2),
+) -> Tuple[float, float]:
+    """Minimum distance over uniform playback speeds of ``y``.
+
+    For each speed ``s``, ``y`` is re-timed on ``x``'s grid as
+    ``y_s(t) = y(min(s * t, 1))``: ``s < 1`` stretches the first ``s``
+    fraction of ``y`` over the whole window; ``s > 1`` compresses all of
+    ``y`` into the first ``1/s`` of the window (the tail holds ``y``'s last
+    value). The smallest base-measure distance and its speed are returned;
+    ``s = 1`` should be among the candidates so the result never exceeds
+    the unscaled distance.
+
+    Parameters
+    ----------
+    metric:
+        Registered distance name or callable taking two equal-length series.
+    scales:
+        Candidate playback speeds (must be positive).
+
+    Returns
+    -------
+    (distance, scale):
+        The best distance and the speed achieving it.
+    """
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    if not scales:
+        raise InvalidParameterError("scales must contain at least one factor")
+    if any(s <= 0 for s in scales):
+        raise InvalidParameterError("every scale factor must be positive")
+    fn = get_distance(metric) if isinstance(metric, str) else metric
+    t = np.linspace(0.0, 1.0, xv.shape[0])
+    src = np.linspace(0.0, 1.0, yv.shape[0])
+    best = (np.inf, 1.0)
+    for s in scales:
+        candidate = np.interp(np.minimum(s * t, 1.0), src, yv)
+        d = fn(xv, candidate)
+        if d < best[0]:
+            best = (float(d), float(s))
+    return best
+
+
+def us_ed(x, y, scales: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2)) -> float:
+    """Uniform-scaling Euclidean distance (minimum over stretch factors)."""
+    return uniform_scaling_distance(x, y, metric="ed", scales=scales)[0]
+
+
+def us_sbd(x, y, scales: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2)) -> float:
+    """Uniform-scaling SBD: shift *and* stretch invariant."""
+    return uniform_scaling_distance(x, y, metric=sbd, scales=scales)[0]

@@ -1,0 +1,45 @@
+"""Clustering and classification quality metrics (Section 4)."""
+
+from .classification_metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    precision_recall_f1,
+)
+from .stability import (
+    consensus_cluster,
+    consensus_matrix,
+    seed_stability,
+    subsample_stability,
+)
+from .intrinsic import estimate_n_clusters, silhouette_samples, silhouette_score
+from .validity import davies_bouldin, dunn_index, within_between_ratio
+from .clustering_metrics import (
+    adjusted_rand_index,
+    contingency_table,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+)
+
+__all__ = [
+    "rand_index",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "purity",
+    "contingency_table",
+    "silhouette_score",
+    "silhouette_samples",
+    "estimate_n_clusters",
+    "davies_bouldin",
+    "dunn_index",
+    "within_between_ratio",
+    "seed_stability",
+    "subsample_stability",
+    "consensus_matrix",
+    "consensus_cluster",
+    "confusion_matrix",
+    "accuracy",
+    "precision_recall_f1",
+    "classification_report",
+]

@@ -1,0 +1,105 @@
+"""Classification metrics for the 1-NN and nearest-centroid evaluators.
+
+The paper reports plain accuracy (Section 4); these companions break a
+classifier's behavior down per class — useful when the archive's classes
+are imbalanced or when diagnosing which shapes a distance measure confuses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..exceptions import EmptyInputError, ShapeMismatchError
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy",
+    "precision_recall_f1",
+    "classification_report",
+]
+
+
+def _check_pair(y_true, y_pred) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    a = np.asarray(y_true).ravel()
+    b = np.asarray(y_pred).ravel()
+    if a.shape[0] != b.shape[0]:
+        raise ShapeMismatchError(
+            f"label arrays differ in length: {a.shape[0]} vs {b.shape[0]}"
+        )
+    if a.shape[0] == 0:
+        raise EmptyInputError("label arrays must not be empty")
+    classes = np.unique(np.concatenate([a, b]))
+    return a, b, classes
+
+
+def confusion_matrix(y_true, y_pred) -> Tuple[np.ndarray, np.ndarray]:
+    """``(classes, C)`` where ``C[i, j]`` counts true class ``i`` predicted ``j``."""
+    a, b, classes = _check_pair(y_true, y_pred)
+    index = {c: i for i, c in enumerate(classes)}
+    C = np.zeros((classes.shape[0], classes.shape[0]), dtype=np.int64)
+    for t, p in zip(a, b):
+        C[index[t], index[p]] += 1
+    return classes, C
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of matching labels."""
+    a, b, _ = _check_pair(y_true, y_pred)
+    return float(np.mean(a == b))
+
+
+def precision_recall_f1(y_true, y_pred) -> Dict:
+    """Per-class precision/recall/F1 plus macro averages.
+
+    Classes never predicted get precision 0 (the usual convention); classes
+    absent from the truth get recall 0.
+    """
+    classes, C = confusion_matrix(y_true, y_pred)
+    per_class = {}
+    precisions, recalls, f1s = [], [], []
+    for i, cls in enumerate(classes):
+        tp = float(C[i, i])
+        predicted = float(C[:, i].sum())
+        actual = float(C[i, :].sum())
+        precision = tp / predicted if predicted > 0 else 0.0
+        recall = tp / actual if actual > 0 else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        per_class[cls] = {
+            "precision": precision, "recall": recall, "f1": f1,
+            "support": int(actual),
+        }
+        precisions.append(precision)
+        recalls.append(recall)
+        f1s.append(f1)
+    return {
+        "per_class": per_class,
+        "macro_precision": float(np.mean(precisions)),
+        "macro_recall": float(np.mean(recalls)),
+        "macro_f1": float(np.mean(f1s)),
+        "accuracy": accuracy(y_true, y_pred),
+    }
+
+
+def classification_report(y_true, y_pred) -> str:
+    """Human-readable per-class report (monospace table)."""
+    from ..harness.report import format_table
+
+    stats = precision_recall_f1(y_true, y_pred)
+    rows = [
+        [str(cls), s["precision"], s["recall"], s["f1"], s["support"]]
+        for cls, s in stats["per_class"].items()
+    ]
+    rows.append([
+        "macro", stats["macro_precision"], stats["macro_recall"],
+        stats["macro_f1"], sum(s["support"] for s in stats["per_class"].values()),
+    ])
+    table = format_table(
+        ["class", "precision", "recall", "f1", "support"], rows,
+    )
+    return table + f"\naccuracy: {stats['accuracy']:.3f}"

@@ -1,0 +1,129 @@
+"""Clustering quality metrics (paper Section 4, [67]).
+
+The paper scores every clustering method with the **Rand Index** over the
+fused train+test split of each dataset. This module implements it (via the
+pair-counting contingency table, so it runs in ``O(n + |table|)`` rather
+than ``O(n^2)``) alongside the common companions — Adjusted Rand Index,
+Normalized Mutual Information, and purity — which the extended experiments
+and tests use as cross-checks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import EmptyInputError, ShapeMismatchError
+
+__all__ = [
+    "contingency_table",
+    "rand_index",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "purity",
+]
+
+
+def _check_pair(labels_true, labels_pred) -> Tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(labels_true).ravel()
+    b = np.asarray(labels_pred).ravel()
+    if a.shape[0] != b.shape[0]:
+        raise ShapeMismatchError(
+            f"label arrays differ in length: {a.shape[0]} vs {b.shape[0]}"
+        )
+    if a.shape[0] == 0:
+        raise EmptyInputError("label arrays must not be empty")
+    return a, b
+
+
+def contingency_table(labels_true, labels_pred) -> np.ndarray:
+    """Contingency table ``C[i, j]`` = count of items in true class ``i`` and cluster ``j``."""
+    a, b = _check_pair(labels_true, labels_pred)
+    _, ai = np.unique(a, return_inverse=True)
+    _, bi = np.unique(b, return_inverse=True)
+    table = np.zeros((ai.max() + 1, bi.max() + 1), dtype=np.int64)
+    np.add.at(table, (ai, bi), 1)
+    return table
+
+
+def _pair_counts(labels_true, labels_pred) -> Tuple[float, float, float, float]:
+    """(TP, FP, FN, TN) over all pairs of items, as in the paper's definition."""
+    table = contingency_table(labels_true, labels_pred)
+    n = table.sum()
+    total_pairs = n * (n - 1) / 2.0
+    same_both = (table * (table - 1) / 2.0).sum()           # TP
+    row = table.sum(axis=1)
+    col = table.sum(axis=0)
+    same_class = (row * (row - 1) / 2.0).sum()              # TP + FN
+    same_cluster = (col * (col - 1) / 2.0).sum()            # TP + FP
+    tp = float(same_both)
+    fp = float(same_cluster - same_both)
+    fn = float(same_class - same_both)
+    tn = float(total_pairs - tp - fp - fn)
+    return tp, fp, fn, tn
+
+
+def rand_index(labels_true, labels_pred) -> float:
+    """Rand Index ``R = (TP + TN) / (TP + TN + FP + FN)`` in [0, 1].
+
+    ``TP`` counts pairs in the same class and same cluster; ``TN`` pairs in
+    different classes and different clusters (paper Section 4).
+    A single-item input has no pairs; by convention it scores 1.
+
+    Examples
+    --------
+    >>> rand_index([0, 0, 1, 1], [1, 1, 0, 0])   # relabeling is free
+    1.0
+    >>> rand_index([0, 0, 1, 1], [0, 1, 1, 1])
+    0.5
+    """
+    a, _ = _check_pair(labels_true, labels_pred)
+    if a.shape[0] == 1:
+        return 1.0
+    tp, fp, fn, tn = _pair_counts(labels_true, labels_pred)
+    return (tp + tn) / (tp + tn + fp + fn)
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Rand Index adjusted for chance (Hubert & Arabie); 0 ~ random, 1 = perfect."""
+    a, _ = _check_pair(labels_true, labels_pred)
+    if a.shape[0] == 1:
+        return 1.0
+    table = contingency_table(labels_true, labels_pred)
+    n = table.sum()
+    sum_comb = (table * (table - 1) / 2.0).sum()
+    row = table.sum(axis=1)
+    col = table.sum(axis=0)
+    sum_row = (row * (row - 1) / 2.0).sum()
+    sum_col = (col * (col - 1) / 2.0).sum()
+    total = n * (n - 1) / 2.0
+    expected = sum_row * sum_col / total
+    max_index = (sum_row + sum_col) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_comb - expected) / (max_index - expected))
+
+
+def normalized_mutual_information(labels_true, labels_pred) -> float:
+    """NMI with arithmetic-mean normalization, in [0, 1]."""
+    table = contingency_table(labels_true, labels_pred).astype(np.float64)
+    n = table.sum()
+    pij = table / n
+    pi = pij.sum(axis=1)
+    pj = pij.sum(axis=0)
+    nz = pij > 0
+    outer = pi[:, None] * pj[None, :]
+    mi = float(np.sum(pij[nz] * np.log(pij[nz] / outer[nz])))
+    h_true = float(-np.sum(pi[pi > 0] * np.log(pi[pi > 0])))
+    h_pred = float(-np.sum(pj[pj > 0] * np.log(pj[pj > 0])))
+    denom = (h_true + h_pred) / 2.0
+    if denom == 0.0:
+        return 1.0
+    return max(0.0, mi / denom)
+
+
+def purity(labels_true, labels_pred) -> float:
+    """Fraction of items whose cluster's majority class matches their class."""
+    table = contingency_table(labels_true, labels_pred)
+    return float(table.max(axis=0).sum() / table.sum())

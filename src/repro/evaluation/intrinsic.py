@@ -1,0 +1,118 @@
+"""Intrinsic clustering criteria and cluster-count estimation.
+
+The paper assumes the target number of clusters ``k`` is given, noting
+(Section 2.6, footnote 2) that ``k`` can otherwise be estimated "by varying
+k and evaluating clustering quality with criteria that capture information
+intrinsic to the data alone". This module supplies that machinery:
+
+* :func:`silhouette_score` — the average silhouette coefficient computed
+  from any dissimilarity matrix, so it works with SBD, cDTW, or ED alike;
+* :func:`estimate_n_clusters` — sweep ``k`` over a range, cluster with a
+  caller-supplied factory (k-Shape by default), and return the ``k``
+  maximizing the silhouette.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_dataset
+from ..distances.base import DistanceFn
+from ..distances.matrix import pairwise_distances
+from ..exceptions import InvalidParameterError
+
+__all__ = ["silhouette_samples", "silhouette_score", "estimate_n_clusters"]
+
+
+def silhouette_samples(D: np.ndarray, labels) -> np.ndarray:
+    """Per-item silhouette coefficients from a dissimilarity matrix.
+
+    For item ``i`` with mean intra-cluster dissimilarity ``a`` and smallest
+    mean dissimilarity to another cluster ``b``, the silhouette is
+    ``(b - a) / max(a, b)``; singleton clusters score 0 by convention.
+    """
+    D = np.asarray(D, dtype=np.float64)
+    labels = np.asarray(labels).ravel()
+    if D.ndim != 2 or D.shape[0] != D.shape[1]:
+        raise InvalidParameterError("D must be a square dissimilarity matrix")
+    if labels.shape[0] != D.shape[0]:
+        raise InvalidParameterError("labels must have one entry per row of D")
+    unique = np.unique(labels)
+    if unique.shape[0] < 2:
+        raise InvalidParameterError("silhouette requires at least 2 clusters")
+    n = D.shape[0]
+    out = np.zeros(n)
+    masks = {c: labels == c for c in unique}
+    for i in range(n):
+        own = masks[labels[i]]
+        own_size = own.sum()
+        if own_size <= 1:
+            out[i] = 0.0
+            continue
+        a = D[i, own].sum() / (own_size - 1)  # exclude self (D[i, i] = 0)
+        b = min(
+            D[i, masks[c]].mean() for c in unique if c != labels[i]
+        )
+        denom = max(a, b)
+        out[i] = 0.0 if denom == 0.0 else (b - a) / denom
+    return out
+
+
+def silhouette_score(D: np.ndarray, labels) -> float:
+    """Mean silhouette coefficient over all items (higher is better)."""
+    return float(silhouette_samples(D, labels).mean())
+
+
+def estimate_n_clusters(
+    X,
+    k_range: Iterable[int] = range(2, 9),
+    metric: Union[str, DistanceFn] = "sbd",
+    clusterer_factory: Optional[Callable[[int], object]] = None,
+    random_state=None,
+) -> Tuple[int, Dict[int, float]]:
+    """Pick ``k`` by maximizing the silhouette over a range of candidates.
+
+    Parameters
+    ----------
+    X:
+        ``(n, m)`` dataset.
+    k_range:
+        Candidate cluster counts (each must satisfy ``2 <= k < n``).
+    metric:
+        Distance used for the silhouette matrix (and for k-Shape this should
+        stay ``"sbd"`` so the criterion matches the algorithm's geometry).
+    clusterer_factory:
+        ``factory(k) -> estimator with fit_predict``; defaults to
+        :class:`repro.core.kshape.KShape` seeded with ``random_state``.
+
+    Returns
+    -------
+    (best_k, scores):
+        The maximizing ``k`` and the silhouette score per candidate.
+    """
+    data = as_dataset(X, "X")
+    candidates = [int(k) for k in k_range]
+    if not candidates:
+        raise InvalidParameterError("k_range must contain at least one candidate")
+    if any(k < 2 or k > data.shape[0] for k in candidates):
+        raise InvalidParameterError(
+            "every k must satisfy 2 <= k <= n for silhouette estimation"
+        )
+    if clusterer_factory is None:
+        from ..core.kshape import KShape
+
+        def clusterer_factory(k, _seed=random_state):
+            return KShape(k, random_state=_seed)
+
+    D = pairwise_distances(data, metric=metric)
+    scores: Dict[int, float] = {}
+    for k in candidates:
+        labels = clusterer_factory(k).fit_predict(data)
+        if np.unique(labels).shape[0] < 2:
+            scores[k] = -1.0
+            continue
+        scores[k] = silhouette_score(D, labels)
+    best = max(scores, key=lambda k: scores[k])
+    return best, scores

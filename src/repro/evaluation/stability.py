@@ -1,0 +1,145 @@
+"""Clustering stability analysis (label-free model assessment).
+
+A partition that changes drastically under re-initialization or mild
+resampling is untrustworthy regardless of its inertia. These tools measure
+that, using ARI between partitions as the agreement score:
+
+* :func:`seed_stability` — mean pairwise ARI across re-initialized runs of
+  the same configuration;
+* :func:`subsample_stability` — mean ARI between the partition of the full
+  data and partitions of random subsamples (compared on the intersection);
+* :func:`consensus_matrix` — fraction of runs in which each pair of
+  sequences lands in the same cluster, the input of consensus clustering.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .._validation import as_dataset, as_rng, check_positive_int
+from ..exceptions import InvalidParameterError
+from .clustering_metrics import adjusted_rand_index
+
+__all__ = [
+    "seed_stability",
+    "subsample_stability",
+    "consensus_matrix",
+    "consensus_cluster",
+]
+
+
+def _collect_labelings(factory, X, n_runs, rng):
+    labelings = []
+    for _ in range(n_runs):
+        seed = int(rng.integers(0, 2**31 - 1))
+        labelings.append(np.asarray(factory(seed).fit_predict(X)))
+    return labelings
+
+
+def seed_stability(
+    factory: Callable[[int], object],
+    X,
+    n_runs: int = 10,
+    rng=None,
+) -> float:
+    """Mean pairwise ARI across ``n_runs`` differently seeded runs.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(seed) -> estimator with fit_predict``.
+
+    Returns
+    -------
+    float
+        1.0 means every run produced the same partition.
+    """
+    data = as_dataset(X, "X")
+    check_positive_int(n_runs, "n_runs", minimum=2)
+    generator = as_rng(rng)
+    labelings = _collect_labelings(factory, data, n_runs, generator)
+    scores = []
+    for i in range(n_runs):
+        for j in range(i + 1, n_runs):
+            scores.append(adjusted_rand_index(labelings[i], labelings[j]))
+    return float(np.mean(scores))
+
+
+def subsample_stability(
+    factory: Callable[[int], object],
+    X,
+    fraction: float = 0.8,
+    n_runs: int = 10,
+    rng=None,
+) -> float:
+    """Mean ARI between the full-data partition and subsample partitions.
+
+    Each run reclusters a random ``fraction`` of the sequences and compares
+    the labels on that subset against the full-data partition restricted to
+    the same subset.
+    """
+    data = as_dataset(X, "X")
+    if not 0.0 < fraction < 1.0:
+        raise InvalidParameterError(
+            f"fraction must be in (0, 1), got {fraction}"
+        )
+    check_positive_int(n_runs, "n_runs")
+    generator = as_rng(rng)
+    reference = np.asarray(factory(0).fit_predict(data))
+    n = data.shape[0]
+    size = max(3, int(round(fraction * n)))
+    scores = []
+    for _ in range(n_runs):
+        idx = generator.choice(n, size=size, replace=False)
+        seed = int(generator.integers(0, 2**31 - 1))
+        labels = np.asarray(factory(seed).fit_predict(data[idx]))
+        scores.append(adjusted_rand_index(reference[idx], labels))
+    return float(np.mean(scores))
+
+
+def consensus_matrix(
+    factory: Callable[[int], object],
+    X,
+    n_runs: int = 20,
+    rng=None,
+) -> np.ndarray:
+    """``(n, n)`` co-assignment frequencies over re-initialized runs.
+
+    Entry ``(i, j)`` is the fraction of runs placing sequences ``i`` and
+    ``j`` in the same cluster. A crisp block structure signals a stable
+    clustering; uniform gray signals noise.
+    """
+    data = as_dataset(X, "X")
+    check_positive_int(n_runs, "n_runs")
+    generator = as_rng(rng)
+    n = data.shape[0]
+    counts = np.zeros((n, n))
+    for labels in _collect_labelings(factory, data, n_runs, generator):
+        same = labels[:, None] == labels[None, :]
+        counts += same
+    return counts / n_runs
+
+
+def consensus_cluster(
+    factory: Callable[[int], object],
+    X,
+    n_clusters: int,
+    n_runs: int = 20,
+    rng=None,
+) -> np.ndarray:
+    """Consensus clustering: agglomerate the co-assignment matrix.
+
+    Runs ``factory`` ``n_runs`` times, builds the consensus matrix, and cuts
+    an average-linkage dendrogram of ``1 - consensus`` into ``n_clusters``
+    groups — a standard way to stabilize a stochastic base clusterer.
+    """
+    from ..clustering.hierarchical import cut_tree, linkage_matrix
+
+    check_positive_int(n_clusters, "n_clusters")
+    C = consensus_matrix(factory, X, n_runs=n_runs, rng=rng)
+    D = 1.0 - C
+    np.fill_diagonal(D, 0.0)
+    merges = linkage_matrix(D, "average")
+    return cut_tree(merges, n_clusters)

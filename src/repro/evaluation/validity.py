@@ -1,0 +1,106 @@
+"""Internal cluster-validity indices beyond the silhouette.
+
+Companions to :mod:`repro.evaluation.intrinsic` for choosing ``k`` or
+comparing partitions without labels (paper Section 2.6, footnote 2). All
+three consume an arbitrary dissimilarity matrix so they compose with SBD,
+cDTW, or ED alike:
+
+* :func:`davies_bouldin` — mean over clusters of the worst
+  (scatter_i + scatter_j) / separation_ij ratio; **lower is better**;
+* :func:`dunn_index` — minimum between-cluster separation over maximum
+  within-cluster diameter; **higher is better**;
+* :func:`within_between_ratio` — mean within-cluster dissimilarity over
+  mean between-cluster dissimilarity; **lower is better**.
+
+Medoid-style definitions (scatter = mean distance to the cluster medoid)
+are used so only the matrix is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["davies_bouldin", "dunn_index", "within_between_ratio"]
+
+
+def _check(D, labels) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    D = np.asarray(D, dtype=np.float64)
+    labels = np.asarray(labels).ravel()
+    if D.ndim != 2 or D.shape[0] != D.shape[1]:
+        raise InvalidParameterError("D must be a square dissimilarity matrix")
+    if labels.shape[0] != D.shape[0]:
+        raise InvalidParameterError("labels must have one entry per row of D")
+    unique = np.unique(labels)
+    if unique.shape[0] < 2:
+        raise InvalidParameterError("validity indices require >= 2 clusters")
+    return D, labels, unique
+
+
+def _medoid_and_scatter(D: np.ndarray, idx: np.ndarray) -> Tuple[int, float]:
+    """Medoid (min total dissimilarity) and mean distance to it."""
+    sub = D[np.ix_(idx, idx)]
+    medoid_local = int(np.argmin(sub.sum(axis=1)))
+    scatter = float(sub[medoid_local].mean())
+    return int(idx[medoid_local]), scatter
+
+
+def davies_bouldin(D, labels) -> float:
+    """Davies-Bouldin index from a dissimilarity matrix (lower is better)."""
+    D, labels, unique = _check(D, labels)
+    medoids, scatters = [], []
+    for c in unique:
+        medoid, scatter = _medoid_and_scatter(D, np.flatnonzero(labels == c))
+        medoids.append(medoid)
+        scatters.append(scatter)
+    k = len(unique)
+    worst = np.zeros(k)
+    for i in range(k):
+        for j in range(k):
+            if i == j:
+                continue
+            separation = D[medoids[i], medoids[j]]
+            if separation <= 0:
+                ratio = np.inf
+            else:
+                ratio = (scatters[i] + scatters[j]) / separation
+            worst[i] = max(worst[i], ratio)
+    return float(worst.mean())
+
+
+def dunn_index(D, labels) -> float:
+    """Dunn index from a dissimilarity matrix (higher is better)."""
+    D, labels, unique = _check(D, labels)
+    groups = [np.flatnonzero(labels == c) for c in unique]
+    max_diameter = 0.0
+    for idx in groups:
+        if idx.shape[0] > 1:
+            sub = D[np.ix_(idx, idx)]
+            max_diameter = max(max_diameter, float(sub.max()))
+    min_separation = np.inf
+    for i in range(len(groups)):
+        for j in range(i + 1, len(groups)):
+            sep = float(D[np.ix_(groups[i], groups[j])].min())
+            min_separation = min(min_separation, sep)
+    if max_diameter == 0.0:
+        return np.inf if min_separation > 0 else 0.0
+    return min_separation / max_diameter
+
+
+def within_between_ratio(D, labels) -> float:
+    """Mean within-cluster over mean between-cluster dissimilarity."""
+    D, labels, unique = _check(D, labels)
+    same = labels[:, None] == labels[None, :]
+    off_diag = ~np.eye(D.shape[0], dtype=bool)
+    within_mask = same & off_diag
+    between_mask = ~same
+    if not within_mask.any():
+        return 0.0
+    within = float(D[within_mask].mean())
+    between = float(D[between_mask].mean()) if between_mask.any() else np.inf
+    if between == 0.0:
+        return np.inf if within > 0 else 0.0
+    return within / between

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch one type to handle any library-originated failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeMismatchError(ReproError, ValueError):
+    """Two sequences (or arrays) have incompatible shapes."""
+
+
+class EmptyInputError(ReproError, ValueError):
+    """An operation received an empty sequence or an empty collection."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside its valid domain (e.g., k < 1, window < 0)."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative procedure hit its iteration cap before converging."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator method requiring a prior ``fit`` was called too early."""
+
+
+class UnknownNameError(ReproError, KeyError):
+    """A registry lookup (distance, dataset, method) failed."""

@@ -1,0 +1,17 @@
+"""Feature- and model-based representations (paper Sections 2.4 and 6)."""
+
+from .characteristics import (
+    FEATURE_NAMES,
+    extract_feature_matrix,
+    extract_features,
+)
+from .model_based import ar_feature_matrix, fit_ar, lpc_cepstrum
+
+__all__ = [
+    "FEATURE_NAMES",
+    "extract_features",
+    "extract_feature_matrix",
+    "fit_ar",
+    "lpc_cepstrum",
+    "ar_feature_matrix",
+]

@@ -1,0 +1,133 @@
+"""Characteristic-based features (Wang, Smith & Hyndman [82]).
+
+The paper's Section 2.4 divides clustering approaches into raw-based,
+feature-based, and model-based, and argues for raw-based methods because
+feature- and model-based ones are usually domain-dependent. To make that
+comparison runnable, this module implements the classic global
+*characteristics* feature vector: statistical summaries that map each
+series to a fixed-length vector which any conventional clusterer can
+consume.
+
+Features (13): mean, standard deviation, skewness, kurtosis, trend
+strength, seasonality strength (via the dominant non-zero frequency),
+serial correlation (lag-1 autocorrelation), nonlinearity proxy
+(autocorrelation of squared values), self-similarity (sum of first
+autocorrelations), chaos proxy (mean absolute first difference),
+periodicity (dominant period fraction), peak sharpness, and
+crossing-rate of the mean.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .._validation import as_dataset, as_series
+
+__all__ = ["FEATURE_NAMES", "extract_features", "extract_feature_matrix"]
+
+FEATURE_NAMES = (
+    "mean",
+    "std",
+    "skewness",
+    "kurtosis",
+    "trend",
+    "seasonality",
+    "autocorr1",
+    "nonlinearity",
+    "self_similarity",
+    "roughness",
+    "period",
+    "peak_sharpness",
+    "crossing_rate",
+)
+
+
+def _autocorrelation(x: np.ndarray, lag: int) -> float:
+    """Sample autocorrelation at ``lag`` (0 when the variance vanishes)."""
+    if lag >= x.shape[0]:
+        return 0.0
+    centered = x - x.mean()
+    denom = float(np.dot(centered, centered))
+    if denom <= 1e-12:
+        return 0.0
+    return float(np.dot(centered[lag:], centered[:-lag] if lag else centered)) / denom
+
+
+def extract_features(x) -> np.ndarray:
+    """Feature vector of one series, ordered as :data:`FEATURE_NAMES`."""
+    xv = as_series(x, "x")
+    m = xv.shape[0]
+    mu = float(xv.mean())
+    sigma = float(xv.std())
+    centered = xv - mu
+    if sigma > 1e-12:
+        standardized = centered / sigma
+        skewness = float(np.mean(standardized**3))
+        kurtosis = float(np.mean(standardized**4)) - 3.0
+    else:
+        standardized = np.zeros_like(xv)
+        skewness = 0.0
+        kurtosis = 0.0
+
+    # Trend strength: R^2 of the least-squares line.
+    t = np.arange(m, dtype=np.float64)
+    if m > 1 and sigma > 1e-12:
+        slope, intercept = np.polyfit(t, xv, 1)
+        residual = xv - (slope * t + intercept)
+        trend = max(0.0, 1.0 - residual.var() / xv.var())
+    else:
+        trend = 0.0
+
+    # Seasonality strength + dominant period via the periodogram.
+    spectrum = np.abs(np.fft.rfft(centered)) ** 2
+    if spectrum.shape[0] > 1 and spectrum[1:].sum() > 1e-12:
+        dominant = int(np.argmax(spectrum[1:])) + 1
+        seasonality = float(spectrum[dominant] / spectrum[1:].sum())
+        period = float(m / dominant) / m
+    else:
+        seasonality = 0.0
+        period = 0.0
+
+    autocorr1 = _autocorrelation(xv, 1)
+    nonlinearity = _autocorrelation(centered**2, 1)
+    self_similarity = float(
+        np.sum([_autocorrelation(xv, lag) for lag in range(1, min(10, m))])
+    )
+    roughness = float(np.mean(np.abs(np.diff(xv)))) if m > 1 else 0.0
+    if sigma > 1e-12:
+        roughness /= sigma
+
+    peak = float(standardized.max()) if m else 0.0
+    crossings = (
+        float(np.mean(np.diff(np.signbit(centered)) != 0)) if m > 1 else 0.0
+    )
+
+    return np.array([
+        mu, sigma, skewness, kurtosis, trend, seasonality, autocorr1,
+        nonlinearity, self_similarity, roughness, period, peak, crossings,
+    ])
+
+
+def extract_feature_matrix(X, normalize: bool = True) -> np.ndarray:
+    """Feature matrix ``(n, 13)`` of a collection, optionally standardized.
+
+    Parameters
+    ----------
+    normalize:
+        Standardize each feature column to zero mean / unit variance across
+        the collection (constant columns become zeros), so no feature
+        dominates a Euclidean comparison.
+    """
+    data = as_dataset(X, "X")
+    rows: List[np.ndarray] = [extract_features(row) for row in data]
+    F = np.vstack(rows)
+    if normalize:
+        mu = F.mean(axis=0)
+        sigma = F.std(axis=0)
+        safe = sigma > 1e-12
+        F = F - mu
+        F[:, safe] /= sigma[safe]
+        F[:, ~safe] = 0.0
+    return F

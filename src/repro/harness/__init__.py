@@ -1,0 +1,62 @@
+"""Benchmark harness: timed experiment runs and paper-style reports."""
+
+from .experiments import (
+    ClusteringEvaluation,
+    DistanceEvaluation,
+    KMEANS_VARIANTS,
+    NONSCALABLE_METHODS,
+    compute_dissimilarity_matrices,
+    evaluate_distance_measures,
+    evaluate_kmeans_variants,
+    evaluate_lb_runtimes,
+    evaluate_nonscalable_methods,
+)
+from .cache import MatrixCache
+from .grid import GridResult, grid_search_supervised, grid_search_unsupervised
+from .report import (
+    format_comparison_table,
+    format_rank_line,
+    format_scatter,
+    format_table,
+    table_to_csv,
+    table_to_markdown,
+)
+from .runner import ExperimentResult, average_over_runs, run_matrix, timed
+from .viz import (
+    cluster_summary,
+    line_plot,
+    matrix_heatmap,
+    render_dendrogram,
+    sparkline,
+)
+
+__all__ = [
+    "timed",
+    "run_matrix",
+    "average_over_runs",
+    "ExperimentResult",
+    "format_table",
+    "format_comparison_table",
+    "format_rank_line",
+    "format_scatter",
+    "evaluate_distance_measures",
+    "evaluate_lb_runtimes",
+    "evaluate_kmeans_variants",
+    "compute_dissimilarity_matrices",
+    "evaluate_nonscalable_methods",
+    "DistanceEvaluation",
+    "ClusteringEvaluation",
+    "KMEANS_VARIANTS",
+    "NONSCALABLE_METHODS",
+    "sparkline",
+    "line_plot",
+    "cluster_summary",
+    "render_dendrogram",
+    "matrix_heatmap",
+    "GridResult",
+    "grid_search_supervised",
+    "grid_search_unsupervised",
+    "MatrixCache",
+    "table_to_markdown",
+    "table_to_csv",
+]

@@ -1,0 +1,88 @@
+"""Disk cache for dissimilarity matrices.
+
+The non-scalable pipeline's bottleneck is the ``n x n`` matrix (Section
+5.3); recomputing a cDTW matrix on every run wastes minutes. This cache
+keys matrices by (data fingerprint, metric name) and stores them as
+compressed ``.npz`` files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Union
+
+import numpy as np
+
+from .._validation import as_dataset
+from ..distances.base import DistanceFn
+from ..distances.matrix import pairwise_distances
+
+__all__ = ["MatrixCache"]
+
+
+class MatrixCache:
+    """File-backed cache of pairwise dissimilarity matrices.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory (created on demand).
+
+    Examples
+    --------
+    >>> import tempfile, numpy as np
+    >>> cache = MatrixCache(tempfile.mkdtemp())
+    >>> X = np.random.default_rng(0).normal(size=(10, 16))
+    >>> D1 = cache.pairwise(X, "sbd")     # computed
+    >>> D2 = cache.pairwise(X, "sbd")     # loaded from disk
+    >>> bool(np.array_equal(D1, D2))
+    True
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+
+    def _key(self, X: np.ndarray, metric_name: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(X).tobytes())
+        digest.update(str(X.shape).encode())
+        digest.update(metric_name.encode())
+        return digest.hexdigest()[:32]
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.npz")
+
+    def pairwise(
+        self, X, metric: Union[str, DistanceFn] = "ed"
+    ) -> np.ndarray:
+        """Pairwise matrix of ``X`` under ``metric``, cached on disk.
+
+        Callables are cached under their qualified name — callers must
+        ensure distinct callables carry distinct names.
+        """
+        data = as_dataset(X, "X")
+        metric_name = (
+            metric if isinstance(metric, str)
+            else getattr(metric, "__qualname__", repr(metric))
+        )
+        key = self._key(data, metric_name)
+        path = self._path(key)
+        if os.path.exists(path):
+            with np.load(path) as archive:
+                return archive["D"]
+        D = pairwise_distances(data, metric=metric)
+        os.makedirs(self.directory, exist_ok=True)
+        np.savez_compressed(path, D=D)
+        return D
+
+    def clear(self) -> int:
+        """Delete every cached matrix; returns the number removed."""
+        if not os.path.isdir(self.directory):
+            return 0
+        removed = 0
+        for name in os.listdir(self.directory):
+            if name.endswith(".npz"):
+                os.remove(os.path.join(self.directory, name))
+                removed += 1
+        return removed

@@ -1,0 +1,194 @@
+"""Plain-text report formatting for the benchmark harness.
+
+The benchmarks print tables shaped like the paper's (Tables 2-4) and ASCII
+renderings of its rank figures (Figures 6, 8, 9) and scatter plots
+(Figures 5, 7). Everything is monospace text so results live in terminals
+and CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+import numpy as np
+
+from ..stats.comparison import ComparisonRow
+
+__all__ = [
+    "format_table",
+    "format_comparison_table",
+    "format_rank_line",
+    "format_scatter",
+    "table_to_markdown",
+    "table_to_csv",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_fmt.format(value))
+            elif isinstance(value, bool):
+                cells.append("yes" if value else "no")
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(str(headers[c])), *(len(r[c]) for r in rendered))
+        if rendered
+        else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    rows: Sequence[ComparisonRow],
+    baseline: str,
+    score_name: str = "Accuracy",
+    runtime_factors: Mapping[str, float] = None,
+    title: str = "",
+) -> str:
+    """Render Wilcoxon comparison rows in the paper's Table 2/3/4 layout."""
+    headers = ["Method", ">", "=", "<", "Better", "Worse", f"Avg {score_name}"]
+    if runtime_factors is not None:
+        headers.append("Runtime")
+    table_rows = []
+    for row in rows:
+        cells = [
+            row.name,
+            row.wins,
+            row.ties,
+            row.losses,
+            row.significantly_better,
+            row.significantly_worse,
+            row.mean_score,
+        ]
+        if runtime_factors is not None:
+            cells.append(f"{runtime_factors.get(row.name, float('nan')):.1f}x")
+        table_rows.append(cells)
+    full_title = title or f"Comparison against baseline {baseline}"
+    return format_table(headers, table_rows, title=full_title)
+
+
+def format_rank_line(
+    names: Sequence[str],
+    ranks: Sequence[float],
+    critical_difference: float = None,
+    title: str = "",
+) -> str:
+    """ASCII version of the paper's average-rank figures (Figs. 6/8/9)."""
+    order = np.argsort(ranks)
+    lines = []
+    if title:
+        lines.append(title)
+    for idx in order:
+        lines.append(f"  rank {ranks[idx]:5.2f}  {names[idx]}")
+    if critical_difference is not None:
+        lines.append(f"  critical difference (Nemenyi): {critical_difference:.3f}")
+    return "\n".join(lines)
+
+
+def format_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    xlabel: str,
+    ylabel: str,
+    size: int = 21,
+    title: str = "",
+) -> str:
+    """ASCII scatter of per-dataset scores (paper Figures 5/7).
+
+    Points above the diagonal mean ``y`` (the method on the vertical axis)
+    beats ``x`` on that dataset. The diagonal is drawn with ``.``, points
+    with ``o`` (and ``#`` where several overlap).
+    """
+    xv = np.asarray(x, dtype=np.float64)
+    yv = np.asarray(y, dtype=np.float64)
+    lo = min(xv.min(), yv.min(), 0.0)
+    hi = max(xv.max(), yv.max(), 1.0)
+    span = hi - lo or 1.0
+    grid = [[" "] * size for _ in range(size)]
+    for d in range(size):
+        grid[size - 1 - d][d] = "."
+    for px, py in zip(xv, yv):
+        col = int(round((px - lo) / span * (size - 1)))
+        row = size - 1 - int(round((py - lo) / span * (size - 1)))
+        grid[row][col] = "#" if grid[row][col] == "o" else "o"
+    above = int(np.sum(yv > xv))
+    below = int(np.sum(yv < xv))
+    ties = xv.shape[0] - above - below
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  y: {ylabel}   x: {xlabel}   (lo={lo:.2f}, hi={hi:.2f})")
+    lines.extend("  |" + "".join(r) + "|" for r in grid)
+    lines.append(
+        f"  above diagonal ({ylabel} wins): {above}, below: {below}, ties: {ties}"
+    )
+    return "\n".join(lines)
+
+
+def _render_cells(rows, float_fmt: str) -> List[List[str]]:
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_fmt.format(value))
+            elif isinstance(value, bool):
+                cells.append("yes" if value else "no")
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    return rendered
+
+
+def table_to_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a GitHub-flavored markdown table."""
+    rendered = _render_cells(rows, float_fmt)
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for cells in rendered:
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def table_to_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    float_fmt: str = "{:.6g}",
+) -> str:
+    """Render rows as CSV text (values quoted when they contain commas)."""
+    def quote(cell: str) -> str:
+        if "," in cell or '"' in cell or "\n" in cell:
+            return '"' + cell.replace('"', '""') + '"'
+        return cell
+
+    rendered = _render_cells(rows, float_fmt)
+    lines = [",".join(quote(str(h)) for h in headers)]
+    for cells in rendered:
+        lines.append(",".join(quote(c) for c in cells))
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Experiment runner: timing and per-dataset sweeps (paper Section 5).
+
+The evaluation repeats the same pattern for every table: run a set of named
+configurations over every archive dataset, collect an accuracy-like score
+and the elapsed CPU time, then aggregate into comparison rows. These
+helpers implement that loop once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping
+
+import numpy as np
+
+from .._validation import as_rng
+
+__all__ = ["timed", "ExperimentResult", "run_matrix", "average_over_runs"]
+
+
+def timed(fn: Callable, *args, **kwargs):
+    """Run ``fn`` and return ``(result, elapsed_seconds)`` (perf_counter)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class ExperimentResult:
+    """Scores and runtimes of named methods over named datasets.
+
+    Attributes
+    ----------
+    methods:
+        Method names, defining the column order.
+    datasets:
+        Dataset names, defining the row order.
+    scores:
+        ``(n_datasets, n_methods)`` score matrix.
+    runtimes:
+        ``(n_datasets, n_methods)`` elapsed seconds.
+    """
+
+    methods: List[str]
+    datasets: List[str]
+    scores: np.ndarray
+    runtimes: np.ndarray
+    extra: dict = field(default_factory=dict)
+
+    def scores_by_method(self) -> Dict[str, np.ndarray]:
+        """Mapping of method name to its per-dataset score vector."""
+        return {
+            name: self.scores[:, j] for j, name in enumerate(self.methods)
+        }
+
+    def mean_scores(self) -> Dict[str, float]:
+        return {
+            name: float(self.scores[:, j].mean())
+            for j, name in enumerate(self.methods)
+        }
+
+    def total_runtimes(self) -> Dict[str, float]:
+        return {
+            name: float(self.runtimes[:, j].sum())
+            for j, name in enumerate(self.methods)
+        }
+
+    def runtime_factors(self, baseline: str) -> Dict[str, float]:
+        """Per-method total runtime divided by the baseline's (paper style)."""
+        totals = self.total_runtimes()
+        base = totals[baseline]
+        if base <= 0:
+            base = 1e-12
+        return {name: totals[name] / base for name in self.methods}
+
+
+def run_matrix(
+    methods: Mapping[str, Callable],
+    datasets: Iterable,
+    evaluate: Callable,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """Run every method on every dataset.
+
+    Parameters
+    ----------
+    methods:
+        Mapping of name to method object/callable; what a "method" is, is up
+        to ``evaluate``.
+    datasets:
+        Iterable of :class:`~repro.datasets.base.Dataset` (or anything with
+        a ``name``).
+    evaluate:
+        Callable ``(method, dataset) -> float`` producing the score. It is
+        timed around its whole call.
+    verbose:
+        Print one progress line per (dataset, method) pair.
+
+    Returns
+    -------
+    ExperimentResult
+    """
+    datasets = list(datasets)
+    names = list(methods)
+    scores = np.zeros((len(datasets), len(names)))
+    runtimes = np.zeros_like(scores)
+    for di, dataset in enumerate(datasets):
+        for mi, mname in enumerate(names):
+            score, elapsed = timed(evaluate, methods[mname], dataset)
+            scores[di, mi] = score
+            runtimes[di, mi] = elapsed
+            if verbose:
+                print(
+                    f"  {getattr(dataset, 'name', di)!s:24s} {mname:16s} "
+                    f"score={score:.4f} time={elapsed:.3f}s"
+                )
+    return ExperimentResult(
+        methods=names,
+        datasets=[getattr(d, "name", str(i)) for i, d in enumerate(datasets)],
+        scores=scores,
+        runtimes=runtimes,
+    )
+
+
+def average_over_runs(
+    run_once: Callable[[np.random.Generator], float],
+    n_runs: int,
+    seed=None,
+) -> float:
+    """Mean of ``run_once(rng)`` over ``n_runs`` differently seeded runs.
+
+    Implements the paper's protocol of averaging the Rand Index of
+    partitional methods over 10 runs (spectral over 100), each with a
+    different random initialization.
+    """
+    rng = as_rng(seed)
+    values = [run_once(rng) for _ in range(n_runs)]
+    return float(np.mean(values))

@@ -1,0 +1,153 @@
+"""Terminal visualizations for series, clusters, and dendrograms.
+
+Pure-text renderings (no plotting dependency) used by the examples and
+handy for quick inspection in a REPL:
+
+* :func:`sparkline` — one-line unicode block rendering of a series;
+* :func:`line_plot` — multi-row ASCII chart of one or more series;
+* :func:`cluster_summary` — per-cluster sparklines of centroid + members;
+* :func:`render_dendrogram` — text dendrogram from a linkage matrix;
+* :func:`matrix_heatmap` — shaded text rendering of a (dissimilarity)
+  matrix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import as_dataset, as_series
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "sparkline",
+    "line_plot",
+    "cluster_summary",
+    "render_dendrogram",
+    "matrix_heatmap",
+]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_SHADES = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 72) -> str:
+    """Render a series as a one-line unicode sparkline."""
+    series = as_series(values, "values")
+    if width < 1:
+        raise InvalidParameterError(f"width must be >= 1, got {width}")
+    step = max(1, series.shape[0] // width)
+    vals = series[::step][:width]
+    lo, hi = vals.min(), vals.max()
+    span = (hi - lo) or 1.0
+    return "".join(
+        _BLOCKS[int((v - lo) / span * (len(_BLOCKS) - 1))] for v in vals
+    )
+
+
+def line_plot(
+    series_list: Sequence,
+    height: int = 12,
+    width: int = 72,
+    labels: Optional[Sequence[str]] = None,
+    markers: str = "ox+*#@",
+) -> str:
+    """ASCII chart of one or more series on shared axes.
+
+    Each series is drawn with its own marker; overlaps show the later
+    series' marker. A legend line maps markers to ``labels``.
+    """
+    if not series_list:
+        raise InvalidParameterError("series_list must not be empty")
+    arrays = [as_series(s, f"series[{i}]") for i, s in enumerate(series_list)]
+    lo = min(a.min() for a in arrays)
+    hi = max(a.max() for a in arrays)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, arr in enumerate(arrays):
+        marker = markers[si % len(markers)]
+        xs = np.linspace(0, arr.shape[0] - 1, width).astype(int)
+        for col, xi in enumerate(xs):
+            row = height - 1 - int((arr[xi] - lo) / span * (height - 1))
+            grid[row][col] = marker
+    lines = [f"  {hi:+.2f} ┤" + "".join(grid[0])]
+    lines += ["         │" + "".join(row) for row in grid[1:-1]]
+    lines.append(f"  {lo:+.2f} ┤" + "".join(grid[-1]))
+    if labels:
+        legend = "   ".join(
+            f"{markers[i % len(markers)]} = {label}"
+            for i, label in enumerate(labels)
+        )
+        lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def cluster_summary(
+    X,
+    labels,
+    centroids=None,
+    max_members: int = 3,
+    width: int = 60,
+) -> str:
+    """Per-cluster sparklines: the centroid (if given) and a few members."""
+    data = as_dataset(X, "X")
+    labels = np.asarray(labels).ravel()
+    if labels.shape[0] != data.shape[0]:
+        raise InvalidParameterError("labels must have one entry per sequence")
+    lines: List[str] = []
+    for j in sorted(np.unique(labels)):
+        members = data[labels == j]
+        lines.append(f"cluster {j} ({members.shape[0]} members)")
+        if centroids is not None:
+            lines.append(f"  centroid: {sparkline(centroids[j], width)}")
+        for row in members[:max_members]:
+            lines.append(f"  member  : {sparkline(row, width)}")
+    return "\n".join(lines)
+
+
+def render_dendrogram(merges, labels: Optional[Sequence[str]] = None) -> str:
+    """Text dendrogram of a linkage matrix (one merge per line).
+
+    Each line shows the merge height and the leaves of the newly formed
+    cluster — a compact alternative to a graphical dendrogram that stays
+    readable for the dataset sizes hierarchical methods handle.
+    """
+    merges = np.asarray(merges, dtype=np.float64)
+    if merges.ndim != 2 or merges.shape[1] != 4:
+        raise InvalidParameterError("merges must be an (n-1, 4) linkage matrix")
+    n = merges.shape[0] + 1
+    if labels is None:
+        labels = [str(i) for i in range(n)]
+    if len(labels) != n:
+        raise InvalidParameterError(f"need {n} leaf labels, got {len(labels)}")
+    members = {i: [labels[i]] for i in range(n)}
+    lines = []
+    for t in range(merges.shape[0]):
+        a, b, height, _ = merges[t]
+        merged = members.pop(int(a)) + members.pop(int(b))
+        members[n + t] = merged
+        shown = ", ".join(merged[:6]) + (", ..." if len(merged) > 6 else "")
+        lines.append(f"  h={height:8.4f}  {{{shown}}} ({len(merged)})")
+    return "\n".join(lines)
+
+
+def matrix_heatmap(M, width: int = 60) -> str:
+    """Shaded text rendering of a matrix (darker character = larger value)."""
+    arr = np.asarray(M, dtype=np.float64)
+    if arr.ndim != 2:
+        raise InvalidParameterError("M must be 2-dimensional")
+    lo, hi = arr.min(), arr.max()
+    span = (hi - lo) or 1.0
+    col_step = max(1, arr.shape[1] // width)
+    row_step = max(1, arr.shape[0] // (width // 2))
+    lines = []
+    for i in range(0, arr.shape[0], row_step):
+        row = arr[i, ::col_step]
+        lines.append(
+            "  "
+            + "".join(
+                _SHADES[int((v - lo) / span * (len(_SHADES) - 1))] for v in row
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Multivariate extension: shared-shift SBD and multivariate k-Shape."""
+
+from .distance import (
+    as_mv_dataset,
+    as_mv_series,
+    mv_ncc_max,
+    mv_sbd,
+    mv_sbd_with_alignment,
+    mv_shift,
+    mv_zscore,
+)
+from .kshape import MultivariateKShape, mv_shape_extraction
+
+__all__ = [
+    "mv_sbd",
+    "mv_sbd_with_alignment",
+    "mv_ncc_max",
+    "mv_shift",
+    "mv_zscore",
+    "as_mv_series",
+    "as_mv_dataset",
+    "MultivariateKShape",
+    "mv_shape_extraction",
+]

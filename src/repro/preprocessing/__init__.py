@@ -1,0 +1,44 @@
+"""Preprocessing: normalizations and sequence utilities (paper Section 2.2)."""
+
+from .reduction import downsample, paa
+from .smoothing import (
+    detrend,
+    difference,
+    exponential_smoothing,
+    fill_missing,
+    moving_average,
+)
+from .normalization import (
+    apply_optimal_scaling,
+    minmax_scale,
+    optimal_scaling_coefficient,
+    random_amplitude_distortion,
+    zscore,
+)
+from .utils import (
+    next_power_of_two,
+    pad_to_length,
+    resample_linear,
+    shift_series,
+    sliding_windows,
+)
+
+__all__ = [
+    "zscore",
+    "minmax_scale",
+    "optimal_scaling_coefficient",
+    "apply_optimal_scaling",
+    "random_amplitude_distortion",
+    "shift_series",
+    "next_power_of_two",
+    "pad_to_length",
+    "resample_linear",
+    "sliding_windows",
+    "paa",
+    "downsample",
+    "moving_average",
+    "exponential_smoothing",
+    "detrend",
+    "difference",
+    "fill_missing",
+]

@@ -1,0 +1,74 @@
+"""Dimensionality reduction for long sequences (paper Section 3.3).
+
+k-Shape's per-iteration cost carries m^2 / m^3 terms from the centroid
+eigendecomposition, so the paper notes that "in rare cases where m is very
+large, segmentation or dimensionality reduction approaches can be used to
+sufficiently reduce the length of the sequences [10, 49]". This module
+supplies the standard reductions:
+
+* :func:`paa` — Piecewise Aggregate Approximation (segment means);
+* :func:`downsample` — plain strided decimation;
+* plus :func:`repro.preprocessing.utils.resample_linear` for interpolation
+  and :func:`repro.preprocessing.utils.sliding_windows` for segmentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_dataset, as_series, check_positive_int
+from ..exceptions import InvalidParameterError
+
+__all__ = ["paa", "downsample"]
+
+
+def paa(x, n_segments: int) -> np.ndarray:
+    """Piecewise Aggregate Approximation of a series (or each row).
+
+    Splits the series into ``n_segments`` near-equal pieces and represents
+    each by its mean. Handles lengths not divisible by ``n_segments`` with
+    the fractional-weight scheme (each sample contributes to the segment(s)
+    covering it proportionally).
+
+    Parameters
+    ----------
+    x:
+        1-D series or 2-D ``(n, m)`` stack.
+    n_segments:
+        Output length; must satisfy ``1 <= n_segments <= m``.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    single = arr.ndim == 1
+    data = as_dataset(arr, "x")
+    m = data.shape[1]
+    n_segments = check_positive_int(n_segments, "n_segments")
+    if n_segments > m:
+        raise InvalidParameterError(
+            f"n_segments={n_segments} exceeds series length {m}"
+        )
+    if m % n_segments == 0:
+        out = data.reshape(data.shape[0], n_segments, m // n_segments).mean(axis=2)
+    else:
+        # Fractional scheme: sample j spreads uniformly over [j, j+1) in a
+        # rescaled axis of length n_segments.
+        edges = np.linspace(0, m, n_segments + 1)
+        out = np.empty((data.shape[0], n_segments))
+        for s in range(n_segments):
+            lo, hi = edges[s], edges[s + 1]
+            first, last = int(np.floor(lo)), int(np.ceil(hi))
+            weights = np.ones(last - first)
+            weights[0] -= lo - first
+            weights[-1] -= last - hi
+            out[:, s] = data[:, first:last] @ weights / weights.sum()
+    return out[0] if single else out
+
+
+def downsample(x, factor: int) -> np.ndarray:
+    """Keep every ``factor``-th sample of a series (or of each row)."""
+    factor = check_positive_int(factor, "factor")
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 1:
+        as_series(arr, "x")
+        return arr[::factor].copy()
+    as_dataset(arr, "x")
+    return arr[:, ::factor].copy()

@@ -1,0 +1,142 @@
+"""Smoothing, detrending, and missing-value handling (Section 2.2 support).
+
+Preprocessing companions for the invariances the paper catalogs:
+
+* complexity invariance — :func:`moving_average` and
+  :func:`exponential_smoothing` reduce noise-level differences between
+  sequences before comparison;
+* trend distortion — :func:`detrend` removes a least-squares linear trend,
+  :func:`difference` removes it by differencing;
+* occlusion invariance — :func:`fill_missing` repairs NaN gaps (the "missing
+  subsequences" distortion) by linear interpolation or last-observation
+  carry-forward, so the equal-length, finite-value pipeline can proceed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import EmptyInputError, InvalidParameterError
+
+__all__ = [
+    "moving_average",
+    "exponential_smoothing",
+    "detrend",
+    "difference",
+    "fill_missing",
+]
+
+
+def _as_series_allow_nan(x, name: str = "x") -> np.ndarray:
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 2 and 1 in arr.shape:
+        arr = arr.ravel()
+    if arr.ndim != 1:
+        raise InvalidParameterError(f"{name} must be 1-dimensional")
+    if arr.size == 0:
+        raise EmptyInputError(f"{name} must not be empty")
+    return arr
+
+
+def _as_finite_series(x, name: str = "x") -> np.ndarray:
+    arr = _as_series_allow_nan(x, name)
+    if not np.all(np.isfinite(arr)):
+        raise InvalidParameterError(
+            f"{name} contains NaN/inf; use fill_missing first"
+        )
+    return arr
+
+
+def moving_average(x, window: int = 3) -> np.ndarray:
+    """Centered moving average with edge windows shrunk symmetrically.
+
+    Keeps the output length equal to the input length; near the edges the
+    window is truncated rather than zero-padded, so no artificial damping
+    appears at the boundaries.
+    """
+    arr = _as_finite_series(x)
+    window = check_positive_int(window, "window")
+    if window == 1:
+        return arr.copy()
+    half = window // 2
+    cumsum = np.concatenate(([0.0], np.cumsum(arr)))
+    n = arr.shape[0]
+    out = np.empty(n)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out[i] = (cumsum[hi] - cumsum[lo]) / (hi - lo)
+    return out
+
+
+def exponential_smoothing(x, alpha: float = 0.3) -> np.ndarray:
+    """Simple exponential smoothing ``s_t = alpha x_t + (1 - alpha) s_{t-1}``."""
+    arr = _as_finite_series(x)
+    if not 0.0 < alpha <= 1.0:
+        raise InvalidParameterError(f"alpha must be in (0, 1], got {alpha}")
+    out = np.empty_like(arr)
+    out[0] = arr[0]
+    for i in range(1, arr.shape[0]):
+        out[i] = alpha * arr[i] + (1.0 - alpha) * out[i - 1]
+    return out
+
+
+def detrend(x) -> np.ndarray:
+    """Remove the least-squares linear trend from a series."""
+    arr = _as_finite_series(x)
+    if arr.shape[0] < 2:
+        return arr - arr.mean()
+    t = np.arange(arr.shape[0], dtype=np.float64)
+    slope, intercept = np.polyfit(t, arr, 1)
+    return arr - (slope * t + intercept)
+
+
+def difference(x, order: int = 1) -> np.ndarray:
+    """``order``-th discrete difference (length shrinks by ``order``)."""
+    arr = _as_finite_series(x)
+    order = check_positive_int(order, "order")
+    if order >= arr.shape[0]:
+        raise InvalidParameterError(
+            f"order={order} must be smaller than the series length"
+        )
+    return np.diff(arr, n=order)
+
+
+def fill_missing(x, method: str = "linear") -> np.ndarray:
+    """Repair NaN gaps in a series.
+
+    Parameters
+    ----------
+    method:
+        ``"linear"`` interpolates between the surrounding observations
+        (edges extend the nearest observation); ``"locf"`` carries the last
+        observation forward (leading NaNs take the first observation).
+
+    Raises
+    ------
+    InvalidParameterError
+        If *every* value is NaN (nothing to interpolate from).
+    """
+    arr = _as_series_allow_nan(x).copy()
+    missing = np.isnan(arr)
+    if not missing.any():
+        return arr
+    if missing.all():
+        raise InvalidParameterError("cannot fill a series that is entirely NaN")
+    idx = np.arange(arr.shape[0])
+    if method == "linear":
+        arr[missing] = np.interp(idx[missing], idx[~missing], arr[~missing])
+        return arr
+    if method == "locf":
+        filled = arr.copy()
+        last = arr[~missing][0]  # leading NaNs take the first observation
+        for i in range(filled.shape[0]):
+            if np.isnan(filled[i]):
+                filled[i] = last
+            else:
+                last = filled[i]
+        return filled
+    raise InvalidParameterError(
+        f"method must be 'linear' or 'locf', got {method!r}"
+    )

@@ -1,0 +1,122 @@
+"""Sequence manipulation utilities: shifting, padding, and resampling.
+
+These implement the building blocks the paper's algorithms rely on:
+Equation 5's zero-padded shift operator, power-of-two padding for the FFT
+(Section 3.1), and linear resampling for uniform-scaling experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_series, check_positive_int
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "shift_series",
+    "next_power_of_two",
+    "pad_to_length",
+    "resample_linear",
+    "sliding_windows",
+]
+
+
+def shift_series(x, s: int) -> np.ndarray:
+    """Shift a series by ``s`` positions, zero-padding the vacated ends.
+
+    Implements Equation 5 of the paper: a positive ``s`` moves the sequence
+    to the right (prepending ``s`` zeros and dropping the tail); a negative
+    ``s`` moves it to the left. ``|s| >= len(x)`` yields an all-zero series.
+
+    Parameters
+    ----------
+    x:
+        1-D series.
+    s:
+        Integer shift; positive shifts right, negative shifts left.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shifted series with the same length as ``x``.
+    """
+    arr = as_series(x)
+    m = arr.shape[0]
+    s = int(s)
+    if abs(s) >= m:
+        return np.zeros_like(arr)
+    out = np.zeros_like(arr)
+    if s >= 0:
+        out[s:] = arr[: m - s]
+    else:
+        out[: m + s] = arr[-s:]
+    return out
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two that is >= ``n`` (with ``next_power_of_two(0) == 1``).
+
+    Used by the optimized SBD (Algorithm 1, line 1) to pad FFT inputs to a
+    power-of-two length, which recursive FFT implementations favor.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be non-negative, got {n}")
+    if n <= 1:
+        return 1
+    return 1 << (int(n - 1).bit_length())
+
+
+def pad_to_length(x, length: int, value: float = 0.0) -> np.ndarray:
+    """Right-pad a series with ``value`` up to ``length``.
+
+    Raises
+    ------
+    InvalidParameterError
+        If ``length`` is shorter than the series.
+    """
+    arr = as_series(x)
+    length = check_positive_int(length, "length")
+    if length < arr.shape[0]:
+        raise InvalidParameterError(
+            f"length={length} is shorter than the series ({arr.shape[0]})"
+        )
+    if length == arr.shape[0]:
+        return arr.copy()
+    out = np.full(length, value, dtype=np.float64)
+    out[: arr.shape[0]] = arr
+    return out
+
+
+def resample_linear(x, length: int) -> np.ndarray:
+    """Resample a series to ``length`` points by linear interpolation.
+
+    Provides the stretching/shrinking needed for uniform-scaling invariance
+    (Section 2.2): sequences of different lengths can be brought to a common
+    length before comparison.
+    """
+    arr = as_series(x)
+    length = check_positive_int(length, "length")
+    if length == arr.shape[0]:
+        return arr.copy()
+    if arr.shape[0] == 1:
+        return np.full(length, arr[0], dtype=np.float64)
+    old_t = np.linspace(0.0, 1.0, arr.shape[0])
+    new_t = np.linspace(0.0, 1.0, length)
+    return np.interp(new_t, old_t, arr)
+
+
+def sliding_windows(x, window: int, step: int = 1) -> np.ndarray:
+    """Extract overlapping windows from a series as a ``(k, window)`` array.
+
+    Useful for segmenting very long sequences before clustering (the paper's
+    Section 3.3 suggests segmentation when ``m`` is very large).
+    """
+    arr = as_series(x)
+    window = check_positive_int(window, "window")
+    step = check_positive_int(step, "step")
+    if window > arr.shape[0]:
+        raise InvalidParameterError(
+            f"window={window} exceeds series length {arr.shape[0]}"
+        )
+    starts = range(0, arr.shape[0] - window + 1, step)
+    return np.stack([arr[s : s + window] for s in starts])

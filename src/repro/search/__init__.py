@@ -1,0 +1,13 @@
+"""Subsequence search and anomaly discovery (the paper's intro tasks)."""
+
+from .discord import find_discords, matrix_profile
+from .subsequence import best_match, mass, sbd_profile, top_k_matches
+
+__all__ = [
+    "mass",
+    "best_match",
+    "top_k_matches",
+    "sbd_profile",
+    "matrix_profile",
+    "find_discords",
+]

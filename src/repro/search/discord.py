@@ -1,0 +1,78 @@
+"""Discord (anomalous subsequence) discovery via distance profiles.
+
+A *discord* is the subsequence of a long series that is farthest from its
+nearest non-overlapping neighbor — the classic definition of a time-series
+anomaly. With the FFT distance profile (:func:`repro.search.mass`) the
+discovery is exact and ``O(n^2 log n)``: one profile per window, masking
+the trivial-match zone around the window itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .._validation import as_series, check_positive_int
+from ..exceptions import InvalidParameterError
+from .subsequence import mass
+
+__all__ = ["matrix_profile", "find_discords"]
+
+
+def matrix_profile(series, window: int) -> np.ndarray:
+    """Nearest-neighbor distance of every window to the rest of the series.
+
+    Entry ``i`` holds the smallest z-normalized ED between the window
+    starting at ``i`` and any window at least ``window // 2`` away (the
+    exclusion zone that suppresses trivial self-matches). Flat (constant)
+    windows carry ``inf`` density of trivial matches, so they are assigned
+    profile 0 — a constant region is never anomalous by itself.
+    """
+    x = as_series(series, "series")
+    window = check_positive_int(window, "window")
+    n = x.shape[0]
+    if window > n // 2:
+        raise InvalidParameterError(
+            f"window={window} too large for series of length {n}"
+        )
+    n_windows = n - window + 1
+    exclusion = max(1, window // 2)
+    profile = np.empty(n_windows)
+    for i in range(n_windows):
+        q = x[i : i + window]
+        if q.std() < 1e-12:
+            profile[i] = 0.0
+            continue
+        dists = mass(q, x)
+        lo = max(0, i - exclusion)
+        hi = min(n_windows, i + exclusion + 1)
+        dists[lo:hi] = np.inf
+        profile[i] = float(dists.min())
+    return profile
+
+
+def find_discords(
+    series, window: int, k: int = 1
+) -> List[Tuple[int, float]]:
+    """The ``k`` most anomalous (non-overlapping) subsequences.
+
+    Returns
+    -------
+    list of (start_index, nearest_neighbor_distance)
+        Sorted most-anomalous first; at most ``k`` entries.
+    """
+    check_positive_int(k, "k")
+    profile = matrix_profile(series, window).copy()
+    exclusion = max(1, window // 2)
+    discords: List[Tuple[int, float]] = []
+    for _ in range(k):
+        idx = int(np.argmax(profile))
+        value = float(profile[idx])
+        if not np.isfinite(value) or value <= 0.0:
+            break
+        discords.append((idx, value))
+        lo = max(0, idx - exclusion)
+        hi = min(profile.shape[0], idx + exclusion + 1)
+        profile[lo:hi] = -np.inf
+    return discords

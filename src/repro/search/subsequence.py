@@ -1,0 +1,139 @@
+"""Subsequence similarity search (the querying task of the paper's intro).
+
+The paper motivates time-series mining with querying and indexing [2, 19,
+41-48]; this module provides the standard building block: finding where a
+short query best matches inside a long series.
+
+* :func:`mass` — Mueen's Algorithm for Similarity Search: the z-normalized
+  Euclidean distance between the query and *every* window of the series,
+  computed in ``O(n log n)`` with one FFT cross-correlation plus running
+  moments — the same convolution trick SBD uses (Section 3.1).
+* :func:`best_match` / :func:`top_k_matches` — the locations of the best
+  (non-overlapping) matches from a MASS profile.
+* :func:`sbd_profile` — the SBD analog: the shape-based distance between
+  the query and every window, for shift-invariant queries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .._validation import as_series, check_positive_int
+from ..core.sbd import sbd
+from ..exceptions import InvalidParameterError
+from ..preprocessing.utils import next_power_of_two
+
+__all__ = ["mass", "best_match", "top_k_matches", "sbd_profile"]
+
+
+def _sliding_moments(x: np.ndarray, w: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Means and standard deviations of every length-``w`` window of ``x``."""
+    cumsum = np.concatenate(([0.0], np.cumsum(x)))
+    cumsum_sq = np.concatenate(([0.0], np.cumsum(x**2)))
+    sums = cumsum[w:] - cumsum[:-w]
+    sums_sq = cumsum_sq[w:] - cumsum_sq[:-w]
+    means = sums / w
+    variances = np.maximum(sums_sq / w - means**2, 0.0)
+    return means, np.sqrt(variances)
+
+
+def mass(query, series, eps: float = 1e-12) -> np.ndarray:
+    """z-normalized Euclidean distance profile of ``query`` against ``series``.
+
+    Returns an array of length ``len(series) - len(query) + 1``; entry ``i``
+    is the z-normalized ED between the query and the window starting at
+    ``i``. Flat windows (zero variance) are assigned the distance of a flat
+    profile, ``sqrt(len(query))``.
+    """
+    q = as_series(query, "query")
+    x = as_series(series, "series")
+    w = q.shape[0]
+    n = x.shape[0]
+    if w > n:
+        raise InvalidParameterError(
+            f"query length {w} exceeds series length {n}"
+        )
+    q_std = q.std()
+    if q_std < eps:
+        raise InvalidParameterError("query must not be constant")
+    qz = (q - q.mean()) / q_std
+
+    # Dot products of qz with every window, via FFT cross-correlation.
+    fft_len = next_power_of_two(n + w)
+    fx = np.fft.rfft(x, fft_len)
+    fq = np.fft.rfft(qz[::-1], fft_len)
+    products = np.fft.irfft(fx * fq, fft_len)
+    dots = products[w - 1 : n]  # dots[i] = sum_j x[i + j] * qz[j]
+
+    means, stds = _sliding_moments(x, w)
+    # z-normalized window z has z . qz = (dots - w * mean * mean(qz)) / std;
+    # mean(qz) = 0, so z . qz = dots / std. Then dist^2 = 2w - 2 (z . qz)
+    # since both z-normalized vectors have squared norm w.
+    safe = stds >= eps
+    cross = np.zeros_like(dots)
+    np.divide(dots - means * qz.sum(), stds, out=cross, where=safe)
+    dist_sq = np.where(safe, np.maximum(2.0 * w - 2.0 * cross, 0.0), float(w))
+    return np.sqrt(dist_sq)
+
+
+def best_match(query, series) -> Tuple[int, float]:
+    """Start index and z-normalized ED of the query's best match."""
+    profile = mass(query, series)
+    idx = int(np.argmin(profile))
+    return idx, float(profile[idx])
+
+
+def top_k_matches(
+    query, series, k: int = 3, exclusion: int = None
+) -> List[Tuple[int, float]]:
+    """The ``k`` best non-overlapping matches, best first.
+
+    Parameters
+    ----------
+    exclusion:
+        Half-width of the zone masked around each selected match so
+        trivially-overlapping neighbors are skipped; defaults to half the
+        query length.
+
+    Returns
+    -------
+    list of (start_index, distance)
+        At most ``k`` entries (fewer when the exclusion zones exhaust the
+        profile).
+    """
+    check_positive_int(k, "k")
+    q = as_series(query, "query")
+    profile = mass(q, series).copy()
+    if exclusion is None:
+        exclusion = max(1, q.shape[0] // 2)
+    matches: List[Tuple[int, float]] = []
+    for _ in range(k):
+        idx = int(np.argmin(profile))
+        if not np.isfinite(profile[idx]):
+            break
+        matches.append((idx, float(profile[idx])))
+        lo = max(0, idx - exclusion)
+        hi = min(profile.shape[0], idx + exclusion + 1)
+        profile[lo:hi] = np.inf
+    return matches
+
+
+def sbd_profile(query, series, step: int = 1) -> np.ndarray:
+    """SBD between the query and every ``step``-strided window of the series.
+
+    Where :func:`mass` answers "where does this exact shape occur?", the SBD
+    profile answers the shift-invariant version — useful when the query's
+    phase inside the window is unknown. O(n/step * m log m).
+    """
+    q = as_series(query, "query")
+    x = as_series(series, "series")
+    check_positive_int(step, "step")
+    w = q.shape[0]
+    if w > x.shape[0]:
+        raise InvalidParameterError(
+            f"query length {w} exceeds series length {x.shape[0]}"
+        )
+    starts = range(0, x.shape[0] - w + 1, step)
+    return np.array([sbd(q, x[s : s + w]) for s in starts])

@@ -1,0 +1,31 @@
+"""Statistical analysis: Wilcoxon, Friedman, Nemenyi, rankings (Section 4)."""
+
+from .bootstrap import BootstrapResult, bootstrap_difference, bootstrap_mean_ci
+from .comparison import ComparisonRow, compare_to_baseline
+from .friedman import FriedmanResult, friedman_test
+from .nemenyi import (
+    NemenyiResult,
+    critical_difference,
+    nemenyi_groups,
+    nemenyi_test,
+)
+from .ranking import average_ranks, rank_rows
+from .wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+
+__all__ = [
+    "wilcoxon_signed_rank",
+    "WilcoxonResult",
+    "friedman_test",
+    "FriedmanResult",
+    "nemenyi_test",
+    "NemenyiResult",
+    "nemenyi_groups",
+    "critical_difference",
+    "rank_rows",
+    "average_ranks",
+    "compare_to_baseline",
+    "ComparisonRow",
+    "bootstrap_mean_ci",
+    "bootstrap_difference",
+    "BootstrapResult",
+]

@@ -1,0 +1,91 @@
+"""Bootstrap confidence intervals for paired method comparisons.
+
+Complements the rank-based tests (Wilcoxon/Friedman/Nemenyi) with effect
+*sizes*: given per-dataset scores of two methods, how large is the mean
+difference and how certain is its sign? Percentile bootstrap over datasets
+— resampling datasets with replacement, as is standard for
+multiple-dataset benchmark comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import as_rng
+from ..exceptions import EmptyInputError, InvalidParameterError, ShapeMismatchError
+
+__all__ = ["BootstrapResult", "bootstrap_mean_ci", "bootstrap_difference"]
+
+
+@dataclass
+class BootstrapResult:
+    """A bootstrap estimate with its percentile confidence interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    n_resamples: int
+
+    def excludes_zero(self) -> bool:
+        """True when the CI lies entirely on one side of zero."""
+        return self.lower > 0.0 or self.upper < 0.0
+
+
+def _check_vector(values, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.shape[0] == 0:
+        raise EmptyInputError(f"{name} must not be empty")
+    return arr
+
+
+def bootstrap_mean_ci(
+    values,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng=None,
+) -> BootstrapResult:
+    """Percentile bootstrap CI for the mean of a score vector."""
+    arr = _check_vector(values, "values")
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    generator = as_rng(rng)
+    n = arr.shape[0]
+    idx = generator.integers(0, n, size=(n_resamples, n))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=float(arr.mean()),
+        lower=float(np.quantile(means, alpha)),
+        upper=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+def bootstrap_difference(
+    scores_a,
+    scores_b,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng=None,
+) -> BootstrapResult:
+    """Percentile bootstrap CI for the paired mean difference ``a - b``.
+
+    Datasets are resampled jointly (paired), preserving the per-dataset
+    coupling the Wilcoxon test also relies on.
+    """
+    a = _check_vector(scores_a, "scores_a")
+    b = _check_vector(scores_b, "scores_b")
+    if a.shape[0] != b.shape[0]:
+        raise ShapeMismatchError(
+            f"paired scores differ in length: {a.shape[0]} vs {b.shape[0]}"
+        )
+    return bootstrap_mean_ci(
+        a - b, confidence=confidence, n_resamples=n_resamples, rng=rng
+    )

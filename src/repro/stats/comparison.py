@@ -1,0 +1,122 @@
+"""Pairwise method-vs-baseline comparison rows (paper Tables 2, 3, 4).
+
+Each of the paper's comparison tables reports, for every method against a
+baseline (ED for Table 2; k-AVG+ED for Tables 3 and 4):
+
+* the number of datasets where the method is better / equal / worse
+  (the ">", "=", "<" columns);
+* whether the method beats the baseline with statistical significance
+  ("Better"), or the baseline beats it ("Worse") — via the Wilcoxon
+  signed-rank test at 99% confidence;
+* the method's average score across datasets.
+
+:func:`compare_to_baseline` builds those rows from per-dataset score
+vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import EmptyInputError, ShapeMismatchError
+from .wilcoxon import wilcoxon_signed_rank
+
+__all__ = ["ComparisonRow", "compare_to_baseline"]
+
+
+@dataclass
+class ComparisonRow:
+    """One table row: a method compared to the baseline over all datasets."""
+
+    name: str
+    wins: int
+    ties: int
+    losses: int
+    significantly_better: bool
+    significantly_worse: bool
+    mean_score: float
+    p_value: float
+
+    def as_dict(self) -> dict:
+        return {
+            ">": self.wins,
+            "=": self.ties,
+            "<": self.losses,
+            "Better": self.significantly_better,
+            "Worse": self.significantly_worse,
+            "Mean": self.mean_score,
+            "p": self.p_value,
+        }
+
+
+def compare_to_baseline(
+    scores: Mapping[str, Sequence[float]],
+    baseline: str,
+    alpha: float = 0.01,
+    tie_tolerance: float = 0.0,
+) -> List[ComparisonRow]:
+    """Build comparison rows for every method against ``baseline``.
+
+    Parameters
+    ----------
+    scores:
+        Mapping of method name to its per-dataset score vector; all vectors
+        must share the baseline's length and dataset order.
+    baseline:
+        Key in ``scores`` every other method is compared to.
+    alpha:
+        Wilcoxon significance level (paper: 0.01, i.e. 99% confidence).
+    tie_tolerance:
+        Score differences with absolute value <= this count as ties
+        (useful when scores are averages over runs).
+
+    Returns
+    -------
+    list of ComparisonRow
+        One row per non-baseline method, in the mapping's iteration order.
+    """
+    if baseline not in scores:
+        raise EmptyInputError(f"baseline {baseline!r} missing from scores")
+    base = np.asarray(scores[baseline], dtype=np.float64)
+    rows: List[ComparisonRow] = []
+    for name, values in scores.items():
+        if name == baseline:
+            continue
+        vec = np.asarray(values, dtype=np.float64)
+        if vec.shape != base.shape:
+            raise ShapeMismatchError(
+                f"method {name!r} has {vec.shape[0]} scores, baseline has "
+                f"{base.shape[0]}"
+            )
+        diff = vec - base
+        wins = int(np.sum(diff > tie_tolerance))
+        losses = int(np.sum(diff < -tie_tolerance))
+        ties = int(diff.shape[0] - wins - losses)
+        if np.allclose(vec, base):
+            better = worse = False
+            p = 1.0
+        else:
+            result = wilcoxon_signed_rank(vec, base)
+            p = result.p_value
+            rejected = result.significant(alpha)
+            better = rejected and result.median_difference > 0
+            # A zero median with significance is resolved by the win counts.
+            if rejected and result.median_difference == 0:
+                better = wins > losses
+            worse = rejected and not better
+        rows.append(
+            ComparisonRow(
+                name=name,
+                wins=wins,
+                ties=ties,
+                losses=losses,
+                significantly_better=better,
+                significantly_worse=worse,
+                mean_score=float(vec.mean()),
+                p_value=p,
+            )
+        )
+    return rows

@@ -1,0 +1,136 @@
+"""Post-hoc Nemenyi test (Nemenyi [57]; paper Section 4, Figures 6/8/9).
+
+After a significant Friedman test, the Nemenyi test declares two methods
+different when their average ranks differ by at least the **critical
+difference**
+
+    CD = q_alpha * sqrt(k (k + 1) / (6 N)),
+
+where ``q_alpha`` is the Studentized-range quantile divided by sqrt(2)
+(Demšar [17]). The paper's "wiggly line" figures connect all methods whose
+rank differences fall below the CD; :func:`nemenyi_groups` reproduces those
+groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .ranking import average_ranks
+
+__all__ = ["critical_difference", "NemenyiResult", "nemenyi_test", "nemenyi_groups"]
+
+# Critical values q_alpha for the two-tailed Nemenyi test (Demšar 2006,
+# Table 5): the Studentized range statistic at infinite degrees of freedom
+# divided by sqrt(2), indexed by the number of methods k.
+_Q_ALPHA = {
+    0.05: {
+        2: 1.960, 3: 2.343, 4: 2.569, 5: 2.728, 6: 2.850, 7: 2.949,
+        8: 3.031, 9: 3.102, 10: 3.164, 11: 3.219, 12: 3.268, 13: 3.313,
+        14: 3.354, 15: 3.391, 16: 3.426, 17: 3.458, 18: 3.489, 19: 3.517,
+        20: 3.544,
+    },
+    0.01: {
+        2: 2.576, 3: 2.913, 4: 3.113, 5: 3.255, 6: 3.364, 7: 3.452,
+        8: 3.526, 9: 3.590, 10: 3.646, 11: 3.696, 12: 3.741, 13: 3.781,
+        14: 3.818, 15: 3.853, 16: 3.884, 17: 3.914, 18: 3.941, 19: 3.967,
+        20: 3.992,
+    },
+}
+
+
+def critical_difference(k: int, n_datasets: int, alpha: float = 0.05) -> float:
+    """Nemenyi critical difference for ``k`` methods over ``n_datasets``.
+
+    Raises
+    ------
+    InvalidParameterError
+        For unsupported ``alpha`` (only 0.05 and 0.01 are tabulated) or
+        ``k`` outside 2..20.
+    """
+    if alpha not in _Q_ALPHA:
+        raise InvalidParameterError(
+            f"alpha must be 0.05 or 0.01 (tabulated), got {alpha}"
+        )
+    table = _Q_ALPHA[alpha]
+    if k not in table:
+        raise InvalidParameterError(
+            f"critical values are tabulated for 2 <= k <= 20, got k={k}"
+        )
+    if n_datasets < 1:
+        raise InvalidParameterError("n_datasets must be >= 1")
+    return table[k] * np.sqrt(k * (k + 1) / (6.0 * n_datasets))
+
+
+@dataclass
+class NemenyiResult:
+    """Result of the Nemenyi post-hoc comparison.
+
+    Attributes
+    ----------
+    average_ranks:
+        ``(k,)`` mean ranks (rank 1 = best).
+    critical_difference:
+        The CD at the requested alpha.
+    significant:
+        Boolean ``(k, k)`` matrix; ``[i, j]`` is True when methods ``i`` and
+        ``j`` differ significantly.
+    """
+
+    average_ranks: np.ndarray
+    critical_difference: float
+    significant: np.ndarray
+
+
+def nemenyi_test(
+    scores, higher_is_better: bool = True, alpha: float = 0.05
+) -> NemenyiResult:
+    """Pairwise Nemenyi comparison from a ``(datasets, methods)`` score matrix."""
+    S = np.asarray(scores, dtype=np.float64)
+    avg = average_ranks(S, higher_is_better=higher_is_better)
+    N, k = S.shape
+    cd = critical_difference(k, N, alpha=alpha)
+    diff = np.abs(avg[:, None] - avg[None, :])
+    significant = diff > cd
+    np.fill_diagonal(significant, False)
+    return NemenyiResult(
+        average_ranks=avg, critical_difference=cd, significant=significant
+    )
+
+
+def nemenyi_groups(
+    scores,
+    names: Sequence[str],
+    higher_is_better: bool = True,
+    alpha: float = 0.05,
+) -> List[Tuple[str, ...]]:
+    """Maximal groups of methods not significantly different from each other.
+
+    Reproduces the "wiggly line" of the paper's rank figures: each returned
+    tuple lists (by name, best rank first) a maximal run of methods whose
+    pairwise rank differences all fall within the critical difference.
+    """
+    S = np.asarray(scores, dtype=np.float64)
+    if S.shape[1] != len(names):
+        raise InvalidParameterError(
+            "names must have one entry per method (score column)"
+        )
+    result = nemenyi_test(S, higher_is_better=higher_is_better, alpha=alpha)
+    order = np.argsort(result.average_ranks)
+    ranks = result.average_ranks[order]
+    sorted_names = [names[i] for i in order]
+    groups: List[Tuple[str, ...]] = []
+    k = len(names)
+    for start in range(k):
+        end = start
+        while end + 1 < k and ranks[end + 1] - ranks[start] <= result.critical_difference:
+            end += 1
+        group = tuple(sorted_names[start : end + 1])
+        # Keep only maximal groups (not contained in a previous one).
+        if not groups or not set(group).issubset(set(groups[-1])):
+            groups.append(group)
+    return groups

@@ -1,0 +1,59 @@
+"""Average-rank computation over multiple datasets (Demšar [17]).
+
+Figures 6, 8, and 9 of the paper rank each method on each dataset (rank 1 =
+best) and compare methods by their ranks averaged across datasets. Ties
+within a dataset share their average rank, as the Friedman test requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EmptyInputError, ShapeMismatchError
+
+__all__ = ["rank_rows", "average_ranks"]
+
+
+def rank_rows(scores, higher_is_better: bool = True) -> np.ndarray:
+    """Per-dataset ranks of methods from a ``(datasets, methods)`` score matrix.
+
+    Parameters
+    ----------
+    scores:
+        ``(N, k)`` matrix; row = dataset, column = method.
+    higher_is_better:
+        When True (accuracy, Rand Index) the best score gets rank 1; set to
+        False for costs such as runtime.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(N, k)`` matrix of 1-based average ranks.
+    """
+    S = np.asarray(scores, dtype=np.float64)
+    if S.ndim != 2:
+        raise ShapeMismatchError("scores must be a 2-D (datasets, methods) matrix")
+    if S.size == 0:
+        raise EmptyInputError("scores must not be empty")
+    keyed = -S if higher_is_better else S
+    N, k = S.shape
+    ranks = np.empty((N, k))
+    for row in range(N):
+        vals = keyed[row]
+        order = np.argsort(vals, kind="mergesort")
+        r = np.empty(k)
+        i = 0
+        sorted_vals = vals[order]
+        while i < k:
+            j = i
+            while j + 1 < k and sorted_vals[j + 1] == sorted_vals[i]:
+                j += 1
+            r[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+            i = j + 1
+        ranks[row] = r
+    return ranks
+
+
+def average_ranks(scores, higher_is_better: bool = True) -> np.ndarray:
+    """Mean rank of each method across datasets (the x-axis of Figures 6/8/9)."""
+    return rank_rows(scores, higher_is_better=higher_is_better).mean(axis=0)

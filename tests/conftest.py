@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing import zscore
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sine():
+    """A z-normalized sine wave of length 64."""
+    t = np.linspace(0.0, 1.0, 64)
+    return zscore(np.sin(2 * np.pi * 2 * t))
+
+
+@pytest.fixture
+def square():
+    """A z-normalized square wave of length 64."""
+    t = np.linspace(0.0, 1.0, 64)
+    return zscore(np.sign(np.sin(2 * np.pi * 2 * t) + 1e-12))
+
+
+@pytest.fixture
+def two_class_data(rng):
+    """A small, well-separated two-class set: randomly phased sines of two
+    different frequencies (frequency content survives any shift, so the
+    classes are separable under shift-invariant measures)."""
+    t = np.linspace(0.0, 1.0, 64)
+    rows, labels = [], []
+    for label, freq in enumerate((2.0, 5.0)):
+        for _ in range(10):
+            phase = rng.uniform(0, 1)
+            rows.append(np.sin(2 * np.pi * (freq * t + phase))
+                        + rng.normal(0, 0.05, t.shape[0]))
+            labels.append(label)
+    return zscore(np.asarray(rows)), np.asarray(labels)

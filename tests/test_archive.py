@@ -1,0 +1,64 @@
+"""Tests for the synthetic archive (repro.datasets.archive)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import list_datasets, load_archive, load_dataset
+from repro.exceptions import UnknownNameError
+
+
+class TestArchive:
+    def test_has_30_datasets(self):
+        assert len(list_datasets()) == 30
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownNameError):
+            load_dataset("NotADataset")
+
+    def test_deterministic_loading(self):
+        a = load_dataset("SineSquare")
+        b = load_dataset("SineSquare")
+        assert np.array_equal(a.X_train, b.X_train)
+
+    def test_seed_override_changes_data(self):
+        a = load_dataset("SineSquare")
+        b = load_dataset("SineSquare", seed=99)
+        assert not np.array_equal(a.X_train, b.X_train)
+
+    def test_all_datasets_well_formed(self):
+        for ds in load_archive():
+            assert ds.n_classes >= 2
+            assert ds.n_train >= ds.n_classes
+            assert ds.n_test >= ds.n_classes
+            assert np.all(np.isfinite(ds.X))
+            # z-normalized per sequence
+            assert np.allclose(ds.X.mean(axis=1), 0.0, atol=1e-8)
+            stds = ds.X.std(axis=1)
+            assert np.all((np.abs(stds - 1.0) < 1e-8) | (stds == 0.0))
+
+    def test_diverse_lengths_and_classes(self):
+        lengths = {ds.length for ds in load_archive()}
+        classes = {ds.n_classes for ds in load_archive()}
+        assert len(lengths) >= 5
+        assert {2, 3}.issubset(classes)
+        assert max(classes) >= 4
+
+    def test_every_class_in_both_splits(self):
+        for ds in load_archive():
+            assert set(np.unique(ds.y_train)) == set(np.unique(ds.y_test))
+
+    def test_archive_is_learnable(self):
+        """1-NN with SBD must beat chance on a majority of datasets —
+        otherwise the archive couldn't support the paper's comparisons."""
+        from repro import one_nn_accuracy
+
+        wins = 0
+        sample = [n for n in list_datasets()][:8]
+        for name in sample:
+            ds = load_dataset(name)
+            acc = one_nn_accuracy(
+                ds.X_train, ds.y_train, ds.X_test, ds.y_test, metric="sbd"
+            )
+            chance = 1.0 / ds.n_classes
+            wins += acc > chance + 0.1
+        assert wins >= 6

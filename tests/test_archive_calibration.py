@@ -1,0 +1,75 @@
+"""Regression guard on the archive's difficulty calibration.
+
+The benchmark conclusions depend on the synthetic datasets staying in their
+calibrated difficulty bands: shape-dominated families must be solvable by
+SBD, position-coded families by ED, and the deliberately hard ones must not
+silently become easy (or vice versa) when generators change. These floors/
+ceilings are intentionally loose — they catch generator regressions, not
+noise.
+"""
+
+import pytest
+
+from repro import one_nn_accuracy
+from repro.datasets import load_dataset
+
+# (dataset, metric, minimum 1-NN accuracy)
+FLOORS = [
+    ("SineSquare", "sbd", 0.9),
+    ("TriSaw", "sbd", 0.9),
+    ("FreqSines", "sbd", 0.9),
+    ("Harmonics", "sbd", 0.9),
+    ("PulsePosition", "ed", 0.9),
+    ("PulseWidth", "sbd", 0.9),
+    ("Bumps5", "ed", 0.9),
+    ("Ramps", "ed", 0.9),
+    ("Chirps", "sbd", 0.9),
+    ("Trends3", "sbd", 0.9),
+    ("ECGFiveDays-syn", "sbd", 0.9),
+    ("CBF", "sbd", 0.85),
+    ("DutyCycle", "sbd", 0.9),
+    ("DampedOsc", "ed", 0.9),
+    ("Plateaus", "sbd", 0.9),
+]
+
+# Datasets that must stay hard (accuracy ceiling) for the stated metric.
+CEILINGS = [
+    ("NoisySines", "sbd", 0.85),
+    ("SpikeTrains", "ed", 0.7),
+]
+
+
+def _accuracy(name: str, metric: str) -> float:
+    ds = load_dataset(name)
+    return one_nn_accuracy(
+        ds.X_train, ds.y_train, ds.X_test, ds.y_test, metric=metric
+    )
+
+
+@pytest.mark.parametrize("name,metric,floor", FLOORS)
+def test_dataset_stays_solvable(name, metric, floor):
+    assert _accuracy(name, metric) >= floor
+
+
+@pytest.mark.parametrize("name,metric,ceiling", CEILINGS)
+def test_dataset_stays_hard(name, metric, ceiling):
+    assert _accuracy(name, metric) <= ceiling
+
+
+def test_sbd_beats_ed_on_majority():
+    """The archive-level ordering the benches rely on."""
+    from repro.datasets import list_datasets
+
+    wins = 0
+    total = 0
+    for name in list_datasets():
+        ds = load_dataset(name)
+        sbd_acc = one_nn_accuracy(
+            ds.X_train, ds.y_train, ds.X_test, ds.y_test, metric="sbd"
+        )
+        ed_acc = one_nn_accuracy(
+            ds.X_train, ds.y_train, ds.X_test, ds.y_test, metric="ed"
+        )
+        wins += sbd_acc >= ed_acc
+        total += 1
+    assert wins >= total * 0.6

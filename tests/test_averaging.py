@@ -1,0 +1,136 @@
+"""Tests for repro.averaging (mean, DBA, NLAAF, PSA, KSC centroid)."""
+
+import numpy as np
+import pytest
+
+from repro.averaging import (
+    arithmetic_mean,
+    dba,
+    dba_update,
+    ksc_centroid,
+    nlaaf,
+    nlaaf_pair,
+    psa,
+)
+from repro.distances import dtw
+from repro.preprocessing import shift_series, zscore
+
+
+@pytest.fixture
+def warped_family(rng):
+    """Copies of a sine with mild local warping (DBA's home turf)."""
+    t = np.linspace(0, 1, 50)
+    rows = []
+    for _ in range(8):
+        jitter = 0.03 * np.sin(2 * np.pi * (t + rng.uniform(0, 1)))
+        rows.append(np.sin(2 * np.pi * 2 * (t + jitter)))
+    return np.asarray(rows)
+
+
+class TestArithmeticMean:
+    def test_matches_numpy_mean(self, rng):
+        X = rng.normal(0, 1, (6, 20))
+        assert np.allclose(arithmetic_mean(X), X.mean(axis=0))
+
+    def test_znormalize_option(self, rng):
+        X = rng.normal(3, 2, (6, 20))
+        c = arithmetic_mean(X, znormalize=True)
+        assert abs(c.mean()) < 1e-9
+        assert abs(c.std() - 1.0) < 1e-9
+
+
+class TestDBA:
+    def test_identical_members_fixed_point(self, sine):
+        X = np.tile(sine, (4, 1))
+        avg = dba(X, n_iterations=3, initial=sine)
+        assert np.allclose(avg, sine, atol=1e-9)
+
+    def test_reduces_dtw_inertia(self, warped_family):
+        """DBA's average has lower total DTW cost than the naive mean."""
+        X = warped_family
+        mean = X.mean(axis=0)
+        avg = dba(X, n_iterations=8, initial=mean)
+        cost_mean = sum(dtw(mean, row) ** 2 for row in X)
+        cost_dba = sum(dtw(avg, row) ** 2 for row in X)
+        assert cost_dba <= cost_mean + 1e-9
+
+    def test_update_keeps_length(self, warped_family):
+        avg = dba_update(warped_family, warped_family[0])
+        assert avg.shape == warped_family[0].shape
+
+    def test_random_initial_is_seeded(self, warped_family):
+        a = dba(warped_family, n_iterations=2, rng=5)
+        b = dba(warped_family, n_iterations=2, rng=5)
+        assert np.array_equal(a, b)
+
+    def test_window_constrained_runs(self, warped_family):
+        avg = dba(warped_family, n_iterations=2, window=0.1, rng=0)
+        assert np.all(np.isfinite(avg))
+
+
+class TestNLAAF:
+    def test_pair_of_identical_is_identity(self, sine):
+        merged = nlaaf_pair(sine, sine)
+        assert np.allclose(merged, sine, atol=1e-9)
+
+    def test_pair_length_preserved(self, rng):
+        x = rng.normal(0, 1, 30)
+        y = rng.normal(0, 1, 30)
+        assert nlaaf_pair(x, y).shape == (30,)
+
+    def test_weighted_pair_leans_toward_heavy_side(self):
+        x = np.zeros(10)
+        y = np.ones(10)
+        merged = nlaaf_pair(x, y, weight_x=9.0, weight_y=1.0)
+        assert np.all(merged <= 0.5)
+
+    def test_full_reduction_shape(self, warped_family):
+        avg = nlaaf(warped_family, rng=0)
+        assert avg.shape == (50,)
+
+    def test_odd_count_supported(self, rng):
+        X = rng.normal(0, 1, (5, 20))
+        assert nlaaf(X, rng=1).shape == (20,)
+
+
+class TestPSA:
+    def test_identical_members_fixed_point(self, sine):
+        X = np.tile(sine, (3, 1))
+        assert np.allclose(psa(X), sine, atol=1e-9)
+
+    def test_output_shape(self, warped_family):
+        assert psa(warped_family[:5]).shape == (50,)
+
+    def test_two_members(self, rng):
+        X = rng.normal(0, 1, (2, 15))
+        assert psa(X).shape == (15,)
+
+
+class TestKSCCentroid:
+    def test_unit_norm(self, rng):
+        X = rng.normal(0, 1, (6, 24))
+        c = ksc_centroid(X)
+        assert abs(np.linalg.norm(c) - 1.0) < 1e-9
+
+    def test_recovers_common_shape(self, sine, rng):
+        """Members that are scaled copies of one shape yield that shape."""
+        X = np.stack([sine * rng.uniform(0.5, 3.0) for _ in range(6)])
+        c = ksc_centroid(X)
+        cosine = abs(np.dot(c, sine) / np.linalg.norm(sine))
+        assert cosine > 0.999
+
+    def test_alignment_with_reference(self, sine, rng):
+        shifts = [0, 2, 4, -3]
+        X = np.stack([shift_series(sine, s) for s in shifts])
+        c = ksc_centroid(X, reference=sine)
+        cosine = abs(np.dot(c, sine) / np.linalg.norm(sine))
+        assert cosine > 0.95
+
+    def test_all_zero_members(self):
+        c = ksc_centroid(np.zeros((3, 10)))
+        assert np.all(c == 0.0)
+
+    def test_sign_positive_against_mean(self, sine):
+        X = np.tile(sine, (4, 1))
+        c = ksc_centroid(X)
+        assert np.dot(c, X.mean(axis=0)) > 0

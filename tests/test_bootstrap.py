@@ -1,0 +1,58 @@
+"""Tests for repro.stats.bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyInputError, InvalidParameterError, ShapeMismatchError
+from repro.stats import bootstrap_difference, bootstrap_mean_ci
+
+
+class TestBootstrapMean:
+    def test_ci_brackets_estimate(self, rng):
+        values = rng.normal(0.7, 0.1, 40)
+        result = bootstrap_mean_ci(values, rng=0)
+        assert result.lower <= result.estimate <= result.upper
+        assert result.estimate == pytest.approx(values.mean())
+
+    def test_tighter_with_more_data(self, rng):
+        small = bootstrap_mean_ci(rng.normal(0, 1, 10), rng=0)
+        large = bootstrap_mean_ci(rng.normal(0, 1, 1000), rng=0)
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_confidence_widens_interval(self, rng):
+        values = rng.normal(0, 1, 50)
+        narrow = bootstrap_mean_ci(values, confidence=0.8, rng=0)
+        wide = bootstrap_mean_ci(values, confidence=0.99, rng=0)
+        assert (wide.upper - wide.lower) > (narrow.upper - narrow.lower)
+
+    def test_deterministic_with_seed(self, rng):
+        values = rng.normal(0, 1, 30)
+        a = bootstrap_mean_ci(values, rng=5)
+        b = bootstrap_mean_ci(values, rng=5)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyInputError):
+            bootstrap_mean_ci([])
+
+    def test_bad_confidence_raises(self, rng):
+        with pytest.raises(InvalidParameterError):
+            bootstrap_mean_ci(rng.normal(0, 1, 5), confidence=1.0)
+
+
+class TestBootstrapDifference:
+    def test_clear_difference_excludes_zero(self, rng):
+        base = rng.uniform(0.5, 0.7, 30)
+        result = bootstrap_difference(base + 0.2, base, rng=0)
+        assert result.excludes_zero()
+        assert result.estimate == pytest.approx(0.2)
+
+    def test_no_difference_includes_zero(self, rng):
+        base = rng.uniform(0.5, 0.7, 30)
+        noisy = base + rng.normal(0, 0.05, 30)
+        result = bootstrap_difference(noisy, base, rng=0)
+        assert not result.excludes_zero()
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ShapeMismatchError):
+            bootstrap_difference(np.ones(3), np.ones(4))

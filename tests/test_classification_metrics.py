@@ -1,0 +1,80 @@
+"""Tests for repro.evaluation.classification_metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    precision_recall_f1,
+)
+from repro.exceptions import EmptyInputError, ShapeMismatchError
+
+
+class TestConfusionMatrix:
+    def test_perfect_prediction_diagonal(self):
+        classes, C = confusion_matrix([0, 1, 2, 1], [0, 1, 2, 1])
+        assert np.array_equal(C, np.diag([1, 2, 1]))
+        assert list(classes) == [0, 1, 2]
+
+    def test_known_mixture(self):
+        classes, C = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert C[0, 0] == 1 and C[0, 1] == 1
+        assert C[1, 1] == 2
+
+    def test_string_labels(self):
+        classes, C = confusion_matrix(["a", "b"], ["b", "b"])
+        assert C.sum() == 2
+        assert list(classes) == ["a", "b"]
+
+    def test_unseen_predicted_class_included(self):
+        classes, C = confusion_matrix([0, 0], [0, 5])
+        assert 5 in classes
+        assert C.shape == (2, 2)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ShapeMismatchError):
+            confusion_matrix([0], [0, 1])
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyInputError):
+            confusion_matrix([], [])
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        stats = precision_recall_f1([0, 1, 0, 1], [0, 1, 0, 1])
+        assert stats["accuracy"] == 1.0
+        assert stats["macro_f1"] == 1.0
+
+    def test_known_values(self):
+        # truth: 0,0,1,1 ; pred: 0,1,1,1
+        stats = precision_recall_f1([0, 0, 1, 1], [0, 1, 1, 1])
+        c0 = stats["per_class"][0]
+        c1 = stats["per_class"][1]
+        assert c0["precision"] == 1.0       # one predicted 0, correct
+        assert c0["recall"] == 0.5          # of two true 0s, one found
+        assert c1["precision"] == pytest.approx(2 / 3)
+        assert c1["recall"] == 1.0
+        assert stats["accuracy"] == 0.75
+
+    def test_never_predicted_class_zero_precision(self):
+        stats = precision_recall_f1([0, 1], [0, 0])
+        assert stats["per_class"][1]["precision"] == 0.0
+        assert stats["per_class"][1]["recall"] == 0.0
+
+    def test_support_counts(self):
+        stats = precision_recall_f1([0, 0, 0, 1], [0, 0, 1, 1])
+        assert stats["per_class"][0]["support"] == 3
+        assert stats["per_class"][1]["support"] == 1
+
+
+class TestReport:
+    def test_report_contains_all_classes(self):
+        report = classification_report([0, 1, 2], [0, 1, 1])
+        for token in ("0", "1", "2", "macro", "accuracy"):
+            assert token in report
+
+    def test_accuracy_helper(self):
+        assert accuracy([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)

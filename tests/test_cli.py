@@ -1,0 +1,57 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCLI:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "SineSquare" in out
+        assert "CBF" in out
+
+    def test_cluster_kshape(self, capsys):
+        assert main(["cluster", "SineSquare", "--method", "kshape"]) == 0
+        out = capsys.readouterr().out
+        assert "Rand Index" in out
+
+    def test_cluster_unknown_method_exits(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "SineSquare", "--method", "nope"])
+
+    def test_classify(self, capsys):
+        assert main(["classify", "SineSquare", "--measures", "ed,sbd"]) == 0
+        out = capsys.readouterr().out
+        assert "sbd" in out
+
+    def test_estimate_k(self, capsys):
+        assert main(["estimate-k", "SineSquare", "--max-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "best" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCLIExportSearch:
+    def test_export_writes_files(self, tmp_path, capsys):
+        assert main(["export", "Ramps", "--directory", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Ramps_TRAIN.tsv" in out
+        assert (tmp_path / "Ramps_TEST.tsv").exists()
+
+    def test_export_round_trips(self, tmp_path, capsys):
+        from repro.datasets import load_dataset, load_ucr_dataset
+
+        main(["export", "Chirps", "--directory", str(tmp_path)])
+        capsys.readouterr()
+        ds = load_ucr_dataset(str(tmp_path), "Chirps", znormalize=False)
+        assert ds.n_total == load_dataset("Chirps").n_total
+
+    def test_search_reports_matches(self, capsys):
+        assert main(["search", "Ramps", "--query-index", "1", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("match at offset") == 2

@@ -1,0 +1,65 @@
+"""Tests for repro.clustering.base (init/repair helpers, ClusterResult)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import ClusterResult, random_assignment, repair_empty_clusters
+from repro.exceptions import InvalidParameterError
+
+
+class TestRandomAssignment:
+    def test_every_cluster_populated(self):
+        for seed in range(10):
+            labels = random_assignment(20, 6, seed)
+            assert np.bincount(labels, minlength=6).min() >= 1
+
+    def test_labels_in_range(self):
+        labels = random_assignment(15, 4, 0)
+        assert labels.min() >= 0 and labels.max() < 4
+
+    def test_k_equals_n(self):
+        labels = random_assignment(5, 5, 3)
+        assert sorted(labels) == [0, 1, 2, 3, 4]
+
+    def test_k_greater_than_n_raises(self):
+        with pytest.raises(InvalidParameterError):
+            random_assignment(3, 5, 0)
+
+    def test_deterministic(self):
+        assert np.array_equal(random_assignment(30, 4, 7),
+                              random_assignment(30, 4, 7))
+
+
+class TestRepairEmptyClusters:
+    def test_fills_empty_cluster(self):
+        labels = np.array([0, 0, 0, 1, 1])
+        fixed = repair_empty_clusters(labels, 3, 0)
+        assert np.bincount(fixed, minlength=3).min() >= 1
+
+    def test_no_change_when_all_populated(self):
+        labels = np.array([0, 1, 2, 0, 1])
+        fixed = repair_empty_clusters(labels, 3, 0)
+        assert np.array_equal(fixed, labels)
+
+    def test_input_not_mutated(self):
+        labels = np.array([0, 0, 0, 0])
+        before = labels.copy()
+        repair_empty_clusters(labels, 2, 0)
+        assert np.array_equal(labels, before)
+
+    def test_multiple_empty_clusters(self):
+        labels = np.zeros(10, dtype=int)
+        fixed = repair_empty_clusters(labels, 4, 1)
+        assert np.bincount(fixed, minlength=4).min() >= 1
+
+
+class TestClusterResult:
+    def test_n_clusters_property(self):
+        result = ClusterResult(labels=np.array([0, 1, 2, 1]))
+        assert result.n_clusters == 3
+
+    def test_defaults(self):
+        result = ClusterResult(labels=np.array([0]))
+        assert result.centroids is None
+        assert result.converged
+        assert result.extra == {}

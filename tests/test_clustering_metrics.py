@@ -1,0 +1,109 @@
+"""Tests for repro.evaluation.clustering_metrics (Rand Index et al.)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+)
+from repro.evaluation import contingency_table
+from repro.exceptions import EmptyInputError, ShapeMismatchError
+
+
+class TestRandIndex:
+    def test_perfect_agreement(self):
+        assert rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_known_value(self):
+        """Hand-computed: y=[0,0,1,1], pred=[0,1,1,1] -> TP=1, TN=2, FP=2, FN=1."""
+        assert rand_index([0, 0, 1, 1], [0, 1, 1, 1]) == pytest.approx(0.5)
+
+    def test_range(self, rng):
+        for _ in range(20):
+            a = rng.integers(0, 3, 30)
+            b = rng.integers(0, 4, 30)
+            assert 0.0 <= rand_index(a, b) <= 1.0
+
+    def test_symmetric(self, rng):
+        a = rng.integers(0, 3, 25)
+        b = rng.integers(0, 3, 25)
+        assert rand_index(a, b) == pytest.approx(rand_index(b, a))
+
+    def test_all_in_one_cluster(self):
+        # Pairs in different classes assigned together count as FP.
+        value = rand_index([0, 0, 1, 1], [0, 0, 0, 0])
+        assert value == pytest.approx(2.0 / 6.0)
+
+    def test_label_names_irrelevant(self):
+        assert rand_index(["x", "x", "y"], [5, 5, 9]) == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ShapeMismatchError):
+            rand_index([0, 1], [0, 1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyInputError):
+            rand_index([], [])
+
+    def test_matches_pair_counting_definition(self, rng):
+        """Brute-force O(n^2) pair counting agrees with the fast formula."""
+        a = rng.integers(0, 3, 40)
+        b = rng.integers(0, 3, 40)
+        agree = 0
+        total = 0
+        for i in range(40):
+            for j in range(i + 1, 40):
+                same_a = a[i] == a[j]
+                same_b = b[i] == b[j]
+                agree += same_a == same_b
+                total += 1
+        assert rand_index(a, b) == pytest.approx(agree / total)
+
+
+class TestARI:
+    def test_perfect_is_one(self):
+        assert adjusted_rand_index([0, 1, 2], [2, 0, 1]) == 1.0
+
+    def test_random_near_zero(self, rng):
+        a = rng.integers(0, 4, 500)
+        b = rng.integers(0, 4, 500)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_matches_sklearn_formula_small_case(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [0, 0, 1, 2]) == pytest.approx(
+            0.5714285714285714
+        )
+
+
+class TestNMI:
+    def test_perfect_is_one(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self, rng):
+        a = rng.integers(0, 2, 1000)
+        b = rng.integers(0, 2, 1000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_single_cluster_each(self):
+        assert normalized_mutual_information([0, 0], [1, 1]) == 1.0
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity([0, 1, 1], [1, 0, 0]) == 1.0
+
+    def test_known_mixture(self):
+        # Cluster 0: classes [0, 0, 1] -> majority 2; cluster 1: [1] -> 1.
+        assert purity([0, 0, 1, 1], [0, 0, 0, 1]) == pytest.approx(0.75)
+
+
+class TestContingency:
+    def test_sums_match(self, rng):
+        a = rng.integers(0, 3, 50)
+        b = rng.integers(0, 4, 50)
+        table = contingency_table(a, b)
+        assert table.sum() == 50
+        assert table.shape == (3, 4)

@@ -1,0 +1,91 @@
+"""Tests for repro.core.constrained (semi-supervised k-Shape)."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import ConstrainedKShape, merge_must_links
+from repro.evaluation import rand_index
+from repro.exceptions import ConvergenceWarning, InvalidParameterError
+
+
+class TestMergeMustLinks:
+    def test_transitive_closure(self):
+        groups = merge_must_links(5, [(0, 1), (1, 2)])
+        assert groups[0] == groups[1] == groups[2]
+        assert groups[3] != groups[0]
+        assert groups[4] != groups[3]
+
+    def test_no_links_all_singletons(self):
+        groups = merge_must_links(4, [])
+        assert np.unique(groups).shape[0] == 4
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(InvalidParameterError):
+            merge_must_links(3, [(0, 5)])
+
+
+class TestConstrainedKShape:
+    def test_unconstrained_matches_plain_quality(self, two_class_data):
+        X, y = two_class_data
+        model = ConstrainedKShape(2, random_state=3).fit(X)
+        assert rand_index(y, model.labels_) >= 0.9
+
+    def test_must_links_respected(self, two_class_data):
+        X, y = two_class_data
+        pairs = [(0, 1), (10, 11)]
+        model = ConstrainedKShape(2, must_link=pairs, random_state=0).fit(X)
+        for a, b in pairs:
+            assert model.labels_[a] == model.labels_[b]
+
+    def test_cannot_links_respected(self, two_class_data):
+        X, y = two_class_data
+        pairs = [(0, 10), (1, 11)]  # cross-class pairs
+        model = ConstrainedKShape(2, cannot_link=pairs, random_state=0).fit(X)
+        for a, b in pairs:
+            assert model.labels_[a] != model.labels_[b]
+
+    def test_constraints_fix_a_hard_dataset(self, rng):
+        """On the phase-degenerate sine-vs-square problem, a handful of
+        constraints steers k-Shape to the true classes."""
+        from repro.preprocessing import zscore
+
+        t = np.linspace(0, 1, 64)
+        rows, labels = [], []
+        for label, base in enumerate(
+            (lambda p: np.sin(2 * np.pi * (2 * t + p)),
+             lambda p: np.sign(np.sin(2 * np.pi * (2 * t + p)) + 1e-12))
+        ):
+            for _ in range(10):
+                rows.append(base(rng.uniform(0, 1))
+                            + rng.normal(0, 0.05, 64))
+                labels.append(label)
+        X, y = zscore(np.asarray(rows)), np.asarray(labels)
+        must = [(0, i) for i in range(1, 10)] + [(10, i) for i in range(11, 20)]
+        cannot = [(0, 10)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            model = ConstrainedKShape(
+                2, must_link=must, cannot_link=cannot, random_state=0
+            ).fit(X)
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_infeasible_constraints_raise(self, two_class_data):
+        X, _ = two_class_data
+        with pytest.raises(InvalidParameterError):
+            ConstrainedKShape(
+                2, must_link=[(0, 1)], cannot_link=[(0, 1)], random_state=0
+            ).fit(X)
+
+    def test_groups_recorded(self, two_class_data):
+        X, _ = two_class_data
+        model = ConstrainedKShape(2, must_link=[(0, 1)], random_state=0).fit(X)
+        groups = model.result_.extra["groups"]
+        assert groups[0] == groups[1]
+
+    def test_deterministic(self, two_class_data):
+        X, _ = two_class_data
+        a = ConstrainedKShape(2, must_link=[(0, 5)], random_state=2).fit(X).labels_
+        b = ConstrainedKShape(2, must_link=[(0, 5)], random_state=2).fit(X).labels_
+        assert np.array_equal(a, b)

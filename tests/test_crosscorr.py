@@ -1,0 +1,122 @@
+"""Tests for repro.core.crosscorr (Equations 6-8, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import cross_correlation, ncc, ncc_max
+from repro.exceptions import InvalidParameterError, ShapeMismatchError
+from repro.preprocessing import shift_series, zscore
+
+
+class TestCrossCorrelation:
+    def test_length_is_2m_minus_1(self, sine):
+        assert cross_correlation(sine, sine).shape == (2 * 64 - 1,)
+
+    def test_fft_matches_direct(self, rng):
+        x = rng.normal(0, 1, 100)
+        y = rng.normal(0, 1, 100)
+        fft = cross_correlation(x, y, method="fft")
+        direct = cross_correlation(x, y, method="direct")
+        assert np.allclose(fft, direct, atol=1e-9)
+
+    def test_fft_no_pow2_matches_direct(self, rng):
+        x = rng.normal(0, 1, 37)
+        y = rng.normal(0, 1, 37)
+        fft = cross_correlation(x, y, method="fft", power_of_two=False)
+        direct = cross_correlation(x, y, method="direct")
+        assert np.allclose(fft, direct, atol=1e-9)
+
+    def test_zero_lag_is_inner_product(self, rng):
+        x = rng.normal(0, 1, 50)
+        y = rng.normal(0, 1, 50)
+        cc = cross_correlation(x, y)
+        assert cc[49] == pytest.approx(np.dot(x, y))
+
+    def test_lag_matches_shift_inner_product(self, rng):
+        """CC at lag s equals <x, shift(y, s)> (Equations 5-7)."""
+        x = rng.normal(0, 1, 30)
+        y = rng.normal(0, 1, 30)
+        cc = cross_correlation(x, y, method="direct")
+        for s in (-7, -1, 0, 3, 12):
+            expected = np.dot(x, shift_series(y, s))
+            assert cc[s + 29] == pytest.approx(expected)
+
+    def test_length_one_series(self):
+        cc = cross_correlation([2.0], [3.0])
+        assert cc.shape == (1,)
+        assert cc[0] == pytest.approx(6.0)
+
+    def test_unequal_lengths_raise(self):
+        with pytest.raises(ShapeMismatchError):
+            cross_correlation(np.ones(4), np.ones(5))
+
+    def test_bad_method_raises(self):
+        with pytest.raises(InvalidParameterError):
+            cross_correlation(np.ones(4), np.ones(4), method="magic")
+
+
+class TestNCC:
+    def test_coefficient_bounded(self, rng):
+        x = rng.normal(0, 1, 64)
+        y = rng.normal(0, 1, 64)
+        seq = ncc(x, y, norm="c")
+        assert seq.max() <= 1.0 + 1e-9
+        assert seq.min() >= -1.0 - 1e-9
+
+    def test_coefficient_self_peak_is_one(self, sine):
+        seq = ncc(sine, sine, norm="c")
+        assert seq.max() == pytest.approx(1.0)
+        assert np.argmax(seq) == 63  # zero lag
+
+    def test_biased_is_cc_over_m(self, rng):
+        x = rng.normal(0, 1, 20)
+        y = rng.normal(0, 1, 20)
+        assert np.allclose(ncc(x, y, "b"), cross_correlation(x, y) / 20)
+
+    def test_unbiased_divides_by_overlap(self, rng):
+        x = rng.normal(0, 1, 10)
+        y = rng.normal(0, 1, 10)
+        seq_u = ncc(x, y, "u")
+        cc = cross_correlation(x, y)
+        lags = np.abs(np.arange(19) - 9)
+        assert np.allclose(seq_u, cc / (10 - lags))
+
+    def test_zero_series_coefficient_is_zero(self):
+        seq = ncc(np.zeros(8), np.ones(8), norm="c")
+        assert np.all(seq == 0.0)
+
+    def test_invalid_norm_raises(self):
+        with pytest.raises(InvalidParameterError):
+            ncc(np.ones(4), np.ones(4), norm="x")
+
+    def test_coefficient_scale_invariant(self, rng):
+        x = zscore(rng.normal(0, 1, 40))
+        y = zscore(rng.normal(0, 1, 40))
+        assert np.allclose(ncc(x, y, "c"), ncc(3 * x, 0.5 * y, "c"))
+
+
+class TestNCCMax:
+    def test_detects_known_shift(self, sine):
+        shifted = shift_series(sine, 9)
+        _, s = ncc_max(sine, shifted)
+        assert s == -9  # shifted must move 9 left to re-align
+
+    def test_aligned_pair_zero_shift(self, sine):
+        value, s = ncc_max(sine, sine)
+        assert s == 0
+        assert value == pytest.approx(1.0)
+
+    def test_figure3_biased_misled_by_offset(self, rng):
+        """Figure 3: on unnormalized data the biased estimator's peak is
+        driven by the offset (maximal overlap, lag ~0), while NCCc on
+        z-normalized data recovers the true shape alignment."""
+        m = 256
+        t = np.linspace(0, 1, m)
+        pulse = lambda c: np.exp(-0.5 * ((t - c) / 0.03) ** 2)
+        x = 10.0 + pulse(0.2) + rng.normal(0, 0.01, m)  # large shared offset
+        y = 10.0 + pulse(0.7) + rng.normal(0, 0.01, m)
+        true_shift = int(round(-0.5 * m))                # y's pulse is 0.5 late
+        _, shift_b = ncc_max(x, y, norm="b")
+        assert abs(shift_b) < m // 8                     # stuck near zero lag
+        _, shift_c = ncc_max(zscore(x), zscore(y), norm="c")
+        assert abs(shift_c - true_shift) < m // 16       # shape recovered

@@ -1,0 +1,147 @@
+"""Tests for repro.datasets (Dataset container, CBF, ECG, generators)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CBF_CLASSES,
+    Dataset,
+    cbf_instance,
+    make_cbf,
+    make_cbf_dataset,
+    make_ecg_dataset,
+    make_ecg_five_days,
+    make_labeled_set,
+    sine_wave,
+    smooth_random_warp,
+)
+from repro.exceptions import InvalidParameterError, ShapeMismatchError
+
+
+class TestDatasetContainer:
+    def test_from_raw_znormalizes(self, rng):
+        X = rng.normal(5, 3, (6, 20))
+        ds = Dataset.from_raw("t", X[:3], [0, 0, 1], X[3:], [0, 1, 1])
+        assert np.allclose(ds.X_train.mean(axis=1), 0.0, atol=1e-9)
+        assert np.allclose(ds.X_train.std(axis=1), 1.0, atol=1e-9)
+
+    def test_fused_views(self, rng):
+        X = rng.normal(0, 1, (5, 8))
+        ds = Dataset.from_raw("t", X[:2], [0, 1], X[2:], [0, 1, 0])
+        assert ds.X.shape == (5, 8)
+        assert list(ds.y) == [0, 1, 0, 1, 0]
+        assert ds.n_total == 5
+
+    def test_properties(self, rng):
+        X = rng.normal(0, 1, (4, 10))
+        ds = Dataset.from_raw("t", X[:2], [0, 1], X[2:], [2, 1])
+        assert ds.n_classes == 3
+        assert ds.length == 10
+        assert "t:" in ds.summary()
+
+    def test_label_mismatch_raises(self, rng):
+        X = rng.normal(0, 1, (4, 6))
+        with pytest.raises(ShapeMismatchError):
+            Dataset.from_raw("t", X[:2], [0], X[2:], [0, 1])
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ShapeMismatchError):
+            Dataset.from_raw(
+                "t", rng.normal(0, 1, (2, 6)), [0, 1],
+                rng.normal(0, 1, (2, 7)), [0, 1],
+            )
+
+
+class TestCBF:
+    def test_instance_shapes(self):
+        for kind in CBF_CLASSES:
+            assert cbf_instance(kind, 128, rng=0).shape == (128,)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(InvalidParameterError):
+            cbf_instance("cone", 128)
+
+    def test_make_cbf_labels(self):
+        X, y = make_cbf(5, 64, rng=0)
+        assert X.shape == (15, 64)
+        assert list(np.bincount(y)) == [5, 5, 5]
+
+    def test_deterministic(self):
+        X1, _ = make_cbf(3, 64, rng=9)
+        X2, _ = make_cbf(3, 64, rng=9)
+        assert np.array_equal(X1, X2)
+
+    def test_length_scaling(self):
+        """The event interval scales with the sequence length."""
+        X, _ = make_cbf(20, 256, rng=0)
+        assert X.shape == (60, 256)
+        # Event (positive plateau region) must still fit in the window.
+        assert np.all(np.isfinite(X))
+
+    def test_classes_distinguishable(self):
+        """Bell rises gradually; funnel falls: their slopes differ in sign."""
+        rng = np.random.default_rng(1)
+        bell = np.mean([cbf_instance("bell", 128, rng) for _ in range(50)], axis=0)
+        funnel = np.mean([cbf_instance("funnel", 128, rng) for _ in range(50)], axis=0)
+        mid = slice(30, 90)
+        assert np.polyfit(np.arange(60), bell[mid], 1)[0] > 0
+        assert np.polyfit(np.arange(60), funnel[mid], 1)[0] < 0
+
+    def test_dataset_wrapper(self):
+        ds = make_cbf_dataset(4, 6, 64, seed=0)
+        assert ds.n_classes == 3
+        assert ds.n_train == 12
+        assert ds.n_test == 18
+
+
+class TestECG:
+    def test_shapes_and_labels(self):
+        X, y = make_ecg_five_days(6, 100, rng=0)
+        assert X.shape == (12, 100)
+        assert list(np.bincount(y)) == [6, 6]
+
+    def test_classes_differ_in_lead_sharpness(self):
+        """Class A's rise is sharper: its max derivative is larger."""
+        X, y = make_ecg_five_days(30, 136, noise=0.0, max_phase=0.0, rng=0)
+        slope_a = np.abs(np.diff(X[y == 0], axis=1)).max(axis=1).mean()
+        slope_b = np.abs(np.diff(X[y == 1], axis=1)).max(axis=1).mean()
+        assert slope_a > 1.5 * slope_b
+
+    def test_phase_shifts_applied(self):
+        X, _ = make_ecg_five_days(20, 136, noise=0.0, max_phase=0.5, rng=0)
+        peaks = np.argmax(X, axis=1)
+        assert peaks.std() > 5  # instances genuinely out of phase
+
+    def test_dataset_wrapper(self):
+        ds = make_ecg_dataset(3, 5, seed=1)
+        assert ds.n_classes == 2
+        assert ds.length == 136
+
+
+class TestGenerators:
+    def test_make_labeled_set_shapes(self, rng):
+        makers = [lambda t, r: sine_wave(t, 2), lambda t, r: sine_wave(t, 5)]
+        X, y = make_labeled_set(makers, 4, 32, rng=rng)
+        assert X.shape == (8, 32)
+        assert list(np.bincount(y)) == [4, 4]
+
+    def test_noise_level_respected(self):
+        makers = [lambda t, r: np.zeros_like(t)]
+        X, _ = make_labeled_set(makers, 50, 100, noise=0.5, rng=0)
+        assert 0.4 < X.std() < 0.6
+
+    def test_wrong_length_maker_raises(self):
+        makers = [lambda t, r: np.zeros(3)]
+        with pytest.raises(InvalidParameterError):
+            make_labeled_set(makers, 2, 10, rng=0)
+
+    def test_warp_is_monotone_bijection(self, rng):
+        t = np.linspace(0, 1, 200)
+        w = smooth_random_warp(t, 0.08, rng)
+        assert w[0] == pytest.approx(0.0)
+        assert w[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(w) >= 0)
+
+    def test_zero_warp_is_identity(self, rng):
+        t = np.linspace(0, 1, 50)
+        assert np.allclose(smooth_random_warp(t, 0.0, rng), t)

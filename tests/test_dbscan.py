@@ -1,0 +1,65 @@
+"""Tests for repro.clustering.dbscan."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN
+from repro.evaluation import rand_index
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+
+@pytest.fixture
+def blob_matrix(rng):
+    points = np.concatenate([rng.normal(c, 0.3, 12) for c in (0.0, 10.0)])
+    D = np.abs(points[:, None] - points[None, :])
+    return D, np.repeat([0, 1], 12)
+
+
+class TestDBSCAN:
+    def test_recovers_blobs(self, blob_matrix):
+        D, y = blob_matrix
+        model = DBSCAN(eps=1.0, min_samples=3, metric="precomputed").fit(D)
+        assert model.n_clusters_ == 2
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_far_point_is_noise(self, blob_matrix):
+        D, y = blob_matrix
+        n = D.shape[0]
+        big = np.full((n + 1, n + 1), 100.0)
+        big[:n, :n] = D
+        big[n, n] = 0.0
+        model = DBSCAN(eps=1.0, min_samples=3, metric="precomputed").fit(big)
+        assert model.labels_[n] == -1
+
+    def test_sbd_metric_on_sequences(self, two_class_data):
+        X, y = two_class_data
+        model = DBSCAN(eps=0.3, min_samples=3, metric="sbd").fit(X)
+        clustered = model.labels_ >= 0
+        assert clustered.sum() >= X.shape[0] // 2
+        assert rand_index(y[clustered], model.labels_[clustered]) >= 0.9
+
+    def test_min_samples_turns_all_noise(self, blob_matrix):
+        D, _ = blob_matrix
+        model = DBSCAN(eps=0.01, min_samples=5, metric="precomputed").fit(D)
+        assert model.n_clusters_ == 0
+        assert np.all(model.labels_ == -1)
+
+    def test_core_mask_exposed(self, blob_matrix):
+        D, _ = blob_matrix
+        model = DBSCAN(eps=1.0, min_samples=3, metric="precomputed").fit(D)
+        assert model.core_mask_.shape == (D.shape[0],)
+        assert model.core_mask_.any()
+
+    def test_bad_eps_raises(self):
+        with pytest.raises(InvalidParameterError):
+            DBSCAN(eps=0.0)
+
+    def test_unfitted_n_clusters_raises(self):
+        with pytest.raises(NotFittedError):
+            DBSCAN(eps=1.0).n_clusters_
+
+    def test_deterministic(self, blob_matrix):
+        D, _ = blob_matrix
+        a = DBSCAN(eps=1.0, metric="precomputed").fit(D).labels_
+        b = DBSCAN(eps=1.0, metric="precomputed").fit(D).labels_
+        assert np.array_equal(a, b)

@@ -1,0 +1,60 @@
+"""Tests for repro.clustering.density_peaks."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import DensityPeaks
+from repro.evaluation import rand_index
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def blob_matrix(rng):
+    points = np.concatenate([rng.normal(c, 0.4, 12) for c in (0.0, 10.0, 20.0)])
+    D = np.abs(points[:, None] - points[None, :])
+    return D, np.repeat([0, 1, 2], 12)
+
+
+class TestDensityPeaks:
+    def test_recovers_blobs(self, blob_matrix):
+        D, y = blob_matrix
+        model = DensityPeaks(3, metric="precomputed", random_state=0).fit(D)
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_hard_cutoff_variant(self, blob_matrix):
+        D, y = blob_matrix
+        model = DensityPeaks(3, metric="precomputed", gaussian=False,
+                             dc=2.0).fit(D)
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_centers_have_top_gamma(self, blob_matrix):
+        D, _ = blob_matrix
+        model = DensityPeaks(3, metric="precomputed").fit(D)
+        extra = model.result_.extra
+        top3 = set(np.argsort(extra["gamma"])[::-1][:3])
+        assert set(extra["centers"]) == top3
+
+    def test_sbd_metric_on_sequences(self, two_class_data):
+        X, y = two_class_data
+        model = DensityPeaks(2, metric="sbd").fit(X)
+        assert rand_index(y, model.labels_) >= 0.9
+
+    def test_every_point_labeled(self, blob_matrix):
+        D, _ = blob_matrix
+        model = DensityPeaks(3, metric="precomputed").fit(D)
+        assert np.all(model.labels_ >= 0)
+        assert np.unique(model.labels_).shape[0] == 3
+
+    def test_bad_dc_raises(self):
+        with pytest.raises(InvalidParameterError):
+            DensityPeaks(2, dc=-1.0)
+
+    def test_bad_percentile_raises(self):
+        with pytest.raises(InvalidParameterError):
+            DensityPeaks(2, dc_percentile=0.0)
+
+    def test_deterministic(self, blob_matrix):
+        D, _ = blob_matrix
+        a = DensityPeaks(3, metric="precomputed").fit(D).labels_
+        b = DensityPeaks(3, metric="precomputed").fit(D).labels_
+        assert np.array_equal(a, b)

@@ -1,0 +1,68 @@
+"""Tests for repro.search.discord (matrix profile + discord discovery)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.search import find_discords, matrix_profile
+
+
+@pytest.fixture
+def anomalous_series(rng):
+    """A periodic series with one injected anomaly."""
+    t = np.linspace(0, 30, 600)
+    x = np.sin(2 * np.pi * t) + rng.normal(0, 0.05, 600)
+    bump = 2.5 * np.exp(-0.5 * ((np.arange(30) - 15) / 4.0) ** 2)
+    x[300:330] += bump
+    return x, 300, 330
+
+
+class TestMatrixProfile:
+    def test_length(self, rng):
+        x = rng.normal(0, 1, 200)
+        assert matrix_profile(x, 20).shape == (181,)
+
+    def test_periodic_series_low_profile(self, rng):
+        t = np.linspace(0, 20, 400)
+        x = np.sin(2 * np.pi * t) + rng.normal(0, 0.01, 400)
+        profile = matrix_profile(x, 40)
+        assert np.median(profile) < 0.5  # every window repeats elsewhere
+
+    def test_anomaly_sticks_out(self, anomalous_series):
+        x, lo, hi = anomalous_series
+        profile = matrix_profile(x, 30)
+        peak = int(np.argmax(profile))
+        assert lo - 30 <= peak <= hi
+
+    def test_flat_windows_zero(self):
+        x = np.concatenate([np.zeros(60), np.sin(np.linspace(0, 12, 120))])
+        profile = matrix_profile(x, 20)
+        assert profile[0] == 0.0
+
+    def test_window_too_large_raises(self, rng):
+        with pytest.raises(InvalidParameterError):
+            matrix_profile(rng.normal(0, 1, 40), 30)
+
+
+class TestFindDiscords:
+    def test_finds_injected_anomaly(self, anomalous_series):
+        x, lo, hi = anomalous_series
+        discords = find_discords(x, 30, k=1)
+        assert len(discords) == 1
+        start, dist = discords[0]
+        assert lo - 30 <= start <= hi
+        assert dist > 0.0
+
+    def test_k_discords_non_overlapping(self, anomalous_series):
+        x, _, _ = anomalous_series
+        discords = find_discords(x, 30, k=3)
+        starts = [d[0] for d in discords]
+        for i, a in enumerate(starts):
+            for b in starts[i + 1:]:
+                assert abs(a - b) > 15
+
+    def test_sorted_most_anomalous_first(self, anomalous_series):
+        x, _, _ = anomalous_series
+        discords = find_discords(x, 30, k=3)
+        values = [d[1] for d in discords]
+        assert values == sorted(values, reverse=True)

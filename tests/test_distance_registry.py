@@ -1,0 +1,60 @@
+"""Tests for repro.distances.base (the named-distance registry)."""
+
+import numpy as np
+import pytest
+
+from repro.core import sbd
+from repro.distances import (
+    euclidean,
+    get_distance,
+    list_distances,
+    make_cdtw,
+    register_distance,
+)
+from repro.exceptions import UnknownNameError
+
+
+class TestRegistry:
+    def test_paper_names_present(self):
+        names = list_distances()
+        for required in ("ed", "dtw", "cdtw5", "cdtw10", "sbd",
+                         "sbd_nofft", "sbd_nopow2", "ksc"):
+            assert required in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_distance("SBD") is get_distance("sbd")
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(UnknownNameError) as err:
+            get_distance("nope")
+        assert "sbd" in str(err.value)
+
+    def test_ed_maps_to_euclidean(self, rng):
+        x = rng.normal(0, 1, 16)
+        y = rng.normal(0, 1, 16)
+        assert get_distance("ed")(x, y) == euclidean(x, y)
+
+    def test_sbd_maps_to_sbd(self, rng):
+        x = rng.normal(0, 1, 16)
+        y = rng.normal(0, 1, 16)
+        assert get_distance("sbd")(x, y) == sbd(x, y)
+
+    def test_register_and_use_custom(self, rng):
+        register_distance("_test_l1", lambda a, b: float(np.abs(a - b).sum()))
+        try:
+            fn = get_distance("_test_l1")
+            assert fn(np.zeros(3), np.ones(3)) == 3.0
+        finally:
+            # Re-register as a cleanup no-op replacement to keep idempotence.
+            register_distance("_test_l1", lambda a, b: 0.0, overwrite=True)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(UnknownNameError):
+            register_distance("ed", lambda a, b: 0.0)
+
+    def test_make_cdtw_fixes_window(self, rng):
+        from repro.distances import dtw
+
+        x = rng.normal(0, 1, 50)
+        y = rng.normal(0, 1, 50)
+        assert make_cdtw(0.1)(x, y) == pytest.approx(dtw(x, y, window=5))

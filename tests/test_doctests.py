@@ -1,0 +1,24 @@
+"""Execute the documentation examples embedded in module docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+# Note: attribute access like ``repro.core.sbd`` resolves to the re-exported
+# *function*, so the modules are fetched explicitly via importlib.
+MODULE_NAMES = [
+    "repro.core.kshape",
+    "repro.core.sbd",
+    "repro.evaluation.clustering_metrics",
+    "repro.harness.cache",
+    "repro.multivariate.kshape",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_docstring_examples(name):
+    module = importlib.import_module(name)
+    failures, attempted = doctest.testmod(module)
+    assert attempted > 0, f"{name} has no doctests"
+    assert failures == 0

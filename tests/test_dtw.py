@@ -1,0 +1,137 @@
+"""Tests for repro.distances.dtw (Section 2.3, Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import cdtw, dtw, dtw_path, euclidean, resolve_window, sakoe_chiba_mask
+from repro.exceptions import InvalidParameterError
+
+
+class TestDTW:
+    def test_identity_zero(self, sine):
+        assert dtw(sine, sine) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetric(self, rng):
+        x = rng.normal(0, 1, 30)
+        y = rng.normal(0, 1, 30)
+        assert dtw(x, y) == pytest.approx(dtw(y, x))
+
+    def test_never_exceeds_euclidean(self, rng):
+        """DTW's path can always take the diagonal, so DTW <= ED."""
+        for _ in range(10):
+            x = rng.normal(0, 1, 25)
+            y = rng.normal(0, 1, 25)
+            assert dtw(x, y) <= euclidean(x, y) + 1e-9
+
+    def test_window_zero_equals_euclidean(self, rng):
+        x = rng.normal(0, 1, 40)
+        y = rng.normal(0, 1, 40)
+        assert dtw(x, y, window=0) == pytest.approx(euclidean(x, y))
+
+    def test_monotone_in_window(self, rng):
+        """Widening the band can only lower (or keep) the distance."""
+        x = rng.normal(0, 1, 50)
+        y = rng.normal(0, 1, 50)
+        ds = [dtw(x, y, window=w) for w in (0, 2, 5, 10, None)]
+        assert all(a >= b - 1e-9 for a, b in zip(ds, ds[1:]))
+
+    def test_known_small_example(self):
+        # gamma matrix by hand: x=[0,1], y=[0,1] -> 0; x=[0,0], y=[1,1] -> sqrt(2)
+        assert dtw([0.0, 1.0], [0.0, 1.0]) == pytest.approx(0.0)
+        assert dtw([0.0, 0.0], [1.0, 1.0]) == pytest.approx(np.sqrt(2.0))
+
+    def test_warping_absorbs_local_stretch(self):
+        """A locally stretched copy is much closer under DTW than ED."""
+        t = np.linspace(0, 1, 60)
+        x = np.sin(2 * np.pi * t)
+        warped_t = t + 0.05 * np.sin(2 * np.pi * t)
+        y = np.sin(2 * np.pi * warped_t)
+        assert dtw(x, y) < 0.5 * euclidean(x, y)
+
+    def test_unequal_lengths_supported(self, rng):
+        x = rng.normal(0, 1, 20)
+        y = rng.normal(0, 1, 33)
+        assert np.isfinite(dtw(x, y))
+
+    def test_cdtw_requires_window(self):
+        with pytest.raises(InvalidParameterError):
+            cdtw(np.ones(4), np.ones(4), window=None)
+
+    def test_fractional_window(self, rng):
+        x = rng.normal(0, 1, 100)
+        y = rng.normal(0, 1, 100)
+        assert cdtw(x, y, window=0.05) == pytest.approx(dtw(x, y, window=5))
+
+
+class TestResolveWindow:
+    def test_none_passthrough(self):
+        assert resolve_window(None, 100) is None
+
+    def test_fraction(self):
+        assert resolve_window(0.05, 100) == 5
+        assert resolve_window(0.1, 128) == 12
+
+    def test_int_passthrough(self):
+        assert resolve_window(7, 100) == 7
+
+    def test_negative_raises(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_window(-1, 10)
+
+    def test_fraction_out_of_range_raises(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_window(1.5, 10)
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_window(True, 10)
+
+
+class TestSakoeChibaMask:
+    def test_diagonal_always_inside(self):
+        mask = sakoe_chiba_mask(10, 10, 0)
+        assert np.all(np.diag(mask))
+        assert mask.sum() == 10
+
+    def test_band_width(self):
+        mask = sakoe_chiba_mask(10, 10, 2)
+        i, j = np.nonzero(mask)
+        assert np.abs(i - j).max() == 2
+
+    def test_none_window_full(self):
+        assert sakoe_chiba_mask(5, 5, None).all()
+
+
+class TestDTWPath:
+    def test_path_endpoints(self, rng):
+        x = rng.normal(0, 1, 15)
+        y = rng.normal(0, 1, 15)
+        _, path = dtw_path(x, y)
+        assert path[0] == (0, 0)
+        assert path[-1] == (14, 14)
+
+    def test_path_steps_valid(self, rng):
+        x = rng.normal(0, 1, 20)
+        y = rng.normal(0, 1, 20)
+        _, path = dtw_path(x, y)
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert (i1 - i0, j1 - j0) in {(0, 1), (1, 0), (1, 1)}
+
+    def test_path_distance_matches_dtw(self, rng):
+        x = rng.normal(0, 1, 25)
+        y = rng.normal(0, 1, 25)
+        d_path, _ = dtw_path(x, y)
+        assert d_path == pytest.approx(dtw(x, y), abs=1e-9)
+
+    def test_constrained_path_stays_in_band(self, rng):
+        x = rng.normal(0, 1, 30)
+        y = rng.normal(0, 1, 30)
+        _, path = dtw_path(x, y, window=3)
+        assert all(abs(i - j) <= 3 for i, j in path)
+
+    def test_path_cost_is_sum_of_squares(self, rng):
+        x = rng.normal(0, 1, 12)
+        y = rng.normal(0, 1, 12)
+        d, path = dtw_path(x, y)
+        total = sum((x[i] - y[j]) ** 2 for i, j in path)
+        assert d == pytest.approx(np.sqrt(total))

@@ -1,0 +1,153 @@
+"""Tests for repro.distances.elastic (LCSS, EDR, ERP, MSM)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import edr, erp, euclidean, lcss, lcss_distance, msm
+from repro.exceptions import InvalidParameterError
+
+
+class TestLCSS:
+    def test_identical_full_length(self, rng):
+        x = rng.normal(0, 1, 20)
+        assert lcss(x, x, epsilon=1e-9) == 20
+
+    def test_distance_zero_for_identical(self, rng):
+        x = rng.normal(0, 1, 15)
+        assert lcss_distance(x, x, epsilon=1e-9) == 0.0
+
+    def test_disjoint_ranges_no_match(self):
+        x = np.zeros(10)
+        y = np.full(10, 5.0)
+        assert lcss(x, y, epsilon=0.5) == 0
+        assert lcss_distance(x, y, epsilon=0.5) == 1.0
+
+    def test_known_subsequence(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        y = np.array([2.0, 4.0])
+        assert lcss(x, y, epsilon=0.1) == 2
+
+    def test_epsilon_widens_matches(self, rng):
+        x = rng.normal(0, 1, 30)
+        y = x + rng.normal(0, 0.3, 30)
+        assert lcss(x, y, 0.1) <= lcss(x, y, 0.5) <= lcss(x, y, 2.0)
+
+    def test_delta_constrains(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([9.0, 9.0, 9.0, 1.0, 2.0, 3.0])
+        # The common subsequence sits 3 positions apart; delta=1 forbids
+        # every one of those pairings.
+        assert lcss(x, y, epsilon=0.1) == 3
+        assert lcss(x, y, epsilon=0.1, delta=1) == 0
+
+    def test_symmetric(self, rng):
+        x = rng.normal(0, 1, 12)
+        y = rng.normal(0, 1, 12)
+        assert lcss(x, y, 0.4) == lcss(y, x, 0.4)
+
+    def test_negative_epsilon_raises(self):
+        with pytest.raises(InvalidParameterError):
+            lcss(np.ones(3), np.ones(3), epsilon=-1.0)
+
+
+class TestEDR:
+    def test_identical_zero(self, rng):
+        x = rng.normal(0, 1, 18)
+        assert edr(x, x, epsilon=1e-9) == 0.0
+
+    def test_all_mismatch_equals_length(self):
+        x = np.zeros(6)
+        y = np.full(6, 9.0)
+        assert edr(x, y, epsilon=0.5) == 6.0
+
+    def test_normalized_range(self, rng):
+        x = rng.normal(0, 1, 20)
+        y = rng.normal(0, 1, 20)
+        d = edr(x, y, epsilon=0.25, normalize=True)
+        assert 0.0 <= d <= 1.0
+
+    def test_symmetric(self, rng):
+        x = rng.normal(0, 1, 14)
+        y = rng.normal(0, 1, 11)
+        assert edr(x, y, 0.3) == edr(y, x, 0.3)
+
+    def test_insertion_cost(self):
+        # y is x with one extra point far from everything: one edit.
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.0, 9.0, 2.0, 3.0])
+        assert edr(x, y, epsilon=0.1) == 1.0
+
+
+class TestERP:
+    def test_identical_zero(self, rng):
+        x = rng.normal(0, 1, 16)
+        assert erp(x, x) == pytest.approx(0.0)
+
+    def test_equal_length_bounded_by_l1(self, rng):
+        """Matching everything 1-1 costs the L1 distance, an upper bound."""
+        x = rng.normal(0, 1, 20)
+        y = rng.normal(0, 1, 20)
+        assert erp(x, y) <= np.abs(x - y).sum() + 1e-9
+
+    def test_symmetric(self, rng):
+        x = rng.normal(0, 1, 13)
+        y = rng.normal(0, 1, 17)
+        assert erp(x, y) == pytest.approx(erp(y, x))
+
+    def test_triangle_inequality(self, rng):
+        """ERP is a metric; spot-check the triangle inequality."""
+        for _ in range(15):
+            x = rng.normal(0, 1, 10)
+            y = rng.normal(0, 1, 10)
+            z = rng.normal(0, 1, 10)
+            assert erp(x, z) <= erp(x, y) + erp(y, z) + 1e-9
+
+    def test_gap_penalty_reference(self):
+        """Deleting against g=0 costs the absolute values."""
+        x = np.array([2.0, -3.0])
+        y = np.array([2.0])
+        # Best: match 2-2 (0), gap the -3 (3).
+        assert erp(x, y, g=0.0) == pytest.approx(3.0)
+
+
+class TestMSM:
+    def test_identical_zero(self, rng):
+        x = rng.normal(0, 1, 12)
+        assert msm(x, x) == pytest.approx(0.0)
+
+    def test_single_move_costs_difference(self):
+        x = np.array([0.0, 1.0, 0.0])
+        y = np.array([0.0, 3.0, 0.0])
+        assert msm(x, y, c=0.5) == pytest.approx(2.0)
+
+    def test_symmetric(self, rng):
+        x = rng.normal(0, 1, 11)
+        y = rng.normal(0, 1, 11)
+        assert msm(x, y) == pytest.approx(msm(y, x))
+
+    def test_triangle_inequality(self, rng):
+        for _ in range(15):
+            x = rng.normal(0, 1, 8)
+            y = rng.normal(0, 1, 8)
+            z = rng.normal(0, 1, 8)
+            assert msm(x, z) <= msm(x, y) + msm(y, z) + 1e-9
+
+    def test_split_merge_cost(self):
+        """Duplicating a point inside the bracket costs exactly c."""
+        x = np.array([1.0, 1.0])
+        y = np.array([1.0])
+        assert msm(x, y, c=0.5) == pytest.approx(0.5)
+
+    def test_negative_c_raises(self):
+        with pytest.raises(InvalidParameterError):
+            msm(np.ones(3), np.ones(3), c=-0.1)
+
+    def test_registry_access(self, rng):
+        from repro.distances import get_distance
+
+        x = rng.normal(0, 1, 10)
+        y = rng.normal(0, 1, 10)
+        assert get_distance("msm")(x, y) == pytest.approx(msm(x, y))
+        assert get_distance("lcss")(x, y) == pytest.approx(
+            lcss_distance(x, y)
+        )

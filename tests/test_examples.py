@@ -1,0 +1,32 @@
+"""Smoke tests executing the example scripts end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "alignment_visualization.py",
+    "custom_pipeline.py",
+    "multivariate_clustering.py",
+    "streaming_clustering.py",
+    "query_and_anomaly.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example reports something
+
+
+def test_quickstart_accepts_dataset_argument(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py", "Ramps"])
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    assert "Ramps" in capsys.readouterr().out

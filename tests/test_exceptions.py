@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceWarning,
+    EmptyInputError,
+    InvalidParameterError,
+    NotFittedError,
+    ReproError,
+    ShapeMismatchError,
+    UnknownNameError,
+)
+
+
+class TestHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (ShapeMismatchError, EmptyInputError,
+                    InvalidParameterError, NotFittedError, UnknownNameError):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Callers using stdlib types still catch our errors."""
+        assert issubclass(ShapeMismatchError, ValueError)
+        assert issubclass(EmptyInputError, ValueError)
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(UnknownNameError, KeyError)
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_convergence_warning_is_warning(self):
+        assert issubclass(ConvergenceWarning, UserWarning)
+
+    def test_catch_base_class(self):
+        with pytest.raises(ReproError):
+            raise EmptyInputError("x")

@@ -1,0 +1,106 @@
+"""Tests for repro.harness.experiments (the reusable evaluation protocols)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.harness import (
+    KMEANS_VARIANTS,
+    NONSCALABLE_METHODS,
+    compute_dissimilarity_matrices,
+    evaluate_distance_measures,
+    evaluate_kmeans_variants,
+    evaluate_lb_runtimes,
+    evaluate_nonscalable_methods,
+)
+from repro.exceptions import UnknownNameError
+
+
+def _tiny_dataset(name, seed):
+    """A miniature two-class dataset so DTW-heavy protocols stay fast."""
+    from repro.datasets import Dataset, make_labeled_set, sine_wave
+
+    makers = [
+        lambda t, r: sine_wave(t, 2, r.uniform(0, 0.3)),
+        lambda t, r: sine_wave(t, 5, r.uniform(0, 0.3)),
+    ]
+    X_tr, y_tr = make_labeled_set(makers, 4, 32, noise=0.1, rng=seed)
+    X_te, y_te = make_labeled_set(makers, 5, 32, noise=0.1, rng=seed + 1)
+    return Dataset.from_raw(name, X_tr, y_tr, X_te, y_te)
+
+
+@pytest.fixture(scope="module")
+def panel():
+    """A tiny two-dataset panel to keep the protocol tests fast."""
+    return [_tiny_dataset("tiny-a", 0), _tiny_dataset("tiny-b", 10)]
+
+
+class TestDistanceEvaluation:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        panel = [_tiny_dataset("tiny-a", 0), _tiny_dataset("tiny-b", 10)]
+        return evaluate_distance_measures(panel, cdtw_opt_windows=(0.05,))
+
+    def test_all_measures_present(self, result):
+        for m in ("ED", "SBD", "DTW", "cDTW5", "cDTW10", "cDTWopt",
+                  "SBDNoFFT", "SBDNoPow2"):
+            assert m in result.accuracies
+            assert result.accuracies[m].shape == (2,)
+
+    def test_accuracies_in_range(self, result):
+        for accs in result.accuracies.values():
+            assert np.all(accs >= 0.0) and np.all(accs <= 1.0)
+
+    def test_runtime_factors_baseline_is_one(self, result):
+        factors = result.runtime_factors("ED")
+        assert factors["ED"] == pytest.approx(1.0)
+        assert factors["DTW"] > 1.0  # DTW cannot be cheaper than ED
+
+    def test_tuned_windows_recorded(self, result):
+        assert set(result.tuned_windows) == {"tiny-a", "tiny-b"}
+
+    def test_sbd_variants_agree_in_accuracy(self, result):
+        assert np.allclose(result.accuracies["SBD"],
+                           result.accuracies["SBDNoFFT"])
+        assert np.allclose(result.accuracies["SBD"],
+                           result.accuracies["SBDNoPow2"])
+
+
+class TestLBEvaluation:
+    def test_rows_present(self, panel):
+        runtimes = evaluate_lb_runtimes(panel[:1])
+        assert set(runtimes) == {"DTW_LB", "cDTW5_LB", "cDTW10_LB"}
+        assert all(v.shape == (1,) for v in runtimes.values())
+
+
+class TestKMeansVariantsEvaluation:
+    def test_subset_of_methods(self, panel):
+        result = evaluate_kmeans_variants(
+            panel[:1], methods=("k-AVG+ED", "k-Shape"), n_runs=2
+        )
+        assert set(result.scores) == {"k-AVG+ED", "k-Shape"}
+        assert result.scores["k-Shape"].shape == (1,)
+        assert np.all(result.scores["k-Shape"] >= 0.0)
+        assert result.runtime_factors("k-AVG+ED")["k-AVG+ED"] == pytest.approx(1.0)
+
+    def test_unknown_method_raises(self, panel):
+        with pytest.raises(UnknownNameError):
+            evaluate_kmeans_variants(panel[:1], methods=("nope",), n_runs=1)
+
+    def test_full_variant_list_constant(self):
+        assert "k-Shape" in KMEANS_VARIANTS
+        assert "k-DBA" in KMEANS_VARIANTS
+        assert len(KMEANS_VARIANTS) == 7
+
+
+class TestNonScalableEvaluation:
+    def test_all_15_methods(self, panel):
+        small = panel[:1]
+        matrices = compute_dissimilarity_matrices(small)
+        assert set(matrices[small[0].name]) == {"ED", "cDTW", "SBD"}
+        result = evaluate_nonscalable_methods(small, matrices,
+                                              n_spectral_runs=2)
+        assert set(result.scores) == set(NONSCALABLE_METHODS)
+        assert len(NONSCALABLE_METHODS) == 15
+        for scores in result.scores.values():
+            assert 0.0 <= scores[0] <= 1.0

@@ -1,0 +1,116 @@
+"""Tests for repro.features (characteristics + model-based features)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.features import (
+    FEATURE_NAMES,
+    ar_feature_matrix,
+    extract_feature_matrix,
+    extract_features,
+    fit_ar,
+    lpc_cepstrum,
+)
+
+
+class TestCharacteristics:
+    def test_vector_length(self, rng):
+        v = extract_features(rng.normal(0, 1, 50))
+        assert v.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(v))
+
+    def test_mean_and_std(self):
+        x = np.array([1.0, 3.0, 1.0, 3.0] * 5)
+        v = extract_features(x)
+        names = dict(zip(FEATURE_NAMES, v))
+        assert names["mean"] == pytest.approx(2.0)
+        assert names["std"] == pytest.approx(1.0)
+
+    def test_trend_on_line(self):
+        v = extract_features(np.linspace(0, 1, 40))
+        assert dict(zip(FEATURE_NAMES, v))["trend"] > 0.99
+
+    def test_seasonality_on_sine(self):
+        t = np.linspace(0, 1, 128)
+        v = extract_features(np.sin(2 * np.pi * 4 * t))
+        names = dict(zip(FEATURE_NAMES, v))
+        assert names["seasonality"] > 0.9
+        assert names["period"] == pytest.approx(1.0 / 4.0, abs=0.02)
+
+    def test_constant_series_safe(self):
+        v = extract_features(np.full(30, 5.0))
+        assert np.all(np.isfinite(v))
+        assert dict(zip(FEATURE_NAMES, v))["std"] == 0.0
+
+    def test_skewness_sign(self, rng):
+        heavy_right = np.concatenate([np.zeros(90), np.full(10, 5.0)])
+        v = extract_features(heavy_right)
+        assert dict(zip(FEATURE_NAMES, v))["skewness"] > 0.5
+
+    def test_matrix_standardized(self, rng):
+        X = rng.normal(0, 1, (20, 64))
+        F = extract_feature_matrix(X)
+        assert F.shape == (20, len(FEATURE_NAMES))
+        keep = F.std(axis=0) > 0
+        assert np.allclose(F[:, keep].mean(axis=0), 0.0, atol=1e-9)
+
+    def test_features_separate_classes(self, rng):
+        """Features distinguish smooth sines from rough noise even when the
+        raw shapes are phase-scrambled."""
+        t = np.linspace(0, 1, 64)
+        smooth = [np.sin(2 * np.pi * (2 * t + rng.uniform(0, 1)))
+                  for _ in range(10)]
+        rough = [rng.normal(0, 1, 64) for _ in range(10)]
+        F = extract_feature_matrix(np.vstack([smooth, rough]))
+        roughness_col = list(FEATURE_NAMES).index("roughness")
+        assert F[:10, roughness_col].mean() < F[10:, roughness_col].mean()
+
+
+class TestAR:
+    def test_recovers_ar1_coefficient(self, rng):
+        """An AR(1) process with a = 0.7 is recovered to ~0.05."""
+        n = 4000
+        x = np.zeros(n)
+        noise = rng.normal(0, 1, n)
+        for tt in range(1, n):
+            x[tt] = 0.7 * x[tt - 1] + noise[tt]
+        a = fit_ar(x, order=1)
+        assert a[0] == pytest.approx(0.7, abs=0.05)
+
+    def test_constant_series_zeros(self):
+        assert np.all(fit_ar(np.full(50, 2.0), order=3) == 0.0)
+
+    def test_order_too_large_raises(self):
+        with pytest.raises(InvalidParameterError):
+            fit_ar(np.arange(5.0), order=5)
+
+    def test_cepstrum_length(self, rng):
+        c = lpc_cepstrum(rng.normal(0, 1, 100), order=4, n_coefficients=8)
+        assert c.shape == (8,)
+
+    def test_cepstrum_first_equals_a1(self, rng):
+        x = rng.normal(0, 1, 200)
+        a = fit_ar(x, order=3)
+        c = lpc_cepstrum(x, order=3)
+        assert c[0] == pytest.approx(a[0])
+
+    def test_feature_matrix_shapes(self, rng):
+        X = rng.normal(0, 1, (6, 80))
+        assert ar_feature_matrix(X, order=4).shape == (6, 4)
+        assert ar_feature_matrix(X, order=4, n_coefficients=10).shape == (6, 10)
+        assert ar_feature_matrix(X, order=3, cepstral=False).shape == (6, 3)
+
+    def test_similar_processes_have_close_cepstra(self, rng):
+        def ar1(a, seed):
+            g = np.random.default_rng(seed)
+            x = np.zeros(1000)
+            e = g.normal(0, 1, 1000)
+            for tt in range(1, 1000):
+                x[tt] = a * x[tt - 1] + e[tt]
+            return x
+
+        c_a = lpc_cepstrum(ar1(0.8, 1), order=2)
+        c_b = lpc_cepstrum(ar1(0.8, 2), order=2)
+        c_far = lpc_cepstrum(ar1(-0.6, 3), order=2)
+        assert np.linalg.norm(c_a - c_b) < np.linalg.norm(c_a - c_far)

@@ -1,0 +1,83 @@
+"""Tests for the private batched FFT kernels (repro.core._fft_batch).
+
+These kernels power k-Shape's assignment/alignment steps; they must agree
+exactly with the public per-pair API.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ncc_max
+from repro.core._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
+
+
+@pytest.fixture
+def batch(rng):
+    X = rng.normal(0, 1, (9, 40))
+    ref = rng.normal(0, 1, 40)
+    return X, ref
+
+
+class TestBatchKernels:
+    def test_fft_len_is_power_of_two(self):
+        for m in (1, 2, 17, 64, 100):
+            L = fft_len_for(m)
+            assert L >= 2 * m - 1
+            assert L & (L - 1) == 0
+
+    def test_values_match_pairwise_ncc_max(self, batch):
+        X, ref = batch
+        m = X.shape[1]
+        L = fft_len_for(m)
+        values, _ = ncc_c_max_batch(
+            rfft_batch(X, L), np.linalg.norm(X, axis=1),
+            np.fft.rfft(ref, L), float(np.linalg.norm(ref)), m, L,
+        )
+        for i in range(X.shape[0]):
+            expected, _ = ncc_max(X[i], ref)
+            assert values[i] == pytest.approx(expected, abs=1e-9)
+
+    def test_shifts_match_pairwise_ncc_max(self, batch):
+        X, ref = batch
+        m = X.shape[1]
+        L = fft_len_for(m)
+        _, shifts = ncc_c_max_batch(
+            rfft_batch(X, L), np.linalg.norm(X, axis=1),
+            np.fft.rfft(ref, L), float(np.linalg.norm(ref)), m, L,
+        )
+        for i in range(X.shape[0]):
+            _, expected = ncc_max(X[i], ref)
+            assert shifts[i] == expected
+
+    def test_zero_norm_rows_safe(self, rng):
+        X = np.vstack([np.zeros(16), rng.normal(0, 1, 16)])
+        ref = rng.normal(0, 1, 16)
+        L = fft_len_for(16)
+        values, shifts = ncc_c_max_batch(
+            rfft_batch(X, L), np.linalg.norm(X, axis=1),
+            np.fft.rfft(ref, L), float(np.linalg.norm(ref)), 16, L,
+        )
+        assert values[0] == 0.0
+        assert shifts[0] == 0
+
+    def test_zero_reference_safe(self, rng):
+        X = rng.normal(0, 1, (3, 16))
+        ref = np.zeros(16)
+        L = fft_len_for(16)
+        values, _ = ncc_c_max_batch(
+            rfft_batch(X, L), np.linalg.norm(X, axis=1),
+            np.fft.rfft(ref, L), 0.0, 16, L,
+        )
+        assert np.all(values == 0.0)
+
+    def test_length_one_series(self):
+        X = np.array([[3.0], [-2.0]])
+        ref = np.array([4.0])
+        L = fft_len_for(1)
+        values, shifts = ncc_c_max_batch(
+            rfft_batch(X, L), np.linalg.norm(X, axis=1),
+            np.fft.rfft(ref, L), 4.0, 1, L,
+        )
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(-1.0)
+        assert np.all(shifts == 0)

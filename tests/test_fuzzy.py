@@ -1,0 +1,84 @@
+"""Tests for repro.clustering.fuzzy (fuzzy c-Shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import FuzzyCShapes, weighted_shape_extraction
+from repro.core import shape_extraction
+from repro.evaluation import rand_index
+from repro.exceptions import InvalidParameterError
+
+
+class TestWeightedShapeExtraction:
+    def test_uniform_weights_match_unweighted(self, two_class_data):
+        X, y = two_class_data
+        members = X[y == 0]
+        ref = members[0]
+        weighted = weighted_shape_extraction(
+            members, np.ones(members.shape[0]), reference=ref
+        )
+        plain = shape_extraction(members, reference=ref)
+        assert np.allclose(weighted, plain, atol=1e-9)
+
+    def test_zero_weight_members_ignored(self, two_class_data):
+        """Down-weighting the other class to zero recovers the pure centroid."""
+        from repro.core import sbd
+
+        X, y = two_class_data
+        ref = X[y == 0][0]
+        weights = (y == 0).astype(float)
+        mixed = weighted_shape_extraction(X, weights, reference=ref)
+        pure = shape_extraction(X[y == 0], reference=ref)
+        assert sbd(mixed, pure) < 0.05
+
+    def test_weight_length_mismatch_raises(self, two_class_data):
+        X, _ = two_class_data
+        with pytest.raises(InvalidParameterError):
+            weighted_shape_extraction(X, np.ones(3))
+
+    def test_negative_weights_raise(self, two_class_data):
+        X, _ = two_class_data
+        with pytest.raises(InvalidParameterError):
+            weighted_shape_extraction(X, -np.ones(X.shape[0]))
+
+
+class TestFuzzyCShapes:
+    def test_recovers_two_classes(self, two_class_data):
+        X, y = two_class_data
+        model = FuzzyCShapes(2, random_state=0).fit(X)
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_memberships_are_distribution(self, two_class_data):
+        X, _ = two_class_data
+        model = FuzzyCShapes(2, random_state=0).fit(X)
+        U = model.memberships_
+        assert U.shape == (X.shape[0], 2)
+        assert np.all(U >= 0)
+        assert np.allclose(U.sum(axis=1), 1.0)
+
+    def test_confident_on_clean_data(self, two_class_data):
+        X, _ = two_class_data
+        model = FuzzyCShapes(2, random_state=0).fit(X)
+        assert model.memberships_.max(axis=1).mean() > 0.7
+
+    def test_high_fuzziness_softens(self, two_class_data):
+        X, _ = two_class_data
+        crisp = FuzzyCShapes(2, fuzziness=1.3, random_state=0).fit(X)
+        soft = FuzzyCShapes(2, fuzziness=4.0, random_state=0).fit(X)
+        assert (soft.memberships_.max(axis=1).mean()
+                <= crisp.memberships_.max(axis=1).mean() + 1e-9)
+
+    def test_bad_fuzziness_raises(self):
+        with pytest.raises(InvalidParameterError):
+            FuzzyCShapes(2, fuzziness=1.0)
+
+    def test_deterministic(self, two_class_data):
+        X, _ = two_class_data
+        a = FuzzyCShapes(2, random_state=3).fit(X).labels_
+        b = FuzzyCShapes(2, random_state=3).fit(X).labels_
+        assert np.array_equal(a, b)
+
+    def test_inertia_nonnegative(self, two_class_data):
+        X, _ = two_class_data
+        model = FuzzyCShapes(2, random_state=0).fit(X)
+        assert model.inertia_ >= 0.0

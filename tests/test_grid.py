@@ -1,0 +1,80 @@
+"""Tests for repro.harness.grid (parameter grid search)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN
+from repro.core import KShape
+from repro.exceptions import EmptyInputError
+from repro.harness import grid_search_supervised, grid_search_unsupervised
+
+
+class TestSupervised:
+    def test_picks_true_k(self, two_class_data):
+        X, y = two_class_data
+        result = grid_search_supervised(
+            lambda n_clusters: KShape(n_clusters, random_state=0),
+            {"n_clusters": [2, 3, 4]},
+            X, y,
+        )
+        assert result.best_params == {"n_clusters": 2}
+        assert result.best_score == 1.0
+        assert len(result.scores) == 3
+
+    def test_multi_parameter_product(self, two_class_data):
+        X, y = two_class_data
+        result = grid_search_supervised(
+            lambda n_clusters, n_init: KShape(n_clusters, n_init=n_init,
+                                              random_state=0),
+            {"n_clusters": [2, 3], "n_init": [1, 2]},
+            X, y,
+        )
+        assert len(result.scores) == 4
+
+    def test_empty_grid_raises(self, two_class_data):
+        X, y = two_class_data
+        with pytest.raises(EmptyInputError):
+            grid_search_supervised(lambda: None, {}, X, y)
+
+    def test_rows_formatting(self, two_class_data):
+        X, y = two_class_data
+        result = grid_search_supervised(
+            lambda n_clusters: KShape(n_clusters, random_state=0),
+            {"n_clusters": [2, 3]},
+            X, y,
+        )
+        rows = result.as_rows()
+        assert len(rows) == 2
+        assert "n_clusters=2" in rows[0][0]
+
+
+class TestUnsupervised:
+    def test_tunes_dbscan_eps(self, two_class_data):
+        X, _ = two_class_data
+        result = grid_search_unsupervised(
+            lambda eps: DBSCAN(eps=eps, min_samples=3, metric="sbd"),
+            {"eps": [0.05, 0.3, 1.5]},
+            X,
+        )
+        # eps=1.5 merges everything (single cluster -> -inf); the winner
+        # must be a non-degenerate setting.
+        assert result.best_params["eps"] in (0.05, 0.3)
+        assert np.isfinite(result.best_score)
+
+    def test_degenerate_settings_never_win(self, two_class_data):
+        X, _ = two_class_data
+        result = grid_search_unsupervised(
+            lambda eps: DBSCAN(eps=eps, metric="sbd"),
+            {"eps": [10.0]},  # merges all points: single cluster
+            X,
+        )
+        assert result.best_score == -np.inf
+
+    def test_kshape_k_selection(self, two_class_data):
+        X, _ = two_class_data
+        result = grid_search_unsupervised(
+            lambda n_clusters: KShape(n_clusters, random_state=0),
+            {"n_clusters": [2, 4]},
+            X,
+        )
+        assert result.best_params == {"n_clusters": 2}

@@ -1,0 +1,124 @@
+"""Tests for repro.harness (runner + report formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    ExperimentResult,
+    average_over_runs,
+    format_comparison_table,
+    format_rank_line,
+    format_scatter,
+    format_table,
+    run_matrix,
+    timed,
+)
+from repro.stats import compare_to_baseline
+
+
+class TestRunner:
+    def test_timed_returns_result_and_elapsed(self):
+        value, elapsed = timed(lambda a: a * 2, 21)
+        assert value == 42
+        assert elapsed >= 0.0
+
+    def test_run_matrix_shapes(self):
+        class FakeDataset:
+            def __init__(self, name):
+                self.name = name
+
+        result = run_matrix(
+            {"m1": 1.0, "m2": 2.0},
+            [FakeDataset("d1"), FakeDataset("d2"), FakeDataset("d3")],
+            evaluate=lambda method, ds: method,
+        )
+        assert result.scores.shape == (3, 2)
+        assert result.methods == ["m1", "m2"]
+        assert result.datasets == ["d1", "d2", "d3"]
+        assert np.all(result.scores[:, 0] == 1.0)
+
+    def test_scores_by_method(self):
+        result = ExperimentResult(
+            methods=["a", "b"],
+            datasets=["d"],
+            scores=np.array([[0.5, 0.7]]),
+            runtimes=np.array([[1.0, 2.0]]),
+        )
+        assert result.scores_by_method()["b"][0] == 0.7
+        assert result.mean_scores()["a"] == 0.5
+
+    def test_runtime_factors(self):
+        result = ExperimentResult(
+            methods=["base", "slow"],
+            datasets=["d1", "d2"],
+            scores=np.zeros((2, 2)),
+            runtimes=np.array([[1.0, 10.0], [1.0, 10.0]]),
+        )
+        factors = result.runtime_factors("base")
+        assert factors["slow"] == pytest.approx(10.0)
+        assert factors["base"] == pytest.approx(1.0)
+
+    def test_average_over_runs_deterministic(self):
+        a = average_over_runs(lambda rng: float(rng.uniform()), 5, seed=3)
+        b = average_over_runs(lambda rng: float(rng.uniform()), 5, seed=3)
+        assert a == b
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "v"], [["abc", 1.23456], ["d", 2.0]])
+        lines = out.splitlines()
+        assert "name" in lines[0]
+        assert "1.235" in out
+
+    def test_comparison_table_contains_methods(self, rng):
+        base = rng.uniform(0.4, 0.6, 12)
+        rows = compare_to_baseline(
+            {"base": base, "better": base + 0.2}, "base"
+        )
+        out = format_comparison_table(rows, "base",
+                                      runtime_factors={"better": 2.5})
+        assert "better" in out
+        assert "2.5x" in out
+
+    def test_rank_line_sorted(self):
+        out = format_rank_line(["worst", "best"], [3.0, 1.2],
+                               critical_difference=0.9)
+        lines = out.splitlines()
+        assert "best" in lines[0]
+        assert "critical difference" in lines[-1]
+
+    def test_scatter_counts(self):
+        out = format_scatter([0.2, 0.6], [0.5, 0.4], "ED", "SBD")
+        assert "above diagonal" in out
+        assert "1" in out.splitlines()[-1]
+
+
+class TestEmitters:
+    def test_markdown_structure(self):
+        from repro.harness import table_to_markdown
+
+        out = table_to_markdown(["a", "b"], [["x", 1.5], ["y", 2.0]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| x | 1.500 |" in lines
+
+    def test_csv_quoting(self):
+        from repro.harness import table_to_csv
+
+        out = table_to_csv(["name", "v"], [["has,comma", 1.0], ['has"quote', 2]])
+        lines = out.splitlines()
+        assert lines[0] == "name,v"
+        assert '"has,comma",1' in lines[1]
+        assert '"has""quote"' in lines[2]
+
+    def test_csv_round_trip(self):
+        import csv
+        import io
+
+        from repro.harness import table_to_csv
+
+        out = table_to_csv(["a", "b"], [["x,y", 1.25]])
+        parsed = list(csv.reader(io.StringIO(out)))
+        assert parsed[1] == ["x,y", "1.25"]

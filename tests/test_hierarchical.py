@@ -1,0 +1,125 @@
+"""Tests for repro.clustering.hierarchical (Lance-Williams agglomeration)."""
+
+import numpy as np
+import pytest
+
+from repro import Hierarchical, rand_index
+from repro.clustering import cut_tree, linkage_matrix
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def three_blob_matrix(rng):
+    centers = np.array([0.0, 10.0, 25.0])
+    points = np.concatenate([c + rng.normal(0, 0.4, 8) for c in centers])
+    D = np.abs(points[:, None] - points[None, :])
+    return D, np.repeat([0, 1, 2], 8)
+
+
+class TestLinkageMatrix:
+    def test_shape(self, three_blob_matrix):
+        D, _ = three_blob_matrix
+        merges = linkage_matrix(D, "average")
+        assert merges.shape == (23, 4)
+
+    def test_heights_monotone_for_all_linkages(self, three_blob_matrix):
+        D, _ = three_blob_matrix
+        for linkage in ("single", "average", "complete"):
+            heights = linkage_matrix(D, linkage)[:, 2]
+            assert np.all(np.diff(heights) >= -1e-9)
+
+    def test_final_cluster_size_is_n(self, three_blob_matrix):
+        D, _ = three_blob_matrix
+        merges = linkage_matrix(D, "complete")
+        assert merges[-1, 3] == 24
+
+    def test_matches_scipy(self, rng):
+        """Cross-check against scipy's reference implementation."""
+        from scipy.cluster.hierarchy import linkage as scipy_linkage
+        from scipy.spatial.distance import squareform
+
+        X = rng.normal(0, 1, (12, 4))
+        D = np.sqrt(((X[:, None] - X[None, :]) ** 2).sum(-1))
+        for method in ("single", "average", "complete"):
+            ours = linkage_matrix(D, method)
+            theirs = scipy_linkage(squareform(D, checks=False), method=method)
+            assert np.allclose(ours[:, 2], theirs[:, 2], atol=1e-9)
+
+    def test_invalid_linkage_raises(self):
+        with pytest.raises(InvalidParameterError):
+            linkage_matrix(np.zeros((3, 3)), "median")
+
+    def test_non_square_raises(self):
+        with pytest.raises(InvalidParameterError):
+            linkage_matrix(np.zeros((3, 4)), "single")
+
+
+class TestCutTree:
+    def test_k_clusters_produced(self, three_blob_matrix):
+        D, _ = three_blob_matrix
+        merges = linkage_matrix(D, "average")
+        for k in (1, 2, 3, 5, 24):
+            labels = cut_tree(merges, k)
+            assert np.unique(labels).shape[0] == k
+
+    def test_blobs_recovered(self, three_blob_matrix):
+        D, y = three_blob_matrix
+        labels = cut_tree(linkage_matrix(D, "average"), 3)
+        assert rand_index(y, labels) == 1.0
+
+
+class TestHierarchicalEstimator:
+    def test_all_linkages_on_data(self, two_class_data):
+        X, y = two_class_data
+        for linkage in ("single", "average", "complete"):
+            model = Hierarchical(2, linkage=linkage, metric="sbd").fit(X)
+            assert model.labels_.shape == (X.shape[0],)
+
+    def test_complete_beats_single_on_noisy_classes(self, two_class_data):
+        """The paper finds linkage choice dominates: single linkage chains."""
+        X, y = two_class_data
+        complete = Hierarchical(2, "complete", metric="sbd").fit(X).labels_
+        assert rand_index(y, complete) >= 0.8
+
+    def test_precomputed_route(self, three_blob_matrix):
+        D, y = three_blob_matrix
+        model = Hierarchical(3, "average", metric="precomputed").fit(D)
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_deterministic(self, two_class_data):
+        X, _ = two_class_data
+        a = Hierarchical(2, "average", metric="ed").fit(X).labels_
+        b = Hierarchical(2, "average", metric="ed").fit(X).labels_
+        assert np.array_equal(a, b)
+
+    def test_linkage_matrix_accessible(self, two_class_data):
+        X, _ = two_class_data
+        model = Hierarchical(2, "average", metric="ed").fit(X)
+        assert model.linkage_matrix_.shape == (X.shape[0] - 1, 4)
+
+
+class TestWardLinkage:
+    def test_matches_scipy_ward(self, rng):
+        from scipy.cluster.hierarchy import linkage as scipy_linkage
+        from scipy.spatial.distance import squareform
+
+        X = rng.normal(0, 1, (14, 5))
+        D = np.sqrt(((X[:, None] - X[None, :]) ** 2).sum(-1))
+        ours = linkage_matrix(D, "ward")
+        theirs = scipy_linkage(squareform(D, checks=False), method="ward")
+        assert np.allclose(ours[:, 2], theirs[:, 2], atol=1e-9)
+
+    def test_heights_monotone(self, three_blob_matrix):
+        D, _ = three_blob_matrix
+        heights = linkage_matrix(D, "ward")[:, 2]
+        assert np.all(np.diff(heights) >= -1e-9)
+
+    def test_recovers_blobs(self, three_blob_matrix):
+        D, y = three_blob_matrix
+        labels = cut_tree(linkage_matrix(D, "ward"), 3)
+        assert rand_index(y, labels) == 1.0
+
+    def test_estimator_accepts_ward(self, two_class_data):
+        X, y = two_class_data
+        model = Hierarchical(2, linkage="ward", metric="sbd").fit(X)
+        assert rand_index(y, model.labels_) >= 0.8

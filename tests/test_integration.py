@@ -1,0 +1,98 @@
+"""End-to-end integration tests mirroring the paper's headline claims."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    KShape,
+    Hierarchical,
+    KMedoids,
+    SpectralClustering,
+    k_avg_ed,
+    one_nn_accuracy,
+    rand_index,
+)
+from repro.datasets import load_dataset
+from repro.harness import average_over_runs
+
+
+class TestECGStory:
+    """The paper's running example: out-of-phase ECG classes (Fig. 1/4)."""
+
+    @pytest.fixture(scope="class")
+    def ecg(self):
+        return load_dataset("ECGFiveDays-syn")
+
+    def test_sbd_beats_ed_on_ecg(self, ecg):
+        """Paper: SBD 98.9% vs much lower ED on ECGFiveDays."""
+        sbd_acc = one_nn_accuracy(
+            ecg.X_train, ecg.y_train, ecg.X_test, ecg.y_test, metric="sbd"
+        )
+        ed_acc = one_nn_accuracy(
+            ecg.X_train, ecg.y_train, ecg.X_test, ecg.y_test, metric="ed"
+        )
+        assert sbd_acc >= ed_acc
+        assert sbd_acc >= 0.95
+
+    def test_kshape_beats_kavg_on_ecg(self, ecg):
+        """Paper: k-Shape 84% vs 53% (k-medoids+cDTW) on ECGFiveDays."""
+        ks = average_over_runs(
+            lambda rng: rand_index(
+                ecg.y, KShape(2, random_state=rng).fit(ecg.X).labels_
+            ),
+            n_runs=3,
+            seed=0,
+        )
+        ka = average_over_runs(
+            lambda rng: rand_index(
+                ecg.y, k_avg_ed(2, random_state=rng).fit(ecg.X).labels_
+            ),
+            n_runs=3,
+            seed=0,
+        )
+        assert ks > ka
+        assert ks >= 0.8
+
+
+class TestCrossMethodConsistency:
+    def test_all_methods_produce_valid_partitions(self, two_class_data):
+        X, y = two_class_data
+        methods = [
+            KShape(2, random_state=0),
+            k_avg_ed(2, random_state=0),
+            KMedoids(2, metric="sbd", random_state=0),
+            Hierarchical(2, "complete", metric="sbd"),
+            SpectralClustering(2, metric="sbd", random_state=0),
+        ]
+        for model in methods:
+            labels = model.fit_predict(X)
+            assert labels.shape == (X.shape[0],)
+            assert set(np.unique(labels)) <= {0, 1}
+
+    def test_kshape_wins_or_ties_on_shifted_data(self, two_class_data):
+        X, y = two_class_data
+        ks = rand_index(y, KShape(2, random_state=1, n_init=3).fit(X).labels_)
+        ka = rand_index(y, k_avg_ed(2, random_state=1, n_init=3).fit(X).labels_)
+        assert ks >= ka - 1e-9
+
+
+class TestScalabilityShape:
+    def test_kshape_roughly_linear_in_n(self):
+        """Appendix B: runtime grows about linearly with n (we allow a very
+        generous factor to stay robust on shared CI machines)."""
+        import time
+
+        from repro.datasets import make_cbf
+        from repro.preprocessing import zscore
+
+        times = []
+        for n_per_class in (20, 40):
+            X, _ = make_cbf(n_per_class, 64, rng=0)
+            X = zscore(X)
+            model = KShape(3, random_state=0, max_iter=5)
+            start = time.perf_counter()
+            model.fit(X)
+            times.append(time.perf_counter() - start)
+        # Doubling n should not blow past ~6x (quadratic would be ~4x on its
+        # own; this guards against accidental O(n^2) behavior with headroom).
+        assert times[1] <= 6.0 * max(times[0], 1e-3)

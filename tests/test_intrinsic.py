@@ -1,0 +1,82 @@
+"""Tests for repro.evaluation.intrinsic (silhouette, k estimation)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import pairwise_distances
+from repro.evaluation import (
+    estimate_n_clusters,
+    silhouette_samples,
+    silhouette_score,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def blob_matrix(rng):
+    points = np.concatenate([rng.normal(c, 0.3, 8) for c in (0.0, 10.0)])
+    D = np.abs(points[:, None] - points[None, :])
+    return D, np.repeat([0, 1], 8)
+
+
+class TestSilhouette:
+    def test_perfect_clusters_near_one(self, blob_matrix):
+        D, y = blob_matrix
+        assert silhouette_score(D, y) > 0.9
+
+    def test_bad_assignment_lower(self, blob_matrix, rng):
+        D, y = blob_matrix
+        shuffled = rng.permutation(y)
+        assert silhouette_score(D, shuffled) < silhouette_score(D, y)
+
+    def test_samples_in_range(self, blob_matrix):
+        D, y = blob_matrix
+        s = silhouette_samples(D, y)
+        assert np.all(s >= -1.0) and np.all(s <= 1.0)
+
+    def test_singleton_cluster_scores_zero(self, blob_matrix):
+        D, y = blob_matrix
+        y = y.copy()
+        y[0] = 2  # make a singleton
+        s = silhouette_samples(D, y)
+        assert s[0] == 0.0
+
+    def test_single_cluster_raises(self, blob_matrix):
+        D, _ = blob_matrix
+        with pytest.raises(InvalidParameterError):
+            silhouette_score(D, np.zeros(D.shape[0]))
+
+    def test_label_length_mismatch_raises(self, blob_matrix):
+        D, _ = blob_matrix
+        with pytest.raises(InvalidParameterError):
+            silhouette_score(D, [0, 1])
+
+
+class TestEstimateK:
+    def test_recovers_true_k(self, two_class_data):
+        X, y = two_class_data
+        best, scores = estimate_n_clusters(
+            X, k_range=(2, 3, 4), random_state=0
+        )
+        assert best == 2
+        assert set(scores) == {2, 3, 4}
+
+    def test_custom_factory(self, two_class_data):
+        from repro.clustering import TimeSeriesKMeans
+
+        X, _ = two_class_data
+        best, _ = estimate_n_clusters(
+            X, k_range=(2, 3), metric="ed",
+            clusterer_factory=lambda k: TimeSeriesKMeans(k, random_state=0),
+        )
+        assert best in (2, 3)
+
+    def test_empty_range_raises(self, two_class_data):
+        X, _ = two_class_data
+        with pytest.raises(InvalidParameterError):
+            estimate_n_clusters(X, k_range=())
+
+    def test_k_too_small_raises(self, two_class_data):
+        X, _ = two_class_data
+        with pytest.raises(InvalidParameterError):
+            estimate_n_clusters(X, k_range=(1, 2))

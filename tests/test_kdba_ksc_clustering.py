@@ -1,0 +1,65 @@
+"""Tests for repro.clustering.kdba and repro.clustering.ksc."""
+
+import numpy as np
+import pytest
+
+from repro import KDBA, KSC, rand_index
+
+
+class TestKDBA:
+    def test_recovers_warped_classes(self, rng):
+        """Two classes separated by local warping patterns."""
+        t = np.linspace(0, 1, 40)
+        rows, labels = [], []
+        for label, freq in enumerate((2.0, 4.0)):
+            for _ in range(8):
+                jitter = 0.02 * np.sin(2 * np.pi * (t + rng.uniform(0, 1)))
+                rows.append(np.sin(2 * np.pi * freq * (t + jitter))
+                            + rng.normal(0, 0.05, 40))
+                labels.append(label)
+        X, y = np.asarray(rows), np.asarray(labels)
+        model = KDBA(2, window=0.1, random_state=0, max_iter=15).fit(X)
+        assert rand_index(y, model.labels_) >= 0.9
+
+    def test_centroids_finite(self, two_class_data):
+        X, _ = two_class_data
+        model = KDBA(2, window=0.1, random_state=1, max_iter=5).fit(X)
+        assert np.all(np.isfinite(model.centroids_))
+
+    def test_refinements_parameter(self, two_class_data):
+        X, _ = two_class_data
+        model = KDBA(2, window=0.1, refinements_per_iter=2,
+                     random_state=0, max_iter=3).fit(X)
+        assert model.labels_.shape == (X.shape[0],)
+
+
+class TestKSCClustering:
+    def test_recovers_two_classes(self, two_class_data):
+        X, y = two_class_data
+        model = KSC(2, random_state=0, n_init=3).fit(X)
+        assert rand_index(y, model.labels_) >= 0.9
+
+    def test_scale_distorted_classes(self, rng):
+        """KSC's pairwise scaling shrugs off per-instance amplitude."""
+        t = np.linspace(0, 1, 48)
+        rows, labels = [], []
+        for label, freq in enumerate((2.0, 5.0)):
+            for _ in range(8):
+                amp = rng.uniform(0.2, 5.0)
+                rows.append(amp * np.sin(2 * np.pi * (freq * t + rng.uniform(0, 1)))
+                            + rng.normal(0, 0.02, 48))
+                labels.append(label)
+        X, y = np.asarray(rows), np.asarray(labels)
+        model = KSC(2, random_state=2, n_init=3).fit(X)
+        assert rand_index(y, model.labels_) >= 0.9
+
+    def test_max_shift_variant_runs(self, two_class_data):
+        X, _ = two_class_data
+        model = KSC(2, max_shift=5, random_state=0, max_iter=10).fit(X)
+        assert model.labels_.shape == (X.shape[0],)
+
+    def test_centroids_unit_norm(self, two_class_data):
+        X, _ = two_class_data
+        model = KSC(2, random_state=0).fit(X)
+        norms = np.linalg.norm(model.centroids_, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-6)

@@ -1,0 +1,73 @@
+"""Tests for repro.clustering.kmeans (the pluggable k-means engine)."""
+
+import numpy as np
+import pytest
+
+from repro import TimeSeriesKMeans, k_avg_dtw, k_avg_ed, k_avg_sbd, rand_index
+from repro.exceptions import InvalidParameterError, UnknownNameError
+
+
+class TestEngine:
+    def test_k_avg_ed_on_aligned_classes(self, rng):
+        """Without phase shifts, classic k-means separates the classes."""
+        t = np.linspace(0, 1, 48)
+        X = np.vstack(
+            [np.sin(2 * np.pi * 2 * t) + rng.normal(0, 0.1, 48) for _ in range(10)]
+            + [np.sin(2 * np.pi * 5 * t) + rng.normal(0, 0.1, 48) for _ in range(10)]
+        )
+        y = np.repeat([0, 1], 10)
+        model = k_avg_ed(2, random_state=0, n_init=5).fit(X)
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_k_avg_sbd_on_shifted_classes(self, two_class_data):
+        X, y = two_class_data
+        model = k_avg_sbd(2, random_state=0, n_init=5).fit(X)
+        assert rand_index(y, model.labels_) >= 0.8
+
+    def test_unknown_metric_raises(self, two_class_data):
+        X, _ = two_class_data
+        with pytest.raises(UnknownNameError):
+            TimeSeriesKMeans(2, metric="bogus").fit(X)
+
+    def test_custom_centroid_fn_called(self, two_class_data):
+        X, _ = two_class_data
+        calls = []
+
+        def centroid(members, previous):
+            calls.append(members.shape[0])
+            return members.mean(axis=0)
+
+        TimeSeriesKMeans(2, centroid_fn=centroid, random_state=0,
+                         max_iter=5).fit(X)
+        assert calls  # refinement used our rule
+
+    def test_labels_cover_all_clusters(self, two_class_data):
+        X, _ = two_class_data
+        model = TimeSeriesKMeans(4, random_state=1).fit(X)
+        assert np.bincount(model.labels_, minlength=4).min() >= 1
+
+    def test_deterministic_with_seed(self, two_class_data):
+        X, _ = two_class_data
+        a = TimeSeriesKMeans(2, random_state=9).fit(X).labels_
+        b = TimeSeriesKMeans(2, random_state=9).fit(X).labels_
+        assert np.array_equal(a, b)
+
+    def test_inertia_decreases_with_more_clusters(self, two_class_data):
+        X, _ = two_class_data
+        i2 = TimeSeriesKMeans(2, random_state=0, n_init=5).fit(X).inertia_
+        i5 = TimeSeriesKMeans(5, random_state=0, n_init=5).fit(X).inertia_
+        assert i5 <= i2 + 1e-9
+
+    def test_k_avg_dtw_variant_runs(self, two_class_data):
+        X, _ = two_class_data
+        model = k_avg_dtw(2, window=0.1, random_state=0, max_iter=5).fit(X)
+        assert model.labels_.shape == (X.shape[0],)
+
+    def test_convergence_flag(self, two_class_data):
+        X, _ = two_class_data
+        model = TimeSeriesKMeans(2, random_state=0).fit(X)
+        assert model.result_.converged
+
+    def test_invalid_n_init(self):
+        with pytest.raises(InvalidParameterError):
+            TimeSeriesKMeans(2, n_init=0)

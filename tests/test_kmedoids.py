@@ -1,0 +1,69 @@
+"""Tests for repro.clustering.kmedoids (PAM)."""
+
+import numpy as np
+import pytest
+
+from repro import KMedoids, rand_index
+from repro.distances import pairwise_distances
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def blob_matrix(rng):
+    """A dissimilarity matrix with three clear blobs."""
+    centers = np.array([0.0, 10.0, 20.0])
+    points = np.concatenate([c + rng.normal(0, 0.5, 10) for c in centers])
+    D = np.abs(points[:, None] - points[None, :])
+    y = np.repeat([0, 1, 2], 10)
+    return D, y
+
+
+class TestPAM:
+    def test_recovers_blobs_precomputed(self, blob_matrix):
+        D, y = blob_matrix
+        model = KMedoids(3, metric="precomputed", random_state=0).fit(D)
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_medoids_are_members(self, two_class_data):
+        X, _ = two_class_data
+        model = KMedoids(2, metric="sbd", random_state=0).fit(X)
+        for idx, centroid in zip(model.medoid_indices_, model.centroids_):
+            assert np.array_equal(centroid, X[idx])
+
+    def test_ed_on_separable_data(self, rng):
+        t = np.linspace(0, 1, 32)
+        X = np.vstack(
+            [np.sin(2 * np.pi * 2 * t) + rng.normal(0, 0.05, 32) for _ in range(8)]
+            + [np.sin(2 * np.pi * 6 * t) + rng.normal(0, 0.05, 32) for _ in range(8)]
+        )
+        y = np.repeat([0, 1], 8)
+        model = KMedoids(2, metric="ed", random_state=0).fit(X)
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_swap_cost_never_increases(self, blob_matrix):
+        """PAM's SWAP phase is steepest descent: final cost <= BUILD cost."""
+        from repro.clustering import pam_build, pam_swap
+
+        D, _ = blob_matrix
+        build = pam_build(D, 3)
+        cost_build = D[:, build].min(axis=1).sum()
+        swapped, _, converged = pam_swap(D, build)
+        cost_swap = D[:, swapped].min(axis=1).sum()
+        assert cost_swap <= cost_build + 1e-9
+        assert converged
+
+    def test_precomputed_requires_square(self):
+        with pytest.raises(InvalidParameterError):
+            KMedoids(2, metric="precomputed").fit(np.ones((3, 4)))
+
+    def test_matches_precomputed_route(self, two_class_data):
+        X, _ = two_class_data
+        direct = KMedoids(2, metric="sbd", random_state=0).fit(X).labels_
+        D = pairwise_distances(X, "sbd")
+        pre = KMedoids(2, metric="precomputed", random_state=0).fit(D).labels_
+        assert np.array_equal(direct, pre)
+
+    def test_k_distinct_medoids(self, blob_matrix):
+        D, _ = blob_matrix
+        model = KMedoids(3, metric="precomputed", random_state=0).fit(D)
+        assert np.unique(model.medoid_indices_).shape[0] == 3

@@ -1,0 +1,56 @@
+"""Tests for repro.distances.ksc (the KSC scale+shift measure [87])."""
+
+import numpy as np
+import pytest
+
+from repro.distances import ksc_align, ksc_distance, ksc_distance_with_shift
+from repro.preprocessing import shift_series
+
+
+class TestKSCDistance:
+    def test_identity_zero(self, sine):
+        assert ksc_distance(sine, sine) == pytest.approx(0.0, abs=1e-6)
+
+    def test_scaling_invariance(self, sine):
+        """Pairwise rescaling is optimized out, so any positive scale of the
+        same shape is distance ~0."""
+        assert ksc_distance(sine, 3.7 * sine) == pytest.approx(0.0, abs=1e-6)
+        assert ksc_distance(2.0 * sine, sine) == pytest.approx(0.0, abs=1e-6)
+
+    def test_negation_also_matched(self, sine):
+        """alpha may be negative, so -x matches x exactly."""
+        assert ksc_distance(sine, -sine) == pytest.approx(0.0, abs=1e-6)
+
+    def test_range_zero_one(self, rng):
+        for _ in range(20):
+            x = rng.normal(0, 1, 32)
+            y = rng.normal(0, 1, 32)
+            assert 0.0 <= ksc_distance(x, y) <= 1.0
+
+    def test_shift_recovered(self, sine):
+        shifted = shift_series(sine, 6)
+        d, s = ksc_distance_with_shift(sine, shifted)
+        assert s == -6
+        # The zero-padded shift loses s/m of the energy: d ~ sqrt(s/m).
+        assert d < np.sqrt(6.0 / 64.0) + 0.05
+
+    def test_max_shift_restricts_search(self, sine):
+        shifted = shift_series(sine, 10)
+        d_free, _ = ksc_distance_with_shift(sine, shifted)
+        d_restricted, s = ksc_distance_with_shift(sine, shifted, max_shift=2)
+        assert abs(s) <= 2
+        assert d_restricted >= d_free - 1e-12
+
+    def test_zero_query_distance_zero(self):
+        assert ksc_distance(np.zeros(10), np.ones(10)) == 0.0
+
+    def test_orthogonal_signals_distance_high(self):
+        t = np.linspace(0, 1, 64)
+        x = np.sin(2 * np.pi * 2 * t)
+        y = np.sin(2 * np.pi * 9 * t)
+        assert ksc_distance(x, y, max_shift=0) > 0.8
+
+    def test_align_applies_optimal_shift(self, sine):
+        shifted = shift_series(sine, 4)
+        aligned = ksc_align(sine, shifted)
+        assert np.allclose(aligned[:-4], sine[:-4], atol=1e-9)

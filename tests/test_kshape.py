@@ -1,0 +1,154 @@
+"""Tests for repro.core.kshape (Section 3.3, Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro import KShape, kshape, rand_index
+from repro.distances import cdtw
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+
+class TestKShape:
+    def test_recovers_two_classes(self, two_class_data):
+        X, y = two_class_data
+        model = KShape(n_clusters=2, random_state=3).fit(X)
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_labels_shape_and_range(self, two_class_data):
+        X, _ = two_class_data
+        model = KShape(n_clusters=3, random_state=0).fit(X)
+        assert model.labels_.shape == (X.shape[0],)
+        assert set(np.unique(model.labels_)) <= {0, 1, 2}
+
+    def test_centroids_shape(self, two_class_data):
+        X, _ = two_class_data
+        model = KShape(n_clusters=2, random_state=0).fit(X)
+        assert model.centroids_.shape == (2, X.shape[1])
+
+    def test_centroids_znormalized(self, two_class_data):
+        X, _ = two_class_data
+        model = KShape(n_clusters=2, random_state=0).fit(X)
+        assert np.allclose(model.centroids_.mean(axis=1), 0.0, atol=1e-9)
+        assert np.allclose(model.centroids_.std(axis=1), 1.0, atol=1e-9)
+
+    def test_deterministic_given_seed(self, two_class_data):
+        X, _ = two_class_data
+        a = KShape(n_clusters=2, random_state=11).fit(X).labels_
+        b = KShape(n_clusters=2, random_state=11).fit(X).labels_
+        assert np.array_equal(a, b)
+
+    def test_fit_predict_matches_labels(self, two_class_data):
+        X, _ = two_class_data
+        model = KShape(n_clusters=2, random_state=5)
+        labels = model.fit_predict(X)
+        assert np.array_equal(labels, model.labels_)
+
+    def test_inertia_nonnegative(self, two_class_data):
+        X, _ = two_class_data
+        model = KShape(n_clusters=2, random_state=0).fit(X)
+        assert model.inertia_ >= 0.0
+
+    def test_n_init_keeps_best_inertia(self, two_class_data):
+        X, _ = two_class_data
+        single = KShape(n_clusters=4, random_state=2, n_init=1).fit(X)
+        multi = KShape(n_clusters=4, random_state=2, n_init=5).fit(X)
+        assert multi.inertia_ <= single.inertia_ + 1e-9
+
+    def test_every_cluster_nonempty(self, two_class_data):
+        X, _ = two_class_data
+        model = KShape(n_clusters=4, random_state=1).fit(X)
+        assert np.bincount(model.labels_, minlength=4).min() >= 1
+
+    def test_unfitted_access_raises(self):
+        with pytest.raises(NotFittedError):
+            KShape(n_clusters=2).labels_
+
+    def test_k_larger_than_n_raises(self):
+        with pytest.raises(InvalidParameterError):
+            KShape(n_clusters=10).fit(np.random.default_rng(0).normal(size=(4, 8)))
+
+    def test_bad_max_iter_raises(self):
+        with pytest.raises(InvalidParameterError):
+            KShape(n_clusters=2, max_iter=0)
+
+    def test_max_iter_one_warns_if_not_converged(self, two_class_data):
+        import warnings
+        from repro.exceptions import ConvergenceWarning
+
+        X, _ = two_class_data
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            KShape(n_clusters=4, max_iter=1, random_state=0).fit(X)
+        assert any(issubclass(w.category, ConvergenceWarning) for w in caught)
+
+    def test_functional_interface(self, two_class_data):
+        X, y = two_class_data
+        result = kshape(X, 2, random_state=3)
+        assert rand_index(y, result.labels) == 1.0
+        assert result.centroids.shape == (2, X.shape[1])
+
+    def test_dtw_assignment_variant_runs(self, two_class_data):
+        """The k-Shape+DTW ablation (Table 3) uses DTW in assignment."""
+        X, y = two_class_data
+        model = KShape(
+            n_clusters=2,
+            random_state=0,
+            max_iter=15,
+            assignment_distance=lambda a, b: cdtw(a, b, 0.1),
+        ).fit(X)
+        assert model.labels_.shape == (X.shape[0],)
+
+    def test_single_cluster(self, two_class_data):
+        X, _ = two_class_data
+        model = KShape(n_clusters=1, random_state=0).fit(X)
+        assert np.all(model.labels_ == 0)
+
+
+class TestPlusPlusInit:
+    def test_recovers_classes(self, two_class_data):
+        from repro import rand_index
+
+        X, y = two_class_data
+        model = KShape(2, random_state=3, init="plusplus").fit(X)
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_deterministic(self, two_class_data):
+        X, _ = two_class_data
+        a = KShape(2, random_state=4, init="plusplus").fit(X).labels_
+        b = KShape(2, random_state=4, init="plusplus").fit(X).labels_
+        assert np.array_equal(a, b)
+
+    def test_invalid_init_raises(self):
+        with pytest.raises(InvalidParameterError):
+            KShape(2, init="magic")
+
+    def test_all_clusters_seeded(self, two_class_data):
+        X, _ = two_class_data
+        model = KShape(5, random_state=0, init="plusplus", max_iter=1)
+        import warnings as w
+
+        from repro.exceptions import ConvergenceWarning
+
+        with w.catch_warnings():
+            w.simplefilter("ignore", ConvergenceWarning)
+            model.fit(X)
+        assert np.bincount(model.labels_, minlength=5).min() >= 1
+
+
+class TestConvergenceHistory:
+    def test_history_recorded(self, two_class_data):
+        X, _ = two_class_data
+        model = KShape(2, random_state=0).fit(X)
+        history = model.result_.extra["history"]
+        assert len(history) == model.n_iter_
+        inertias = [h[0] for h in history]
+        changes = [h[1] for h in history]
+        assert all(i >= 0 for i in inertias)
+        assert changes[-1] == 0  # converged: final pass moved nothing
+
+    def test_history_changes_decrease_overall(self, two_class_data):
+        """Membership churn at convergence is no higher than at the start."""
+        X, _ = two_class_data
+        model = KShape(2, random_state=1).fit(X)
+        changes = [h[1] for h in model.result_.extra["history"]]
+        assert changes[-1] <= changes[0]

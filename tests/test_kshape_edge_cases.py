@@ -1,0 +1,67 @@
+"""Edge-case and robustness tests for k-Shape."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import KShape, kshape
+from repro.exceptions import ConvergenceWarning, InvalidParameterError
+from repro.preprocessing import zscore
+
+
+class TestKShapeEdgeCases:
+    def test_n_equals_k(self, rng):
+        X = zscore(rng.normal(0, 1, (4, 20)))
+        model = KShape(4, random_state=0).fit(X)
+        assert sorted(np.bincount(model.labels_, minlength=4)) == [1, 1, 1, 1]
+
+    def test_identical_sequences(self, sine):
+        """All-identical inputs: one natural cluster, others repaired."""
+        X = np.tile(sine, (6, 1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            model = KShape(2, random_state=0, max_iter=5).fit(X)
+        assert model.labels_.shape == (6,)
+
+    def test_constant_sequences_handled(self, rng):
+        """z-normalized constants are all-zero rows; must not crash."""
+        X = np.vstack([np.zeros((3, 16)), zscore(rng.normal(0, 1, (5, 16)))])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            model = KShape(2, random_state=0, max_iter=10).fit(X)
+        assert np.all(np.isfinite(model.centroids_))
+
+    def test_short_sequences(self, rng):
+        X = zscore(rng.normal(0, 1, (10, 4)))
+        model = KShape(2, random_state=0, max_iter=10).fit(X)
+        assert model.labels_.shape == (10,)
+
+    def test_two_sequences_two_clusters(self, rng):
+        X = zscore(rng.normal(0, 1, (2, 12)))
+        model = KShape(2, random_state=0).fit(X)
+        assert set(model.labels_) == {0, 1}
+
+    def test_nan_input_rejected(self):
+        X = np.ones((4, 8))
+        X[1, 3] = np.nan
+        with pytest.raises(InvalidParameterError):
+            KShape(2).fit(X)
+
+    def test_result_object_complete(self, two_class_data):
+        X, _ = two_class_data
+        result = kshape(X, 2, random_state=0)
+        assert result.labels.shape == (X.shape[0],)
+        assert result.centroids.shape[0] == 2
+        assert result.n_iter >= 1
+        assert isinstance(result.converged, bool)
+
+    def test_long_sequences(self, rng):
+        """Power-of-two padding handles awkward lengths (e.g. 500 -> 1024)."""
+        t = np.linspace(0, 1, 500)
+        X = zscore(np.vstack(
+            [np.sin(2 * np.pi * (2 * t + rng.uniform(0, 1))) for _ in range(6)]
+            + [np.sin(2 * np.pi * (7 * t + rng.uniform(0, 1))) for _ in range(6)]
+        ))
+        model = KShape(2, random_state=0).fit(X)
+        assert np.bincount(model.labels_).min() >= 1

@@ -1,0 +1,93 @@
+"""Tests for repro.distances.lb_cascade (LB_Kim, LB_Yi, cascade)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import cascade, cdtw, dtw, lb_keogh_max, lb_kim, lb_yi
+
+
+class TestLBKim:
+    def test_is_lower_bound_of_dtw(self, rng):
+        for _ in range(30):
+            x = rng.normal(0, 1, 25)
+            y = rng.normal(0, 1, 25)
+            assert lb_kim(x, y) <= dtw(x, y) + 1e-9
+
+    def test_zero_for_identical(self, rng):
+        x = rng.normal(0, 1, 20)
+        assert lb_kim(x, x) == 0.0
+
+    def test_symmetric(self, rng):
+        x = rng.normal(0, 1, 15)
+        y = rng.normal(0, 1, 15)
+        assert lb_kim(x, y) == pytest.approx(lb_kim(y, x))
+
+    def test_detects_endpoint_gap(self):
+        x = np.zeros(10)
+        y = np.zeros(10)
+        y[0] = 3.0
+        assert lb_kim(x, y) == pytest.approx(3.0)
+
+
+class TestLBYi:
+    def test_is_lower_bound_of_dtw(self, rng):
+        for _ in range(30):
+            x = rng.normal(0, 1, 25)
+            y = rng.normal(0, 1, 25)
+            assert lb_yi(x, y) <= dtw(x, y) + 1e-9
+
+    def test_zero_when_inside_range(self, rng):
+        y = rng.normal(0, 2, 30)
+        x = np.clip(rng.normal(0, 1, 30), y.min(), y.max())
+        assert lb_yi(x, y) == 0.0
+
+    def test_positive_for_excursions(self):
+        y = np.zeros(10)
+        x = np.zeros(10)
+        x[4] = 5.0
+        assert lb_yi(x, y) == pytest.approx(5.0)
+
+
+class TestLBKeoghMax:
+    def test_tighter_than_single_direction(self, rng):
+        from repro.distances import lb_keogh
+
+        x = rng.normal(0, 1, 30)
+        y = rng.normal(0, 2, 30)
+        both = lb_keogh_max(x, y, 3)
+        assert both >= lb_keogh(x, y, 3) - 1e-12
+        assert both >= lb_keogh(y, x, 3) - 1e-12
+
+    def test_still_a_lower_bound(self, rng):
+        for _ in range(20):
+            x = rng.normal(0, 1, 24)
+            y = rng.normal(0, 1, 24)
+            assert lb_keogh_max(x, y, 4) <= cdtw(x, y, window=4) + 1e-9
+
+
+class TestCascade:
+    def test_prunes_with_low_threshold(self, rng):
+        x = rng.normal(0, 1, 20)
+        y = rng.normal(5, 1, 20)  # far apart: even cheap bounds exceed 0.1
+        pruned, stage, bound = cascade(x, y, 0.1, threshold=0.1)
+        assert pruned
+        assert stage in ("lb_kim", "lb_yi", "lb_keogh")
+        assert bound >= 0.1
+
+    def test_never_prunes_true_match(self, rng):
+        """Pruning is exact: a candidate within the threshold survives."""
+        x = rng.normal(0, 1, 20)
+        true = cdtw(x, x, window=2)
+        pruned, stage, _ = cascade(x, x, 2, threshold=true + 0.5)
+        assert not pruned
+        assert stage == "none"
+
+    def test_cascade_soundness(self, rng):
+        """Whenever the cascade prunes, the true distance is >= threshold."""
+        for _ in range(25):
+            x = rng.normal(0, 1, 18)
+            y = rng.normal(0, 1, 18)
+            threshold = rng.uniform(0.5, 4.0)
+            pruned, _, _ = cascade(x, y, 3, threshold=threshold)
+            if pruned:
+                assert cdtw(x, y, window=3) >= threshold - 1e-9

@@ -1,0 +1,66 @@
+"""Tests for repro.distances.lower_bounds (LB_Keogh [44])."""
+
+import numpy as np
+import pytest
+
+from repro.distances import cdtw, keogh_envelope, lb_keogh
+
+
+class TestEnvelope:
+    def test_envelope_brackets_series(self, rng):
+        y = rng.normal(0, 1, 50)
+        upper, lower = keogh_envelope(y, 5)
+        assert np.all(upper >= y)
+        assert np.all(lower <= y)
+
+    def test_window_zero_envelope_is_series(self, rng):
+        y = rng.normal(0, 1, 30)
+        upper, lower = keogh_envelope(y, 0)
+        assert np.allclose(upper, y)
+        assert np.allclose(lower, y)
+
+    def test_wider_window_widens_envelope(self, rng):
+        y = rng.normal(0, 1, 40)
+        u1, l1 = keogh_envelope(y, 2)
+        u2, l2 = keogh_envelope(y, 8)
+        assert np.all(u2 >= u1 - 1e-12)
+        assert np.all(l2 <= l1 + 1e-12)
+
+    def test_none_window_global_extremes(self, rng):
+        y = rng.normal(0, 1, 25)
+        upper, lower = keogh_envelope(y, None)
+        assert np.all(upper == y.max())
+        assert np.all(lower == y.min())
+
+    def test_fractional_window(self, rng):
+        y = rng.normal(0, 1, 100)
+        u_frac, l_frac = keogh_envelope(y, 0.05)
+        u_abs, l_abs = keogh_envelope(y, 5)
+        assert np.array_equal(u_frac, u_abs)
+        assert np.array_equal(l_frac, l_abs)
+
+
+class TestLBKeogh:
+    def test_is_lower_bound_of_cdtw(self, rng):
+        """The defining property: LB_Keogh(x, y) <= cDTW(x, y) always."""
+        for _ in range(30):
+            x = rng.normal(0, 1, 40)
+            y = rng.normal(0, 1, 40)
+            for w in (1, 3, 8):
+                assert lb_keogh(x, y, w) <= cdtw(x, y, window=w) + 1e-9
+
+    def test_zero_when_inside_envelope(self, rng):
+        y = rng.normal(0, 1, 30)
+        assert lb_keogh(y, y, 3) == 0.0
+
+    def test_positive_when_outside(self):
+        y = np.zeros(20)
+        x = np.zeros(20)
+        x[10] = 5.0
+        assert lb_keogh(x, y, 2) > 0.0
+
+    def test_not_symmetric_in_general(self, rng):
+        x = rng.normal(0, 1, 30)
+        y = rng.normal(0, 3, 30)
+        # The envelope is built around the second argument only.
+        assert lb_keogh(x, y, 2) != pytest.approx(lb_keogh(y, x, 2))

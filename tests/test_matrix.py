@@ -1,0 +1,75 @@
+"""Tests for repro.distances.matrix (dissimilarity matrices)."""
+
+import numpy as np
+import pytest
+
+from repro.core import sbd
+from repro.distances import (
+    cross_distances,
+    euclidean,
+    euclidean_matrix,
+    pairwise_distances,
+    sbd_matrix,
+)
+
+
+class TestEuclideanMatrix:
+    def test_matches_pairwise_calls(self, rng):
+        X = rng.normal(0, 1, (7, 12))
+        M = euclidean_matrix(X)
+        for i in range(7):
+            for j in range(7):
+                assert M[i, j] == pytest.approx(euclidean(X[i], X[j]), abs=1e-9)
+
+    def test_zero_diagonal_and_symmetry(self, rng):
+        X = rng.normal(0, 1, (6, 10))
+        M = euclidean_matrix(X)
+        assert np.allclose(np.diag(M), 0.0)
+        assert np.allclose(M, M.T)
+
+    def test_cross_shape(self, rng):
+        A = rng.normal(0, 1, (4, 8))
+        B = rng.normal(0, 1, (6, 8))
+        assert euclidean_matrix(A, B).shape == (4, 6)
+
+
+class TestSBDMatrix:
+    def test_matches_pairwise_calls(self, rng):
+        X = rng.normal(0, 1, (6, 20))
+        M = sbd_matrix(X)
+        for i in range(6):
+            for j in range(6):
+                assert M[i, j] == pytest.approx(sbd(X[i], X[j]), abs=1e-9)
+
+    def test_nonnegative(self, rng):
+        X = rng.normal(0, 1, (10, 16))
+        assert sbd_matrix(X).min() >= 0.0
+
+
+class TestPairwiseDispatch:
+    def test_named_ed_uses_fast_path(self, rng):
+        X = rng.normal(0, 1, (5, 9))
+        assert np.allclose(pairwise_distances(X, "ed"), euclidean_matrix(X))
+
+    def test_named_sbd_uses_fast_path(self, rng):
+        X = rng.normal(0, 1, (5, 9))
+        assert np.allclose(pairwise_distances(X, "sbd"), sbd_matrix(X))
+
+    def test_callable_metric(self, rng):
+        X = rng.normal(0, 1, (4, 6))
+        M = pairwise_distances(X, lambda a, b: float(np.abs(a - b).max()))
+        assert M[0, 0] == 0.0
+        assert M[1, 2] == pytest.approx(np.abs(X[1] - X[2]).max())
+
+    def test_generic_symmetric(self, rng):
+        X = rng.normal(0, 1, (5, 8))
+        M = pairwise_distances(X, "cdtw5")
+        assert np.allclose(M, M.T)
+        assert np.allclose(np.diag(M), 0.0)
+
+    def test_cross_distances_generic(self, rng):
+        A = rng.normal(0, 1, (3, 10))
+        B = rng.normal(0, 1, (4, 10))
+        M = cross_distances(A, B, "cdtw10")
+        assert M.shape == (3, 4)
+        assert np.all(M >= 0.0)

@@ -1,0 +1,49 @@
+"""Tests for repro.harness.cache."""
+
+import numpy as np
+import pytest
+
+from repro.distances import pairwise_distances
+from repro.harness import MatrixCache
+
+
+class TestMatrixCache:
+    def test_round_trip_matches_direct(self, tmp_path, rng):
+        cache = MatrixCache(str(tmp_path))
+        X = rng.normal(0, 1, (8, 12))
+        D1 = cache.pairwise(X, "sbd")
+        assert np.allclose(D1, pairwise_distances(X, "sbd"))
+        D2 = cache.pairwise(X, "sbd")
+        assert np.array_equal(D1, D2)
+
+    def test_cache_file_created(self, tmp_path, rng):
+        cache = MatrixCache(str(tmp_path))
+        cache.pairwise(rng.normal(0, 1, (4, 6)), "ed")
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+
+    def test_different_metrics_different_entries(self, tmp_path, rng):
+        cache = MatrixCache(str(tmp_path))
+        X = rng.normal(0, 1, (5, 8))
+        cache.pairwise(X, "ed")
+        cache.pairwise(X, "sbd")
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_different_data_different_entries(self, tmp_path, rng):
+        cache = MatrixCache(str(tmp_path))
+        cache.pairwise(rng.normal(0, 1, (5, 8)), "ed")
+        cache.pairwise(rng.normal(0, 1, (5, 8)), "ed")
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_clear(self, tmp_path, rng):
+        cache = MatrixCache(str(tmp_path))
+        cache.pairwise(rng.normal(0, 1, (4, 6)), "ed")
+        assert cache.clear() == 1
+        assert cache.clear() == 0
+
+    def test_callable_metric_cached_by_name(self, tmp_path, rng):
+        from repro.distances import make_cdtw
+
+        cache = MatrixCache(str(tmp_path))
+        X = rng.normal(0, 1, (4, 10))
+        D = cache.pairwise(X, make_cdtw(0.1))
+        assert np.allclose(D, pairwise_distances(X, make_cdtw(0.1)))

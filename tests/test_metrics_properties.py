@@ -1,0 +1,80 @@
+"""Property-based tests for clustering metrics and DTW invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import adjusted_rand_index, dtw, euclidean, rand_index
+from repro.distances import lb_keogh, cdtw
+
+labelings = st.integers(2, 30).flatmap(
+    lambda n: st.tuples(
+        arrays(np.int64, n, elements=st.integers(0, 4)),
+        arrays(np.int64, n, elements=st.integers(0, 4)),
+    )
+)
+
+finite = st.floats(-50, 50, allow_nan=False, allow_infinity=False, width=64)
+
+
+def series_pair(max_size=32):
+    return st.integers(2, max_size).flatmap(
+        lambda m: st.tuples(
+            arrays(np.float64, m, elements=finite),
+            arrays(np.float64, m, elements=finite),
+        )
+    )
+
+
+@given(labelings)
+@settings(max_examples=80, deadline=None)
+def test_rand_index_bounded(ab):
+    a, b = ab
+    assert 0.0 <= rand_index(a, b) <= 1.0
+
+
+@given(labelings)
+@settings(max_examples=80, deadline=None)
+def test_rand_index_symmetric(ab):
+    a, b = ab
+    assert abs(rand_index(a, b) - rand_index(b, a)) < 1e-12
+
+
+@given(labelings)
+@settings(max_examples=50, deadline=None)
+def test_rand_perfect_on_self(ab):
+    a, _ = ab
+    assert rand_index(a, a) == 1.0
+    assert adjusted_rand_index(a, a) == 1.0
+
+
+@given(labelings)
+@settings(max_examples=50, deadline=None)
+def test_ari_invariant_to_relabeling(ab):
+    a, b = ab
+    permuted = (b + 3) % 7  # injective relabeling of 0..4
+    assert abs(adjusted_rand_index(a, b) - adjusted_rand_index(a, permuted)) < 1e-9
+
+
+@given(series_pair())
+@settings(max_examples=50, deadline=None)
+def test_dtw_at_most_euclidean(xy):
+    x, y = xy
+    assert dtw(x, y) <= euclidean(x, y) + 1e-6
+
+
+@given(series_pair(), st.integers(0, 8))
+@settings(max_examples=50, deadline=None)
+def test_lb_keogh_is_lower_bound(xy, w):
+    x, y = xy
+    assert lb_keogh(x, y, w) <= cdtw(x, y, window=w) + 1e-6
+
+
+@given(series_pair())
+@settings(max_examples=50, deadline=None)
+def test_dtw_nonnegative_and_symmetric(xy):
+    x, y = xy
+    d = dtw(x, y)
+    assert d >= 0.0
+    assert abs(d - dtw(y, x)) < 1e-8

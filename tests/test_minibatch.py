@@ -1,0 +1,82 @@
+"""Tests for repro.core.minibatch (streaming / mini-batch k-Shape)."""
+
+import numpy as np
+import pytest
+
+from repro import MiniBatchKShape, rand_index
+from repro.exceptions import NotFittedError, ShapeMismatchError
+from repro.preprocessing import zscore
+
+
+@pytest.fixture
+def big_two_class(rng):
+    t = np.linspace(0, 1, 48)
+    rows, labels = [], []
+    for label, freq in enumerate((2.0, 5.0)):
+        for _ in range(60):
+            rows.append(np.sin(2 * np.pi * (freq * t + rng.uniform(0, 1)))
+                        + rng.normal(0, 0.05, 48))
+            labels.append(label)
+    order = rng.permutation(len(rows))
+    return zscore(np.asarray(rows))[order], np.asarray(labels)[order]
+
+
+class TestMiniBatchKShape:
+    def test_recovers_classes(self, big_two_class):
+        X, y = big_two_class
+        model = MiniBatchKShape(2, batch_size=24, n_batches=10,
+                                random_state=0).fit(X)
+        assert rand_index(y, model.predict(X)) >= 0.95
+
+    def test_matches_full_kshape_quality(self, big_two_class):
+        from repro import KShape
+
+        X, y = big_two_class
+        full = rand_index(y, KShape(2, random_state=0).fit(X).labels_)
+        mini = rand_index(
+            y, MiniBatchKShape(2, batch_size=24, n_batches=10,
+                               random_state=0).fit_predict(X)
+        )
+        assert mini >= full - 0.1
+
+    def test_partial_fit_stream(self, big_two_class):
+        X, y = big_two_class
+        model = MiniBatchKShape(2, random_state=0)
+        for start in range(0, X.shape[0], 30):
+            model.partial_fit(X[start:start + 30])
+        assert model.n_seen_ == X.shape[0]
+        assert rand_index(y, model.predict(X)) >= 0.9
+
+    def test_predict_before_fit_raises(self, big_two_class):
+        X, _ = big_two_class
+        with pytest.raises(NotFittedError):
+            MiniBatchKShape(2).predict(X)
+
+    def test_length_mismatch_raises(self, big_two_class):
+        X, _ = big_two_class
+        model = MiniBatchKShape(2, random_state=0)
+        model.partial_fit(X[:20])
+        with pytest.raises(ShapeMismatchError):
+            model.partial_fit(X[:5, :-1])
+
+    def test_reservoir_bounded(self, big_two_class):
+        X, _ = big_two_class
+        model = MiniBatchKShape(2, reservoir_size=10, random_state=0)
+        for start in range(0, X.shape[0], 20):
+            model.partial_fit(X[start:start + 20])
+        assert all(r.shape[0] <= 10 for r in model._reservoirs)
+
+    def test_result_object(self, big_two_class):
+        X, _ = big_two_class
+        model = MiniBatchKShape(2, batch_size=24, n_batches=5,
+                                random_state=0).fit(X)
+        result = model.result(X)
+        assert result.labels.shape == (X.shape[0],)
+        assert result.inertia >= 0.0
+        assert result.extra["n_seen"] == model.n_seen_
+
+    def test_deterministic(self, big_two_class):
+        X, _ = big_two_class
+        a = MiniBatchKShape(2, random_state=7).fit(X).predict(X)
+        b = MiniBatchKShape(2, random_state=7).fit(X).predict(X)
+        assert np.array_equal(a, b)

@@ -1,0 +1,180 @@
+"""Tests for repro.multivariate (shared-shift SBD + multivariate k-Shape)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import rand_index
+from repro.exceptions import (
+    InvalidParameterError,
+    NotFittedError,
+    ShapeMismatchError,
+)
+from repro.multivariate import (
+    MultivariateKShape,
+    as_mv_dataset,
+    as_mv_series,
+    mv_ncc_max,
+    mv_sbd,
+    mv_sbd_with_alignment,
+    mv_shape_extraction,
+    mv_shift,
+    mv_zscore,
+)
+
+
+@pytest.fixture
+def record():
+    """A 2-channel record: sine + cosine on a common clock."""
+    t = np.linspace(0, 1, 64)
+    return mv_zscore(np.stack([
+        np.sin(2 * np.pi * 2 * t),
+        np.cos(2 * np.pi * 2 * t),
+    ]))
+
+
+@pytest.fixture
+def mv_two_class(rng):
+    """Two classes of 2-channel records at random shared phases."""
+    t = np.linspace(0, 1, 64)
+
+    def make(freq, phase):
+        return np.stack([
+            np.sin(2 * np.pi * (freq * t + phase)),
+            np.cos(2 * np.pi * (freq * t + phase)),
+        ]) + rng.normal(0, 0.05, (2, 64))
+
+    X = np.stack(
+        [make(2, rng.uniform(0, 1)) for _ in range(8)]
+        + [make(5, rng.uniform(0, 1)) for _ in range(8)]
+    )
+    return mv_zscore(X), np.repeat([0, 1], 8)
+
+
+class TestValidation:
+    def test_series_1d_promoted(self):
+        assert as_mv_series(np.ones(5)).shape == (1, 5)
+
+    def test_series_3d_rejected(self):
+        with pytest.raises(ShapeMismatchError):
+            as_mv_series(np.ones((2, 3, 4)))
+
+    def test_dataset_2d_promoted(self):
+        assert as_mv_dataset(np.ones((4, 6))).shape == (4, 1, 6)
+
+    def test_dataset_nan_rejected(self):
+        X = np.ones((2, 2, 4))
+        X[0, 0, 0] = np.nan
+        with pytest.raises(InvalidParameterError):
+            as_mv_dataset(X)
+
+
+class TestMvZscore:
+    def test_each_dimension_normalized(self, rng):
+        X = rng.normal(3, 5, (4, 3, 20))
+        Z = mv_zscore(X)
+        assert np.allclose(Z.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=-1), 1.0, atol=1e-9)
+
+    def test_constant_dimension_zeroed(self):
+        X = np.stack([np.full(8, 2.0), np.arange(8.0)])
+        Z = mv_zscore(X)
+        assert np.all(Z[0] == 0.0)
+
+
+class TestMvSBD:
+    def test_identity_zero(self, record):
+        assert mv_sbd(record, record) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shared_shift_recovered(self, record):
+        shifted = mv_shift(record, 7)
+        value, shift = mv_ncc_max(record, shifted)
+        assert shift == -7
+        assert value > 0.85
+
+    def test_symmetric(self, rng):
+        X = rng.normal(0, 1, (3, 30))
+        Y = rng.normal(0, 1, (3, 30))
+        assert mv_sbd(X, Y) == pytest.approx(mv_sbd(Y, X), abs=1e-9)
+
+    def test_range(self, rng):
+        for _ in range(10):
+            X = rng.normal(0, 1, (2, 20))
+            Y = rng.normal(0, 1, (2, 20))
+            assert 0.0 <= mv_sbd(X, Y) <= 2.0
+
+    def test_alignment_restores_match(self, record):
+        shifted = mv_shift(record, 5)
+        d, aligned = mv_sbd_with_alignment(record, shifted)
+        assert np.allclose(aligned[:, :-5], record[:, :-5], atol=1e-9)
+
+    def test_univariate_consistency(self, rng):
+        """With one dimension, mv_sbd equals the univariate SBD."""
+        from repro.core import sbd
+
+        x = rng.normal(0, 1, 40)
+        y = rng.normal(0, 1, 40)
+        assert mv_sbd(x.reshape(1, -1), y.reshape(1, -1)) == pytest.approx(
+            sbd(x, y), abs=1e-9
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeMismatchError):
+            mv_sbd(np.ones((2, 8)), np.ones((3, 8)))
+
+    def test_shared_shift_pools_dimensions(self, rng):
+        """The shared shift is chosen jointly: a lag that is optimal for the
+        pooled channels wins even when one noisy channel alone prefers
+        another lag."""
+        t = np.linspace(0, 1, 64)
+        clean = np.sin(2 * np.pi * 2 * t)
+        X = np.stack([clean, clean])
+        noisy_dim = rng.normal(0, 1, 64)
+        Y = np.stack([np.roll(clean, 4), noisy_dim])
+        _, shift = mv_ncc_max(X, Y)
+        assert abs(shift) <= 6  # driven by the coherent channel
+
+
+class TestMvShapeExtraction:
+    def test_shape(self, mv_two_class):
+        X, y = mv_two_class
+        c = mv_shape_extraction(X[y == 0])
+        assert c.shape == (2, 64)
+
+    def test_recovers_cluster_shape(self, mv_two_class):
+        X, y = mv_two_class
+        members = X[y == 0]
+        c = mv_shape_extraction(members, reference=members[0])
+        assert mv_sbd(members[0], c) < 0.2
+
+
+class TestMultivariateKShape:
+    def test_recovers_classes(self, mv_two_class):
+        X, y = mv_two_class
+        model = MultivariateKShape(2, random_state=0).fit(X)
+        assert rand_index(y, model.labels_) == 1.0
+
+    def test_centroids_shape(self, mv_two_class):
+        X, _ = mv_two_class
+        model = MultivariateKShape(2, random_state=0).fit(X)
+        assert model.centroids_.shape == (2, 2, 64)
+
+    def test_deterministic(self, mv_two_class):
+        X, _ = mv_two_class
+        a = MultivariateKShape(2, random_state=5).fit(X).labels_
+        b = MultivariateKShape(2, random_state=5).fit(X).labels_
+        assert np.array_equal(a, b)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MultivariateKShape(2).labels_
+
+    def test_fit_predict(self, mv_two_class):
+        X, _ = mv_two_class
+        model = MultivariateKShape(2, random_state=1)
+        assert np.array_equal(model.fit_predict(X), model.labels_)
+
+    def test_univariate_collection_accepted(self, two_class_data):
+        """A (n, m) collection is treated as single-channel records."""
+        X, y = two_class_data
+        model = MultivariateKShape(2, random_state=0).fit(X)
+        assert rand_index(y, model.labels_) == 1.0

@@ -1,0 +1,85 @@
+"""Tests for repro.classification.nearest_centroid."""
+
+import numpy as np
+import pytest
+
+from repro.classification import NearestShapeCentroid
+from repro.exceptions import (
+    InvalidParameterError,
+    NotFittedError,
+    ShapeMismatchError,
+)
+
+
+class TestNearestShapeCentroid:
+    def test_perfect_on_separable(self, two_class_data):
+        X, y = two_class_data
+        clf = NearestShapeCentroid().fit(X, y)
+        assert clf.score(X, y) == 1.0
+
+    def test_centroid_per_class(self, two_class_data):
+        X, y = two_class_data
+        clf = NearestShapeCentroid().fit(X, y)
+        assert clf.centroids_.shape == (2, X.shape[1])
+        assert set(clf.classes_) == {0, 1}
+
+    def test_phase_invariant_predictions(self, two_class_data, rng):
+        """Shifted copies of training sequences keep their class."""
+        from repro.preprocessing import shift_series, zscore
+
+        X, y = two_class_data
+        clf = NearestShapeCentroid().fit(X, y)
+        shifted = np.stack([shift_series(row, 5) for row in X])
+        assert clf.score(zscore(shifted), y) >= 0.9
+
+    def test_string_labels(self, two_class_data):
+        X, y = two_class_data
+        names = np.array(["slow", "fast"])[y]
+        clf = NearestShapeCentroid().fit(X, names)
+        assert set(clf.predict(X)) <= {"slow", "fast"}
+
+    def test_decision_distances_shape(self, two_class_data):
+        X, y = two_class_data
+        clf = NearestShapeCentroid().fit(X, y)
+        assert clf.decision_distances(X[:5]).shape == (5, 2)
+
+    def test_unfitted_raises(self, two_class_data):
+        X, _ = two_class_data
+        with pytest.raises(NotFittedError):
+            NearestShapeCentroid().predict(X)
+
+    def test_label_mismatch_raises(self, two_class_data):
+        X, y = two_class_data
+        with pytest.raises(ShapeMismatchError):
+            NearestShapeCentroid().fit(X, y[:-1])
+
+    def test_query_length_mismatch_raises(self, two_class_data):
+        X, y = two_class_data
+        clf = NearestShapeCentroid().fit(X, y)
+        with pytest.raises(ShapeMismatchError):
+            clf.predict(X[:, :-1])
+
+    def test_bad_refinements_raises(self):
+        with pytest.raises(InvalidParameterError):
+            NearestShapeCentroid(refinements=0)
+
+    def test_faster_than_1nn_at_query_time(self, two_class_data):
+        """k centroids vs n training rows: the decision needs 2 SBD batches."""
+        X, y = two_class_data
+        clf = NearestShapeCentroid().fit(X, y)
+        dists = clf.decision_distances(X)
+        assert dists.shape[1] == 2  # k, not n
+
+
+class TestAgainstOneNN:
+    def test_competitive_accuracy_on_archive(self):
+        from repro import one_nn_accuracy
+        from repro.datasets import load_dataset
+
+        ds = load_dataset("ECGFiveDays-syn")
+        clf = NearestShapeCentroid().fit(ds.X_train, ds.y_train)
+        centroid_acc = clf.score(ds.X_test, ds.y_test)
+        nn_acc = one_nn_accuracy(
+            ds.X_train, ds.y_train, ds.X_test, ds.y_test, metric="sbd"
+        )
+        assert centroid_acc >= nn_acc - 0.15

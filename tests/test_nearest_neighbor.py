@@ -1,0 +1,95 @@
+"""Tests for repro.classification.nearest_neighbor (Section 4 metrics)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    leave_one_out_accuracy,
+    one_nn_accuracy,
+    one_nn_classify,
+    tune_cdtw_window,
+)
+from repro.exceptions import EmptyInputError, ShapeMismatchError
+
+
+@pytest.fixture
+def split_data(two_class_data, rng):
+    X, y = two_class_data
+    idx = rng.permutation(X.shape[0])
+    train, test = idx[:12], idx[12:]
+    return X[train], y[train], X[test], y[test]
+
+
+class TestOneNN:
+    def test_perfect_on_separable_sbd(self, split_data):
+        X_tr, y_tr, X_te, y_te = split_data
+        acc = one_nn_accuracy(X_tr, y_tr, X_te, y_te, metric="sbd")
+        assert acc == 1.0
+
+    def test_predictions_shape(self, split_data):
+        X_tr, y_tr, X_te, _ = split_data
+        pred = one_nn_classify(X_tr, y_tr, X_te, metric="ed")
+        assert pred.shape == (X_te.shape[0],)
+
+    def test_training_point_maps_to_itself(self, split_data):
+        X_tr, y_tr, _, _ = split_data
+        pred = one_nn_classify(X_tr, y_tr, X_tr, metric="ed")
+        assert np.array_equal(pred, y_tr)
+
+    def test_lb_pruning_matches_exhaustive(self, split_data):
+        """LB_Keogh pruning must not change any prediction (exact pruning)."""
+        from repro.distances import make_cdtw
+
+        X_tr, y_tr, X_te, _ = split_data
+        window = 0.1
+        exact = one_nn_classify(X_tr, y_tr, X_te, metric=make_cdtw(window))
+        pruned = one_nn_classify(
+            X_tr, y_tr, X_te, metric=make_cdtw(window), lb_window=window
+        )
+        assert np.array_equal(exact, pruned)
+
+    def test_length_mismatch_raises(self, split_data):
+        X_tr, y_tr, X_te, _ = split_data
+        with pytest.raises(ShapeMismatchError):
+            one_nn_classify(X_tr, y_tr, X_te[:, :-1])
+
+    def test_label_count_mismatch_raises(self, split_data):
+        X_tr, y_tr, X_te, _ = split_data
+        with pytest.raises(ShapeMismatchError):
+            one_nn_classify(X_tr, y_tr[:-1], X_te)
+
+    def test_string_labels_supported(self, split_data):
+        X_tr, y_tr, X_te, _ = split_data
+        names = np.array(["a", "b"])[y_tr]
+        pred = one_nn_classify(X_tr, names, X_te, metric="ed")
+        assert set(pred) <= {"a", "b"}
+
+
+class TestLeaveOneOut:
+    def test_high_on_separable(self, two_class_data):
+        X, y = two_class_data
+        assert leave_one_out_accuracy(X, y, metric="sbd") == 1.0
+
+    def test_single_sequence_raises(self):
+        with pytest.raises(EmptyInputError):
+            leave_one_out_accuracy(np.ones((1, 4)), [0])
+
+    def test_random_labels_near_half(self, rng):
+        X = rng.normal(0, 1, (40, 16))
+        y = rng.integers(0, 2, 40)
+        acc = leave_one_out_accuracy(X, y, metric="ed")
+        assert 0.2 <= acc <= 0.8
+
+
+class TestTuneCdtw:
+    def test_returns_candidate(self, split_data):
+        X_tr, y_tr, _, _ = split_data
+        windows = (0.0, 0.05, 0.1)
+        best, acc = tune_cdtw_window(X_tr, y_tr, windows)
+        assert best in windows
+        assert 0.0 <= acc <= 1.0
+
+    def test_empty_windows_raise(self, split_data):
+        X_tr, y_tr, _, _ = split_data
+        with pytest.raises(EmptyInputError):
+            tune_cdtw_window(X_tr, y_tr, ())

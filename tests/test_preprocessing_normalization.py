@@ -1,0 +1,113 @@
+"""Tests for repro.preprocessing.normalization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyInputError
+from repro.preprocessing import (
+    apply_optimal_scaling,
+    minmax_scale,
+    optimal_scaling_coefficient,
+    random_amplitude_distortion,
+    zscore,
+)
+
+
+class TestZscore:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.normal(3.0, 5.0, 100)
+        z = zscore(x)
+        assert abs(z.mean()) < 1e-12
+        assert abs(z.std() - 1.0) < 1e-12
+
+    def test_constant_series_maps_to_zeros(self):
+        assert np.all(zscore(np.full(10, 7.0)) == 0.0)
+
+    def test_2d_normalizes_each_row(self, rng):
+        X = rng.normal(0, 1, (5, 30)) * rng.uniform(1, 10, (5, 1))
+        Z = zscore(X)
+        assert np.allclose(Z.mean(axis=1), 0.0)
+        assert np.allclose(Z.std(axis=1), 1.0)
+
+    def test_2d_constant_row_zeroed(self):
+        X = np.vstack([np.full(8, 3.0), np.arange(8.0)])
+        Z = zscore(X)
+        assert np.all(Z[0] == 0.0)
+        assert not np.all(Z[1] == 0.0)
+
+    def test_scaling_translation_invariance(self, rng):
+        x = rng.normal(0, 1, 50)
+        assert np.allclose(zscore(x), zscore(3.5 * x - 2.0))
+
+    def test_does_not_modify_input(self):
+        x = np.arange(5.0)
+        before = x.copy()
+        zscore(x)
+        assert np.array_equal(x, before)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyInputError):
+            zscore(np.array([]))
+
+    def test_ddof(self, rng):
+        x = rng.normal(0, 1, 20)
+        z = zscore(x, ddof=1)
+        assert abs(z.std(ddof=1) - 1.0) < 1e-12
+
+
+class TestMinmax:
+    def test_range_is_unit(self, rng):
+        x = rng.normal(0, 3, 40)
+        m = minmax_scale(x)
+        assert m.min() == 0.0 and m.max() == 1.0
+
+    def test_constant_series_zeroed(self):
+        assert np.all(minmax_scale(np.full(6, 2.0)) == 0.0)
+
+    def test_2d_rows_independent(self, rng):
+        X = rng.normal(0, 1, (4, 25))
+        M = minmax_scale(X)
+        assert np.allclose(M.min(axis=1), 0.0)
+        assert np.allclose(M.max(axis=1), 1.0)
+
+
+class TestOptimalScaling:
+    def test_recovers_true_scale(self, rng):
+        y = rng.normal(0, 1, 30)
+        x = 2.5 * y
+        assert abs(optimal_scaling_coefficient(x, y) - 2.5) < 1e-12
+
+    def test_zero_y_gives_zero(self):
+        assert optimal_scaling_coefficient(np.ones(5), np.zeros(5)) == 0.0
+
+    def test_apply_matches_least_squares(self, rng):
+        x = rng.normal(0, 1, 30)
+        y = rng.normal(0, 1, 30)
+        scaled = apply_optimal_scaling(x, y)
+        # Any other coefficient must be at least as far from x.
+        best = np.linalg.norm(x - scaled)
+        for c in (0.5, 1.0, 2.0):
+            assert best <= np.linalg.norm(x - c * y) + 1e-12
+
+
+class TestRandomAmplitude:
+    def test_each_row_scaled_differently(self, rng):
+        X = np.ones((6, 10))
+        out = random_amplitude_distortion(X, rng=rng)
+        scales = out[:, 0]
+        assert np.unique(scales).shape[0] == 6
+
+    def test_scale_within_range(self, rng):
+        X = np.ones((100, 3))
+        out = random_amplitude_distortion(X, low=2.0, high=3.0, rng=rng)
+        assert out.min() >= 2.0 and out.max() <= 3.0
+
+    def test_deterministic_with_seed(self):
+        X = np.ones((4, 5))
+        a = random_amplitude_distortion(X, rng=42)
+        b = random_amplitude_distortion(X, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_1d_input(self):
+        out = random_amplitude_distortion(np.ones(5), rng=0)
+        assert out.shape == (5,)

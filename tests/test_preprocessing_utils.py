@@ -1,0 +1,105 @@
+"""Tests for repro.preprocessing.utils."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.preprocessing import (
+    next_power_of_two,
+    pad_to_length,
+    resample_linear,
+    shift_series,
+    sliding_windows,
+)
+
+
+class TestShiftSeries:
+    def test_right_shift_pads_front(self):
+        out = shift_series([1.0, 2.0, 3.0, 4.0], 2)
+        assert np.array_equal(out, [0.0, 0.0, 1.0, 2.0])
+
+    def test_left_shift_pads_back(self):
+        out = shift_series([1.0, 2.0, 3.0, 4.0], -1)
+        assert np.array_equal(out, [2.0, 3.0, 4.0, 0.0])
+
+    def test_zero_shift_is_identity(self):
+        x = np.arange(5.0)
+        assert np.array_equal(shift_series(x, 0), x)
+
+    def test_full_shift_gives_zeros(self):
+        assert np.all(shift_series(np.ones(4), 4) == 0.0)
+        assert np.all(shift_series(np.ones(4), -7) == 0.0)
+
+    def test_shift_then_unshift_loses_edge(self):
+        x = np.arange(1.0, 6.0)
+        round_trip = shift_series(shift_series(x, 2), -2)
+        assert np.array_equal(round_trip, [1.0, 2.0, 3.0, 0.0, 0.0])
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (127, 128),
+         (128, 128), (129, 256), (1023, 1024)],
+    )
+    def test_values(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    def test_negative_raises(self):
+        with pytest.raises(InvalidParameterError):
+            next_power_of_two(-1)
+
+
+class TestPadToLength:
+    def test_pads_with_zeros(self):
+        out = pad_to_length([1.0, 2.0], 4)
+        assert np.array_equal(out, [1.0, 2.0, 0.0, 0.0])
+
+    def test_custom_value(self):
+        out = pad_to_length([1.0], 3, value=-1.0)
+        assert np.array_equal(out, [1.0, -1.0, -1.0])
+
+    def test_same_length_copies(self):
+        x = np.arange(3.0)
+        out = pad_to_length(x, 3)
+        assert np.array_equal(out, x)
+        assert out is not x
+
+    def test_shorter_raises(self):
+        with pytest.raises(InvalidParameterError):
+            pad_to_length(np.arange(5.0), 3)
+
+
+class TestResample:
+    def test_same_length_is_copy(self):
+        x = np.arange(4.0)
+        assert np.array_equal(resample_linear(x, 4), x)
+
+    def test_endpoints_preserved(self, rng):
+        x = rng.normal(0, 1, 20)
+        out = resample_linear(x, 55)
+        assert out[0] == pytest.approx(x[0])
+        assert out[-1] == pytest.approx(x[-1])
+
+    def test_linear_exact_on_line(self):
+        x = np.linspace(0.0, 1.0, 10)
+        out = resample_linear(x, 19)
+        assert np.allclose(out, np.linspace(0.0, 1.0, 19))
+
+    def test_single_point_broadcasts(self):
+        assert np.array_equal(resample_linear([5.0], 4), np.full(4, 5.0))
+
+
+class TestSlidingWindows:
+    def test_shapes(self):
+        out = sliding_windows(np.arange(10.0), window=4, step=2)
+        assert out.shape == (4, 4)
+
+    def test_contents(self):
+        out = sliding_windows(np.arange(5.0), window=3, step=1)
+        assert np.array_equal(out[0], [0.0, 1.0, 2.0])
+        assert np.array_equal(out[-1], [2.0, 3.0, 4.0])
+
+    def test_window_too_large_raises(self):
+        with pytest.raises(InvalidParameterError):
+            sliding_windows(np.arange(3.0), window=4)

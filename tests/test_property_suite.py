@@ -1,0 +1,146 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distances import erp, ksc_distance, msm
+from repro.evaluation import purity, normalized_mutual_information
+from repro.preprocessing import (
+    fill_missing,
+    minmax_scale,
+    paa,
+    resample_linear,
+    shift_series,
+)
+from repro.search import mass
+from repro.stats import rank_rows
+
+finite = st.floats(-50, 50, allow_nan=False, allow_infinity=False, width=64)
+
+
+def series(min_size=2, max_size=40):
+    return arrays(np.float64, st.integers(min_size, max_size), elements=finite)
+
+
+def pair(min_size=2, max_size=32):
+    return st.integers(min_size, max_size).flatmap(
+        lambda m: st.tuples(
+            arrays(np.float64, m, elements=finite),
+            arrays(np.float64, m, elements=finite),
+        )
+    )
+
+
+@given(pair())
+@settings(max_examples=40, deadline=None)
+def test_erp_metric_axioms(xy):
+    x, y = xy
+    assert erp(x, x) < 1e-9
+    assert erp(x, y) >= 0.0
+    assert abs(erp(x, y) - erp(y, x)) < 1e-9
+
+
+@given(pair(max_size=16))
+@settings(max_examples=30, deadline=None)
+def test_msm_nonnegative_symmetric(xy):
+    x, y = xy
+    d = msm(x, y)
+    assert d >= 0.0
+    assert abs(d - msm(y, x)) < 1e-9
+
+
+@given(pair())
+@settings(max_examples=40, deadline=None)
+def test_ksc_distance_bounded(xy):
+    x, y = xy
+    assert 0.0 <= ksc_distance(x, y) <= 1.0 + 1e-9
+
+
+@given(series(min_size=4), st.integers(-10, 10))
+@settings(max_examples=50, deadline=None)
+def test_shift_preserves_length_and_energy_bound(x, s):
+    shifted = shift_series(x, s)
+    assert shifted.shape == x.shape
+    assert np.dot(shifted, shifted) <= np.dot(x, x) + 1e-9
+
+
+@given(series(min_size=4))
+@settings(max_examples=50, deadline=None)
+def test_minmax_idempotent(x):
+    once = minmax_scale(x)
+    assert np.allclose(minmax_scale(once), once, atol=1e-12)
+
+
+@given(series(min_size=6), st.integers(1, 6))
+@settings(max_examples=50, deadline=None)
+def test_paa_within_value_range(x, k):
+    k = min(k, x.shape[0])
+    reduced = paa(x, k)
+    assert reduced.min() >= x.min() - 1e-9
+    assert reduced.max() <= x.max() + 1e-9
+
+
+@given(series(min_size=3), st.integers(2, 60))
+@settings(max_examples=50, deadline=None)
+def test_resample_within_value_range(x, length):
+    out = resample_linear(x, length)
+    assert out.shape == (length,)
+    assert out.min() >= x.min() - 1e-9
+    assert out.max() <= x.max() + 1e-9
+
+
+@given(series(min_size=4), st.data())
+@settings(max_examples=40, deadline=None)
+def test_fill_missing_preserves_observed(x, data):
+    mask_bits = data.draw(
+        st.lists(st.booleans(), min_size=x.shape[0], max_size=x.shape[0])
+    )
+    mask = np.array(mask_bits)
+    if mask.all():
+        mask[0] = False
+    damaged = x.copy()
+    damaged[mask] = np.nan
+    repaired = fill_missing(damaged)
+    assert np.all(np.isfinite(repaired))
+    assert np.allclose(repaired[~mask], x[~mask])
+
+
+@given(st.integers(2, 20).flatmap(
+    lambda n: st.tuples(
+        arrays(np.int64, n, elements=st.integers(0, 3)),
+        arrays(np.int64, n, elements=st.integers(0, 3)),
+    )
+))
+@settings(max_examples=50, deadline=None)
+def test_purity_and_nmi_bounded(ab):
+    a, b = ab
+    assert 0.0 <= purity(a, b) <= 1.0
+    assert 0.0 <= normalized_mutual_information(a, b) <= 1.0 + 1e-9
+
+
+@given(arrays(np.float64, st.tuples(st.integers(1, 8), st.integers(2, 6)),
+              elements=finite))
+@settings(max_examples=50, deadline=None)
+def test_rank_rows_sum_invariant(scores):
+    ranks = rank_rows(scores)
+    k = scores.shape[1]
+    assert np.allclose(ranks.sum(axis=1), k * (k + 1) / 2.0)
+
+
+@given(st.integers(8, 40).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, n, elements=finite),
+        st.integers(2, max(2, n // 2)),
+    )
+))
+@settings(max_examples=30, deadline=None)
+def test_mass_profile_nonnegative(params):
+    x, w = params
+    q = x[:w]
+    if q.std() < 1e-9:
+        return  # constant query rejected by design
+    profile = mass(q, x)
+    assert profile.shape == (x.shape[0] - w + 1,)
+    assert np.all(profile >= -1e-9)

@@ -1,0 +1,56 @@
+"""Tests for the repro package's public surface."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export: {name}"
+
+    def test_key_classes_importable(self):
+        from repro import (  # noqa: F401
+            KDBA,
+            KSC,
+            Hierarchical,
+            KMedoids,
+            KShape,
+            SpectralClustering,
+            TimeSeriesKMeans,
+        )
+
+    def test_subpackages_have_all(self):
+        import repro.averaging
+        import repro.classification
+        import repro.clustering
+        import repro.core
+        import repro.datasets
+        import repro.distances
+        import repro.evaluation
+        import repro.features
+        import repro.harness
+        import repro.multivariate
+        import repro.preprocessing
+        import repro.stats
+
+        for module in (
+            repro.core, repro.distances, repro.clustering, repro.averaging,
+            repro.classification, repro.evaluation, repro.stats,
+            repro.datasets, repro.preprocessing, repro.harness,
+            repro.features, repro.multivariate,
+        ):
+            assert module.__all__
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_docstrings_on_public_callables(self):
+        import inspect
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"

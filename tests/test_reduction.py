@@ -1,0 +1,65 @@
+"""Tests for repro.preprocessing.reduction (PAA, downsampling)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.preprocessing import downsample, paa
+
+
+class TestPAA:
+    def test_exact_division_segment_means(self):
+        x = np.array([1.0, 1.0, 2.0, 2.0, 3.0, 3.0])
+        assert np.allclose(paa(x, 3), [1.0, 2.0, 3.0])
+
+    def test_output_length(self, rng):
+        x = rng.normal(0, 1, 100)
+        for k in (1, 7, 50, 100):
+            assert paa(x, k).shape == (k,)
+
+    def test_identity_when_segments_equal_length(self, rng):
+        x = rng.normal(0, 1, 20)
+        assert np.allclose(paa(x, 20), x)
+
+    def test_single_segment_is_mean(self, rng):
+        x = rng.normal(0, 1, 13)
+        assert paa(x, 1)[0] == pytest.approx(x.mean())
+
+    def test_fractional_weights_preserve_global_mean(self, rng):
+        """Total mass is conserved for non-dividing segment counts."""
+        x = rng.normal(0, 1, 10)
+        reduced = paa(x, 3)
+        # Each segment is ~10/3 long; the weighted means average to x.mean().
+        assert reduced.mean() == pytest.approx(x.mean(), abs=1e-9)
+
+    def test_2d_reduces_rows(self, rng):
+        X = rng.normal(0, 1, (4, 32))
+        out = paa(X, 8)
+        assert out.shape == (4, 8)
+        assert np.allclose(out[0], paa(X[0], 8))
+
+    def test_too_many_segments_raise(self):
+        with pytest.raises(InvalidParameterError):
+            paa(np.ones(4), 5)
+
+    def test_smooths_noise(self, rng):
+        x = np.sin(np.linspace(0, 6.28, 128)) + rng.normal(0, 0.5, 128)
+        assert paa(x, 16).std() < x.std()
+
+
+class TestDownsample:
+    def test_stride(self):
+        x = np.arange(10.0)
+        assert np.array_equal(downsample(x, 3), [0.0, 3.0, 6.0, 9.0])
+
+    def test_factor_one_identity(self, rng):
+        x = rng.normal(0, 1, 12)
+        assert np.array_equal(downsample(x, 1), x)
+
+    def test_2d(self, rng):
+        X = rng.normal(0, 1, (3, 10))
+        assert downsample(X, 2).shape == (3, 5)
+
+    def test_bad_factor_raises(self):
+        with pytest.raises(InvalidParameterError):
+            downsample(np.ones(4), 0)

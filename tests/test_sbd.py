@@ -1,0 +1,97 @@
+"""Tests for repro.core.sbd (Section 3.1, Algorithm 1, Table 2 variants)."""
+
+import numpy as np
+import pytest
+
+from repro.core import sbd, sbd_no_fft, sbd_no_pow2, sbd_with_alignment, align_to
+from repro.exceptions import ShapeMismatchError
+from repro.preprocessing import shift_series, zscore
+
+
+class TestSBDBasics:
+    def test_identity_is_zero(self, sine):
+        assert sbd(sine, sine) == pytest.approx(0.0, abs=1e-12)
+
+    def test_range(self, rng):
+        for _ in range(20):
+            x = rng.normal(0, 1, 32)
+            y = rng.normal(0, 1, 32)
+            d = sbd(x, y)
+            assert 0.0 <= d <= 2.0
+
+    def test_symmetric(self, rng):
+        x = rng.normal(0, 1, 48)
+        y = rng.normal(0, 1, 48)
+        assert sbd(x, y) == pytest.approx(sbd(y, x), abs=1e-9)
+
+    def test_shift_invariance(self, sine):
+        """A shifted copy stays close: the only cost is the zero-padded
+        overlap loss, approx 1 - sqrt((m - s) / m)."""
+        for s in (3, 7, 11):
+            shifted = shift_series(sine, s)
+            d = sbd(sine, shifted)
+            overlap_cost = 1.0 - np.sqrt((64.0 - s) / 64.0)
+            assert d <= overlap_cost + 0.06
+        # And far smaller than the distance to an unrelated shape.
+        noise = np.random.default_rng(0).normal(0, 1, 64)
+        assert sbd(sine, shift_series(sine, 7)) < sbd(sine, noise)
+
+    def test_scale_invariance(self, sine):
+        assert sbd(sine, 4.2 * sine) == pytest.approx(0.0, abs=1e-12)
+
+    def test_negation_identity(self, rng):
+        """SBD(x, -x) = 1 + min_w NCCc(x, x, w), since negation flips the
+        whole NCC sequence; for a one-sided pulse this sits well above the
+        near-zero self-distance."""
+        from repro.core import ncc
+        t = np.linspace(0, 1, 64)
+        pulse = zscore(np.exp(-0.5 * ((t - 0.5) / 0.05) ** 2))
+        d = sbd(pulse, -pulse)
+        expected = 1.0 + ncc(pulse, pulse, norm="c").min()
+        assert d == pytest.approx(expected, abs=1e-9)
+        assert d > 0.5
+
+    def test_unequal_lengths_raise(self):
+        with pytest.raises(ShapeMismatchError):
+            sbd(np.ones(4), np.ones(6))
+
+    def test_zero_series_distance_one(self, sine):
+        assert sbd(np.zeros(64), sine) == pytest.approx(1.0)
+
+
+class TestSBDVariants:
+    def test_all_variants_agree(self, rng):
+        for _ in range(10):
+            x = rng.normal(0, 1, 53)
+            y = rng.normal(0, 1, 53)
+            d = sbd(x, y)
+            assert sbd_no_fft(x, y) == pytest.approx(d, abs=1e-9)
+            assert sbd_no_pow2(x, y) == pytest.approx(d, abs=1e-9)
+
+
+class TestAlignment:
+    def test_alignment_restores_shift(self, sine):
+        shifted = shift_series(sine, 8)
+        _, aligned = sbd_with_alignment(sine, shifted)
+        # The aligned copy should match the reference except the zero pad.
+        assert np.allclose(aligned[:-8], sine[:-8], atol=1e-9)
+
+    def test_align_to_matches_tuple_version(self, sine):
+        shifted = shift_series(sine, -5)
+        assert np.array_equal(align_to(sine, shifted),
+                              sbd_with_alignment(sine, shifted)[1])
+
+    def test_aligned_distance_not_worse(self, rng):
+        """Aligning y toward x never increases the zero-lag disagreement."""
+        x = zscore(rng.normal(0, 1, 40))
+        y = zscore(np.roll(x, 6) + rng.normal(0, 0.05, 40))
+        _, aligned = sbd_with_alignment(x, y)
+        before = np.dot(x, y)
+        after = np.dot(x, aligned)
+        assert after >= before - 1e-9
+
+    def test_returns_distance_equal_to_sbd(self, rng):
+        x = rng.normal(0, 1, 32)
+        y = rng.normal(0, 1, 32)
+        d, _ = sbd_with_alignment(x, y)
+        assert d == pytest.approx(sbd(x, y))

@@ -1,0 +1,87 @@
+"""Property-based tests (hypothesis) for SBD and cross-correlation."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import cross_correlation, ncc, sbd
+from repro.preprocessing import zscore
+
+finite = st.floats(-100, 100, allow_nan=False, allow_infinity=False, width=64)
+
+
+def series(min_size=2, max_size=64):
+    return arrays(np.float64, st.integers(min_size, max_size), elements=finite)
+
+
+def pair(min_size=2, max_size=64):
+    return st.integers(min_size, max_size).flatmap(
+        lambda m: st.tuples(
+            arrays(np.float64, m, elements=finite),
+            arrays(np.float64, m, elements=finite),
+        )
+    )
+
+
+@given(pair())
+@settings(max_examples=60, deadline=None)
+def test_sbd_bounded(xy):
+    x, y = xy
+    d = sbd(x, y)
+    assert 0.0 <= d <= 2.0
+
+
+@given(pair())
+@settings(max_examples=60, deadline=None)
+def test_sbd_symmetric(xy):
+    x, y = xy
+    assert abs(sbd(x, y) - sbd(y, x)) < 1e-8
+
+
+@given(series())
+@settings(max_examples=60, deadline=None)
+def test_sbd_self_distance_zero(x):
+    d = sbd(x, x)
+    # Numerically-zero series carry no shape; by convention NCCc is all
+    # zeros there, so the self-distance degenerates to exactly 1.
+    assert d < 1e-8 or d == 1.0
+    if np.dot(x, x) > 1e-6:
+        assert d < 1e-8
+
+
+@given(pair(max_size=48))
+@settings(max_examples=40, deadline=None)
+def test_fft_equals_direct(xy):
+    x, y = xy
+    assert np.allclose(
+        cross_correlation(x, y, method="fft"),
+        cross_correlation(x, y, method="direct"),
+        atol=1e-6,
+    )
+
+
+@given(pair(), st.floats(0.1, 10), st.floats(0.1, 10))
+@settings(max_examples=40, deadline=None)
+def test_sbd_scale_invariant(xy, a, b):
+    x, y = xy
+    # Near the zero-norm guard the NCCc definition switches branches, so
+    # scale invariance only holds for numerically healthy inputs.
+    assume(np.dot(x, x) > 1e-6 and np.dot(y, y) > 1e-6)
+    assert abs(sbd(x, y) - sbd(a * x, b * y)) < 1e-8
+
+
+@given(pair())
+@settings(max_examples=40, deadline=None)
+def test_ncc_c_bounded(xy):
+    x, y = xy
+    seq = ncc(x, y, norm="c")
+    assert seq.max() <= 1.0 + 1e-8
+    assert seq.min() >= -1.0 - 1e-8
+
+
+@given(series(min_size=4))
+@settings(max_examples=40, deadline=None)
+def test_zscore_idempotent(x):
+    z = zscore(x)
+    assert np.allclose(zscore(z), z, atol=1e-8)

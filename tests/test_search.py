@@ -1,0 +1,98 @@
+"""Tests for repro.search (MASS + SBD profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.search import best_match, mass, sbd_profile, top_k_matches
+
+
+class TestMass:
+    def test_profile_length(self, rng):
+        x = rng.normal(0, 1, 200)
+        assert mass(x[:20], x).shape == (181,)
+
+    def test_exact_occurrence_found(self, rng):
+        x = rng.normal(0, 1, 300)
+        q = x[120:150]
+        idx, dist = best_match(q, x)
+        assert idx == 120
+        assert dist == pytest.approx(0.0, abs=1e-6)
+
+    def test_matches_naive_profile(self, rng):
+        """The FFT profile equals the brute-force z-normalized ED profile."""
+        from repro.preprocessing import zscore
+
+        x = rng.normal(0, 1, 60)
+        q = rng.normal(0, 1, 12)
+        fast = mass(q, x)
+        qz = zscore(q)
+        naive = np.array([
+            np.linalg.norm(zscore(x[i:i + 12]) - qz) for i in range(49)
+        ])
+        assert np.allclose(fast, naive, atol=1e-6)
+
+    def test_scale_invariance(self, rng):
+        """z-normalization makes the profile scale/offset invariant."""
+        x = rng.normal(0, 1, 100)
+        q = rng.normal(0, 1, 15)
+        assert np.allclose(mass(q, x), mass(5 * q + 2, x), atol=1e-6)
+
+    def test_flat_window_finite(self, rng):
+        x = np.concatenate([np.zeros(30), rng.normal(0, 1, 30)])
+        q = rng.normal(0, 1, 10)
+        profile = mass(q, x)
+        assert np.all(np.isfinite(profile))
+        assert profile[0] == pytest.approx(np.sqrt(10))
+
+    def test_constant_query_raises(self, rng):
+        with pytest.raises(InvalidParameterError):
+            mass(np.ones(8), rng.normal(0, 1, 50))
+
+    def test_query_longer_than_series_raises(self, rng):
+        with pytest.raises(InvalidParameterError):
+            mass(rng.normal(0, 1, 30), rng.normal(0, 1, 20))
+
+
+class TestTopK:
+    def test_non_overlapping(self, rng):
+        t = np.linspace(0, 8, 400)
+        x = np.sin(2 * np.pi * t) + rng.normal(0, 0.01, 400)
+        q = x[25:75]
+        matches = top_k_matches(q, x, k=4)
+        starts = [m[0] for m in matches]
+        for i, a in enumerate(starts):
+            for b in starts[i + 1:]:
+                assert abs(a - b) > 25  # exclusion zone respected
+
+    def test_sorted_by_distance(self, rng):
+        x = rng.normal(0, 1, 200)
+        matches = top_k_matches(x[40:60], x, k=3)
+        dists = [m[1] for m in matches]
+        assert dists == sorted(dists)
+
+    def test_k_capped_by_exclusions(self, rng):
+        x = rng.normal(0, 1, 40)
+        matches = top_k_matches(x[:20], x, k=50, exclusion=30)
+        assert len(matches) < 50
+
+
+class TestSBDProfile:
+    def test_finds_shifted_shape(self, rng):
+        t = np.linspace(0, 1, 50)
+        shape = np.exp(-0.5 * ((t - 0.5) / 0.08) ** 2)
+        x = np.concatenate([rng.normal(0, 0.05, 100), shape,
+                            rng.normal(0, 0.05, 100)])
+        profile = sbd_profile(shape, x, step=5)
+        best = int(np.argmin(profile)) * 5
+        # SBD is shift-invariant so the minimum basin is wide; the true
+        # window (start 100) must sit within half a query of the argmin.
+        assert abs(best - 100) <= 25
+
+    def test_profile_length_with_stride(self, rng):
+        x = rng.normal(0, 1, 100)
+        assert sbd_profile(x[:20], x, step=10).shape == (9,)
+
+    def test_query_too_long_raises(self, rng):
+        with pytest.raises(InvalidParameterError):
+            sbd_profile(rng.normal(0, 1, 30), rng.normal(0, 1, 10))

@@ -1,0 +1,94 @@
+"""Tests for repro.core.shape_extraction (Section 3.2, Algorithm 2, Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import align_cluster, ncc_max, sbd, shape_extraction
+from repro.exceptions import ShapeMismatchError
+from repro.preprocessing import shift_series, zscore
+
+
+@pytest.fixture
+def shifted_family(rng):
+    """Copies of one pattern at random shifts plus noise."""
+    t = np.linspace(0, 1, 80)
+    base = zscore(np.sin(2 * np.pi * 2 * t) + 0.5 * np.sin(2 * np.pi * 5 * t))
+    rows = []
+    for _ in range(12):
+        s = int(rng.integers(-6, 7))
+        rows.append(shift_series(base, s) + rng.normal(0, 0.08, 80))
+    return zscore(np.asarray(rows)), base
+
+
+class TestAlignCluster:
+    def test_zero_reference_leaves_data(self, rng):
+        X = rng.normal(0, 1, (4, 16))
+        out = align_cluster(X, np.zeros(16))
+        assert np.array_equal(out, X)
+        assert out is not X
+
+    def test_alignment_improves_agreement(self, shifted_family):
+        X, base = shifted_family
+        aligned = align_cluster(X, base)
+        before = np.abs(X @ base).sum()
+        after = (aligned @ base).sum()
+        assert after >= before - 1e-9
+
+    def test_aligned_rows_have_zero_optimal_shift(self, shifted_family):
+        X, base = shifted_family
+        aligned = align_cluster(X, base)
+        for row in aligned:
+            _, s = ncc_max(base, row)
+            assert s == 0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ShapeMismatchError):
+            align_cluster(np.ones((3, 8)), np.ones(9))
+
+
+class TestShapeExtraction:
+    def test_centroid_is_znormalized(self, shifted_family):
+        X, base = shifted_family
+        c = shape_extraction(X, reference=base)
+        assert abs(c.mean()) < 1e-9
+        assert abs(c.std() - 1.0) < 1e-9
+
+    def test_centroid_close_to_true_pattern(self, shifted_family):
+        """The extracted shape recovers the generating pattern."""
+        X, base = shifted_family
+        c = shape_extraction(X, reference=base)
+        assert sbd(base, c) < 0.05
+
+    def test_better_than_arithmetic_mean_on_shifted_data(self, shifted_family):
+        """Figure 4's point: the mean smears shifted patterns; the extracted
+        shape does not."""
+        X, base = shifted_family
+        c = shape_extraction(X, reference=base)
+        mean = zscore(X.mean(axis=0))
+        assert sbd(base, c) < sbd(base, mean)
+
+    def test_single_member_returns_it(self, sine):
+        c = shape_extraction(sine.reshape(1, -1))
+        assert np.allclose(c, zscore(sine))
+
+    def test_no_reference_works(self, shifted_family):
+        X, _ = shifted_family
+        c = shape_extraction(X)
+        assert c.shape == (80,)
+        assert np.all(np.isfinite(c))
+
+    def test_sign_oriented_with_cluster(self, shifted_family):
+        """The eigenvector sign is fixed to correlate with the mean shape."""
+        X, base = shifted_family
+        c = shape_extraction(X, reference=base)
+        assert np.dot(c, X.mean(axis=0)) > 0
+
+    def test_raw_eigenvector_option(self, shifted_family):
+        X, base = shifted_family
+        c = shape_extraction(X, reference=base, znormalize=False)
+        assert abs(np.linalg.norm(c) - 1.0) < 1e-9
+
+    def test_identical_members_recover_member(self, sine):
+        X = np.tile(sine, (5, 1))
+        c = shape_extraction(X)
+        assert sbd(c, sine) < 1e-9

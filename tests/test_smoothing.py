@@ -1,0 +1,117 @@
+"""Tests for repro.preprocessing.smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.preprocessing import (
+    detrend,
+    difference,
+    exponential_smoothing,
+    fill_missing,
+    moving_average,
+)
+
+
+class TestMovingAverage:
+    def test_constant_preserved(self):
+        x = np.full(10, 3.0)
+        assert np.allclose(moving_average(x, 3), x)
+
+    def test_reduces_noise_variance(self, rng):
+        x = rng.normal(0, 1, 500)
+        assert moving_average(x, 7).std() < x.std()
+
+    def test_window_one_identity(self, rng):
+        x = rng.normal(0, 1, 20)
+        assert np.array_equal(moving_average(x, 1), x)
+
+    def test_length_preserved(self, rng):
+        assert moving_average(rng.normal(0, 1, 33), 5).shape == (33,)
+
+    def test_interior_is_plain_mean(self):
+        x = np.arange(10.0)
+        out = moving_average(x, 3)
+        assert out[5] == pytest.approx((4 + 5 + 6) / 3)
+
+
+class TestExponentialSmoothing:
+    def test_first_value_kept(self, rng):
+        x = rng.normal(0, 1, 15)
+        assert exponential_smoothing(x, 0.5)[0] == x[0]
+
+    def test_alpha_one_identity(self, rng):
+        x = rng.normal(0, 1, 15)
+        assert np.allclose(exponential_smoothing(x, 1.0), x)
+
+    def test_smooths(self, rng):
+        x = rng.normal(0, 1, 400)
+        assert exponential_smoothing(x, 0.2).std() < x.std()
+
+    def test_bad_alpha_raises(self):
+        with pytest.raises(InvalidParameterError):
+            exponential_smoothing(np.ones(5), 0.0)
+
+
+class TestDetrendDifference:
+    def test_removes_line_exactly(self):
+        t = np.arange(50.0)
+        assert np.allclose(detrend(3.0 * t + 7.0), 0.0, atol=1e-9)
+
+    def test_preserves_oscillation(self):
+        t = np.linspace(0, 1, 100)
+        season = np.sin(2 * np.pi * 5 * t)
+        out = detrend(season + 4.0 * t)
+        assert np.corrcoef(out, season)[0, 1] > 0.95
+
+    def test_difference_shrinks_length(self, rng):
+        x = rng.normal(0, 1, 30)
+        assert difference(x, 1).shape == (29,)
+        assert difference(x, 2).shape == (28,)
+
+    def test_difference_kills_linear_trend(self):
+        t = np.arange(20.0)
+        assert np.allclose(difference(2.0 * t + 1.0), 2.0)
+
+    def test_difference_order_too_large_raises(self):
+        with pytest.raises(InvalidParameterError):
+            difference(np.ones(3), 3)
+
+
+class TestFillMissing:
+    def test_linear_interpolates_gap(self):
+        x = np.array([0.0, np.nan, np.nan, 3.0])
+        assert np.allclose(fill_missing(x), [0.0, 1.0, 2.0, 3.0])
+
+    def test_edges_extended(self):
+        x = np.array([np.nan, 1.0, 2.0, np.nan])
+        out = fill_missing(x)
+        assert out[0] == 1.0
+        assert out[-1] == 2.0
+
+    def test_locf(self):
+        x = np.array([np.nan, 1.0, np.nan, np.nan, 4.0])
+        assert np.allclose(fill_missing(x, "locf"), [1.0, 1.0, 1.0, 1.0, 4.0])
+
+    def test_no_missing_passthrough(self, rng):
+        x = rng.normal(0, 1, 10)
+        assert np.array_equal(fill_missing(x), x)
+
+    def test_all_nan_raises(self):
+        with pytest.raises(InvalidParameterError):
+            fill_missing(np.full(4, np.nan))
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(InvalidParameterError):
+            fill_missing(np.array([1.0, np.nan]), "magic")
+
+    def test_enables_downstream_pipeline(self, rng):
+        """Occlusion workflow: fill, z-normalize, compare with SBD."""
+        from repro.core import sbd
+        from repro.preprocessing import zscore
+
+        x = np.sin(np.linspace(0, 6.28, 64))
+        damaged = x.copy()
+        damaged[20:26] = np.nan
+        repaired = zscore(fill_missing(damaged))
+        assert sbd(zscore(x), repaired) < 0.05

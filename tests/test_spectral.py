@@ -1,0 +1,66 @@
+"""Tests for repro.clustering.spectral (normalized spectral clustering)."""
+
+import numpy as np
+import pytest
+
+from repro import SpectralClustering, rand_index
+from repro.clustering import gaussian_affinity, spectral_embedding
+from repro.exceptions import InvalidParameterError
+
+
+class TestAffinity:
+    def test_range_and_diagonal(self, rng):
+        D = np.abs(rng.normal(0, 1, (8, 8)))
+        D = (D + D.T) / 2
+        np.fill_diagonal(D, 0.0)
+        A = gaussian_affinity(D)
+        assert np.all(A >= 0.0) and np.all(A <= 1.0)
+        assert np.allclose(np.diag(A), 0.0)
+
+    def test_smaller_distance_higher_affinity(self):
+        D = np.array([[0.0, 1.0, 4.0], [1.0, 0.0, 2.0], [4.0, 2.0, 0.0]])
+        A = gaussian_affinity(D, sigma=1.0)
+        assert A[0, 1] > A[0, 2]
+
+    def test_non_square_raises(self):
+        with pytest.raises(InvalidParameterError):
+            gaussian_affinity(np.zeros((2, 3)))
+
+    def test_explicit_sigma(self):
+        D = np.array([[0.0, 2.0], [2.0, 0.0]])
+        A = gaussian_affinity(D, sigma=2.0)
+        assert A[0, 1] == pytest.approx(np.exp(-0.5))
+
+
+class TestEmbedding:
+    def test_rows_unit_norm(self, rng):
+        D = np.abs(rng.normal(0, 1, (10, 10)))
+        D = (D + D.T) / 2
+        np.fill_diagonal(D, 0)
+        A = gaussian_affinity(D)
+        U = spectral_embedding(A, 3)
+        assert np.allclose(np.linalg.norm(U, axis=1), 1.0)
+
+    def test_shape(self, rng):
+        A = np.ones((6, 6)) - np.eye(6)
+        assert spectral_embedding(A, 2).shape == (6, 2)
+
+
+class TestSpectralClustering:
+    def test_recovers_two_classes(self, two_class_data):
+        X, y = two_class_data
+        model = SpectralClustering(2, metric="sbd", random_state=0).fit(X)
+        assert rand_index(y, model.labels_) >= 0.9
+
+    def test_precomputed_route(self, two_class_data):
+        from repro.distances import pairwise_distances
+
+        X, y = two_class_data
+        D = pairwise_distances(X, "sbd")
+        model = SpectralClustering(2, metric="precomputed", random_state=0).fit(D)
+        assert rand_index(y, model.labels_) >= 0.9
+
+    def test_embedding_stored(self, two_class_data):
+        X, _ = two_class_data
+        model = SpectralClustering(2, metric="ed", random_state=0).fit(X)
+        assert model.result_.extra["embedding"].shape == (X.shape[0], 2)

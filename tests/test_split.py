@@ -1,0 +1,67 @@
+"""Tests for repro.datasets.split."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import as_split_dataset, stratified_split
+from repro.exceptions import InvalidParameterError, ShapeMismatchError
+
+
+class TestStratifiedSplit:
+    def test_per_class_proportions(self, rng):
+        X = rng.normal(0, 1, (40, 8))
+        y = np.repeat([0, 1], 20)
+        X_tr, y_tr, X_te, y_te = stratified_split(X, y, 0.25, rng=0)
+        assert list(np.bincount(y_tr)) == [5, 5]
+        assert list(np.bincount(y_te)) == [15, 15]
+
+    def test_no_overlap_and_full_coverage(self, rng):
+        X = rng.normal(0, 1, (20, 4))
+        y = np.repeat([0, 1], 10)
+        X_tr, _, X_te, _ = stratified_split(X, y, 0.5, rng=1)
+        combined = np.vstack([X_tr, X_te])
+        assert combined.shape == X.shape
+        # Every original row appears exactly once.
+        seen = {tuple(row) for row in combined}
+        assert len(seen) == 20
+
+    def test_each_side_nonempty_per_class(self, rng):
+        X = rng.normal(0, 1, (6, 3))
+        y = np.repeat([0, 1], 3)
+        _, y_tr, _, y_te = stratified_split(X, y, 0.05, rng=0)
+        assert set(y_tr) == {0, 1}
+        assert set(y_te) == {0, 1}
+
+    def test_singleton_class_rejected(self, rng):
+        X = rng.normal(0, 1, (3, 4))
+        with pytest.raises(InvalidParameterError):
+            stratified_split(X, [0, 0, 1], 0.5)
+
+    def test_bad_fraction_rejected(self, rng):
+        X = rng.normal(0, 1, (4, 4))
+        with pytest.raises(InvalidParameterError):
+            stratified_split(X, [0, 0, 1, 1], 1.0)
+
+    def test_label_mismatch_rejected(self, rng):
+        with pytest.raises(ShapeMismatchError):
+            stratified_split(rng.normal(0, 1, (4, 4)), [0, 1], 0.5)
+
+    def test_deterministic(self, rng):
+        X = rng.normal(0, 1, (20, 5))
+        y = np.repeat([0, 1], 10)
+        a = stratified_split(X, y, 0.4, rng=7)
+        b = stratified_split(X, y, 0.4, rng=7)
+        for left, right in zip(a, b):
+            assert np.array_equal(left, right)
+
+
+class TestAsSplitDataset:
+    def test_packaging(self, rng):
+        X = rng.normal(3, 2, (30, 16))
+        y = np.repeat([0, 1, 2], 10)
+        ds = as_split_dataset("custom", X, y, 0.3, rng=0)
+        assert ds.name == "custom"
+        assert ds.n_classes == 3
+        assert ds.n_total == 30
+        # z-normalized by default
+        assert np.allclose(ds.X_train.mean(axis=1), 0.0, atol=1e-9)

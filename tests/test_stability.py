@@ -1,0 +1,88 @@
+"""Tests for repro.evaluation.stability."""
+
+import numpy as np
+import pytest
+
+from repro.core import KShape
+from repro.evaluation import consensus_matrix, seed_stability, subsample_stability
+from repro.exceptions import InvalidParameterError
+
+
+class TestSeedStability:
+    def test_separable_data_is_stable(self, two_class_data):
+        X, _ = two_class_data
+        score = seed_stability(
+            lambda seed: KShape(2, random_state=seed), X, n_runs=4, rng=0
+        )
+        assert score >= 0.9
+
+    def test_noise_is_unstable(self, rng):
+        X = rng.normal(0, 1, (24, 16))
+        score = seed_stability(
+            lambda seed: KShape(3, random_state=seed, max_iter=10), X,
+            n_runs=4, rng=0,
+        )
+        assert score < 0.9
+
+    def test_needs_two_runs(self, two_class_data):
+        X, _ = two_class_data
+        with pytest.raises(InvalidParameterError):
+            seed_stability(lambda s: KShape(2, random_state=s), X, n_runs=1)
+
+
+class TestSubsampleStability:
+    def test_separable_data_is_stable(self, two_class_data):
+        X, _ = two_class_data
+        score = subsample_stability(
+            lambda seed: KShape(2, random_state=seed), X,
+            fraction=0.8, n_runs=4, rng=0,
+        )
+        assert score >= 0.8
+
+    def test_bad_fraction_raises(self, two_class_data):
+        X, _ = two_class_data
+        with pytest.raises(InvalidParameterError):
+            subsample_stability(lambda s: KShape(2, random_state=s), X,
+                                fraction=1.5)
+
+
+class TestConsensusMatrix:
+    def test_shape_and_range(self, two_class_data):
+        X, _ = two_class_data
+        C = consensus_matrix(
+            lambda seed: KShape(2, random_state=seed), X, n_runs=4, rng=0
+        )
+        assert C.shape == (X.shape[0], X.shape[0])
+        assert np.all(C >= 0.0) and np.all(C <= 1.0)
+        assert np.allclose(np.diag(C), 1.0)
+
+    def test_block_structure_on_separable_data(self, two_class_data):
+        X, y = two_class_data
+        C = consensus_matrix(
+            lambda seed: KShape(2, random_state=seed), X, n_runs=4, rng=0
+        )
+        within = C[np.ix_(y == 0, y == 0)].mean()
+        across = C[np.ix_(y == 0, y == 1)].mean()
+        assert within > across
+
+
+class TestConsensusCluster:
+    def test_recovers_classes(self, two_class_data):
+        from repro.evaluation import consensus_cluster, rand_index
+
+        X, y = two_class_data
+        labels = consensus_cluster(
+            lambda seed: KShape(2, random_state=seed), X,
+            n_clusters=2, n_runs=5, rng=0,
+        )
+        assert rand_index(y, labels) == 1.0
+
+    def test_label_count(self, two_class_data):
+        from repro.evaluation import consensus_cluster
+
+        X, _ = two_class_data
+        labels = consensus_cluster(
+            lambda seed: KShape(3, random_state=seed), X,
+            n_clusters=3, n_runs=4, rng=0,
+        )
+        assert np.unique(labels).shape[0] == 3

@@ -1,0 +1,83 @@
+"""Tests for repro.stats.friedman and repro.stats.nemenyi."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro import friedman_test, nemenyi_groups, nemenyi_test
+from repro.stats import critical_difference
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def clear_winner_scores(rng):
+    """Method 0 always best, method 2 always worst, 20 datasets."""
+    base = rng.uniform(0.5, 0.8, (20, 1))
+    return np.hstack([base + 0.15, base, base - 0.15]) + rng.normal(0, 0.01, (20, 3))
+
+
+class TestFriedman:
+    def test_detects_clear_differences(self, clear_winner_scores):
+        result = friedman_test(clear_winner_scores)
+        assert result.significant(0.05)
+        assert result.average_ranks[0] < result.average_ranks[1] < result.average_ranks[2]
+
+    def test_no_difference_on_permuted_noise(self, rng):
+        scores = rng.normal(0, 1, (30, 4))
+        result = friedman_test(scores)
+        assert result.p_value > 0.01  # overwhelmingly likely for pure noise
+
+    def test_matches_scipy(self, rng):
+        scores = rng.normal(0, 1, (15, 4)) + np.array([0.3, 0.0, -0.1, 0.1])
+        ours = friedman_test(scores)
+        stat, p = scipy_stats.friedmanchisquare(*[scores[:, j] for j in range(4)])
+        assert ours.statistic == pytest.approx(stat)
+        assert ours.p_value == pytest.approx(p)
+
+    def test_lower_is_better_mode(self, clear_winner_scores):
+        result = friedman_test(clear_winner_scores, higher_is_better=False)
+        assert result.average_ranks[2] < result.average_ranks[0]
+
+    def test_too_few_methods_raise(self):
+        with pytest.raises(InvalidParameterError):
+            friedman_test(np.ones((5, 1)))
+
+
+class TestNemenyi:
+    def test_critical_difference_values(self):
+        """Spot-check against Demsar's published CD values."""
+        # k=4, N=48 at alpha=0.05: q=2.569 -> CD = 2.569*sqrt(20/288)
+        assert critical_difference(4, 48) == pytest.approx(
+            2.569 * np.sqrt(4 * 5 / (6 * 48))
+        )
+
+    def test_cd_decreases_with_datasets(self):
+        assert critical_difference(5, 100) < critical_difference(5, 20)
+
+    def test_unsupported_alpha_raises(self):
+        with pytest.raises(InvalidParameterError):
+            critical_difference(3, 10, alpha=0.10)
+
+    def test_k_out_of_range_raises(self):
+        with pytest.raises(InvalidParameterError):
+            critical_difference(25, 10)
+
+    def test_significance_matrix(self, clear_winner_scores):
+        result = nemenyi_test(clear_winner_scores)
+        assert result.significant[0, 2]
+        assert not result.significant[0, 0]
+        assert np.array_equal(result.significant, result.significant.T)
+
+    def test_groups_connect_similar_methods(self, rng):
+        """Two near-identical methods group; a far-worse one does not."""
+        base = rng.uniform(0.5, 0.9, (30, 1))
+        scores = np.hstack([
+            base, base + rng.normal(0, 0.005, (30, 1)), base - 0.3
+        ])
+        groups = nemenyi_groups(scores, ["A", "Atwin", "bad"])
+        top = groups[0]
+        assert "A" in top and "Atwin" in top and "bad" not in top
+
+    def test_groups_name_count_mismatch_raises(self, clear_winner_scores):
+        with pytest.raises(InvalidParameterError):
+            nemenyi_groups(clear_winner_scores, ["only", "two"])

@@ -1,0 +1,83 @@
+"""Tests for repro.stats.ranking and repro.stats.comparison."""
+
+import numpy as np
+import pytest
+
+from repro import compare_to_baseline
+from repro.stats import average_ranks, rank_rows
+from repro.exceptions import EmptyInputError, ShapeMismatchError
+
+
+class TestRanking:
+    def test_best_gets_rank_one(self):
+        ranks = rank_rows([[0.9, 0.5, 0.7]])
+        assert list(ranks[0]) == [1.0, 3.0, 2.0]
+
+    def test_ties_share_average_rank(self):
+        ranks = rank_rows([[0.5, 0.5, 0.1]])
+        assert list(ranks[0]) == [1.5, 1.5, 3.0]
+
+    def test_lower_is_better(self):
+        ranks = rank_rows([[10.0, 1.0]], higher_is_better=False)
+        assert list(ranks[0]) == [2.0, 1.0]
+
+    def test_average_over_rows(self):
+        scores = [[0.9, 0.1], [0.1, 0.9]]
+        assert list(average_ranks(scores)) == [1.5, 1.5]
+
+    def test_rank_sum_invariant(self, rng):
+        """Ranks in each row always sum to k(k+1)/2."""
+        scores = rng.normal(0, 1, (10, 5))
+        ranks = rank_rows(scores)
+        assert np.allclose(ranks.sum(axis=1), 15.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyInputError):
+            rank_rows(np.empty((0, 0)))
+
+
+class TestComparison:
+    def test_win_loss_counts(self, rng):
+        base = rng.uniform(0.4, 0.6, 20)
+        scores = {
+            "baseline": base,
+            "better": base + 0.2,
+            "worse": base - 0.2,
+            "mixed": base + rng.choice([-0.1, 0.1], 20),
+        }
+        rows = {r.name: r for r in compare_to_baseline(scores, "baseline")}
+        assert rows["better"].wins == 20
+        assert rows["better"].significantly_better
+        assert rows["worse"].losses == 20
+        assert rows["worse"].significantly_worse
+        assert not rows["mixed"].significantly_better or not rows["mixed"].significantly_worse
+
+    def test_identical_method_all_ties(self, rng):
+        base = rng.uniform(0, 1, 10)
+        rows = compare_to_baseline({"b": base, "same": base.copy()}, "b")
+        assert rows[0].ties == 10
+        assert not rows[0].significantly_better
+        assert not rows[0].significantly_worse
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(EmptyInputError):
+            compare_to_baseline({"a": [1.0]}, "nope")
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ShapeMismatchError):
+            compare_to_baseline({"b": [1.0, 2.0], "a": [1.0]}, "b")
+
+    def test_tie_tolerance(self):
+        rows = compare_to_baseline(
+            {"b": [0.5, 0.5, 0.5, 0.5], "a": [0.509, 0.491, 0.6, 0.4]},
+            "b",
+            tie_tolerance=0.01,
+        )
+        assert rows[0].ties == 2
+        assert rows[0].wins == 1
+        assert rows[0].losses == 1
+
+    def test_as_dict_keys(self, rng):
+        base = rng.uniform(0, 1, 5)
+        row = compare_to_baseline({"b": base, "a": base + 0.1}, "b")[0]
+        assert set(row.as_dict()) == {">", "=", "<", "Better", "Worse", "Mean", "p"}

@@ -1,0 +1,58 @@
+"""Tests for repro.stats.wilcoxon."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro import wilcoxon_signed_rank
+from repro.exceptions import EmptyInputError, ShapeMismatchError
+
+
+class TestWilcoxon:
+    def test_clear_difference_significant(self, rng):
+        x = rng.normal(1.0, 0.1, 30)
+        y = rng.normal(0.0, 0.1, 30)
+        result = wilcoxon_signed_rank(x, y)
+        assert result.significant(0.01)
+        assert result.median_difference > 0
+
+    def test_no_difference_not_significant(self, rng):
+        x = rng.normal(0.0, 1.0, 30)
+        y = x + rng.normal(0.0, 1.0, 30) * 0.001 * rng.choice([-1, 1], 30)
+        result = wilcoxon_signed_rank(x, y)
+        assert not result.significant(0.01)
+
+    def test_matches_scipy_approx(self, rng):
+        """Agree with scipy's normal-approximation mode."""
+        x = rng.normal(0.3, 1.0, 40)
+        y = rng.normal(0.0, 1.0, 40)
+        ours = wilcoxon_signed_rank(x, y)
+        theirs = scipy_stats.wilcoxon(
+            x, y, zero_method="wilcox", correction=True, mode="approx"
+        )
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.05)
+
+    def test_zeros_discarded(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        y = x.copy()
+        y[3:] += np.array([0.5, -0.2, 0.7, 0.9])
+        result = wilcoxon_signed_rank(x, y)
+        assert result.n_used == 4
+
+    def test_all_zero_differences_raise(self):
+        with pytest.raises(EmptyInputError):
+            wilcoxon_signed_rank(np.ones(5), np.ones(5))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ShapeMismatchError):
+            wilcoxon_signed_rank(np.ones(4), np.ones(5))
+
+    def test_symmetric_under_swap(self, rng):
+        x = rng.normal(0.5, 1, 25)
+        y = rng.normal(0.0, 1, 25)
+        a = wilcoxon_signed_rank(x, y)
+        b = wilcoxon_signed_rank(y, x)
+        assert a.statistic == pytest.approx(b.statistic)
+        assert a.p_value == pytest.approx(b.p_value)
+        assert a.median_difference == pytest.approx(-b.median_difference)

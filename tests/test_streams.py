@@ -1,0 +1,56 @@
+"""Tests for repro.datasets.streams."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import replay_stream
+from repro.exceptions import ShapeMismatchError
+
+
+class TestReplayStream:
+    def test_covers_all_rows_once(self, rng):
+        X = rng.normal(0, 1, (25, 8))
+        seen = np.vstack([b for b, _ in replay_stream(X, batch_size=7, rng=0)])
+        assert seen.shape == (25, 8)
+        assert np.allclose(np.sort(seen[:, 0]), np.sort(X[:, 0]))
+
+    def test_labels_travel_with_rows(self, rng):
+        X = rng.normal(0, 1, (12, 4))
+        y = np.arange(12)
+        for batch, labels in replay_stream(X, y, batch_size=5, rng=1):
+            for row, label in zip(batch, labels):
+                assert np.array_equal(row, X[label])
+
+    def test_epochs_multiply_volume(self, rng):
+        X = rng.normal(0, 1, (10, 3))
+        batches = list(replay_stream(X, batch_size=10, epochs=3, rng=0))
+        assert len(batches) == 3
+
+    def test_no_shuffle_preserves_order(self, rng):
+        X = rng.normal(0, 1, (9, 2))
+        first, _ = next(replay_stream(X, batch_size=9, shuffle=False))
+        assert np.array_equal(first, X)
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(0, 1, (20, 4))
+        a = [b for b, _ in replay_stream(X, batch_size=6, rng=5)]
+        b = [b for b, _ in replay_stream(X, batch_size=6, rng=5)]
+        for x1, x2 in zip(a, b):
+            assert np.array_equal(x1, x2)
+
+    def test_label_mismatch_raises(self, rng):
+        with pytest.raises(ShapeMismatchError):
+            next(replay_stream(rng.normal(0, 1, (5, 3)), [0, 1]))
+
+    def test_drives_minibatch_kshape(self, rng):
+        from repro import MiniBatchKShape
+
+        t = np.linspace(0, 1, 32)
+        X = np.vstack(
+            [np.sin(2 * np.pi * (2 * t + rng.uniform())) for _ in range(20)]
+            + [np.sin(2 * np.pi * (5 * t + rng.uniform())) for _ in range(20)]
+        )
+        model = MiniBatchKShape(2, random_state=0)
+        for batch, _ in replay_stream(X, batch_size=10, epochs=2, rng=0):
+            model.partial_fit(batch)
+        assert model.n_seen_ == 80

@@ -1,0 +1,75 @@
+"""Tests for repro.datasets.ucr (real-UCR file loading)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_ucr_dataset, read_ucr_file
+from repro.exceptions import EmptyInputError, InvalidParameterError
+
+
+@pytest.fixture
+def ucr_dir(tmp_path):
+    d = tmp_path / "Synth"
+    d.mkdir()
+    (d / "Synth_TRAIN.tsv").write_text(
+        "1\t0.1\t0.2\t0.3\n2\t1.0\t0.9\t0.8\n1\t0.0\t0.1\t0.2\n"
+    )
+    (d / "Synth_TEST.tsv").write_text("2\t1.1\t1.0\t0.9\n1\t0.2\t0.3\t0.4\n")
+    return tmp_path
+
+
+class TestReadUcrFile:
+    def test_tab_separated(self, ucr_dir):
+        X, y = read_ucr_file(str(ucr_dir / "Synth" / "Synth_TRAIN.tsv"))
+        assert X.shape == (3, 3)
+        assert list(y) == [1, 2, 1]
+        assert y.dtype.kind == "i"
+
+    def test_comma_separated(self, tmp_path):
+        p = tmp_path / "data.txt"
+        p.write_text("0,1.5,2.5\n1,3.5,4.5\n")
+        X, y = read_ucr_file(str(p))
+        assert X.shape == (2, 2)
+        assert list(y) == [0, 1]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "data.txt"
+        p.write_text("0 1 2\n\n1 3 4\n\n")
+        X, _ = read_ucr_file(str(p))
+        assert X.shape == (2, 2)
+
+    def test_missing_file_raises(self):
+        with pytest.raises(InvalidParameterError):
+            read_ucr_file("/nonexistent/file")
+
+    def test_empty_file_raises(self, tmp_path):
+        p = tmp_path / "empty.txt"
+        p.write_text("\n")
+        with pytest.raises(EmptyInputError):
+            read_ucr_file(str(p))
+
+    def test_ragged_raises(self, tmp_path):
+        p = tmp_path / "ragged.txt"
+        p.write_text("0 1 2\n1 3\n")
+        with pytest.raises(InvalidParameterError):
+            read_ucr_file(str(p))
+
+
+class TestLoadUcrDataset:
+    def test_loads_by_name(self, ucr_dir):
+        ds = load_ucr_dataset(str(ucr_dir), "Synth")
+        assert ds.n_train == 3
+        assert ds.n_test == 2
+        assert ds.n_classes == 2
+
+    def test_znormalized_by_default(self, ucr_dir):
+        ds = load_ucr_dataset(str(ucr_dir), "Synth")
+        assert np.allclose(ds.X_train.mean(axis=1), 0.0, atol=1e-9)
+
+    def test_raw_option(self, ucr_dir):
+        ds = load_ucr_dataset(str(ucr_dir), "Synth", znormalize=False)
+        assert ds.X_train[0, 0] == pytest.approx(0.1)
+
+    def test_missing_dataset_raises(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            load_ucr_dataset(str(tmp_path), "Nope")

@@ -1,0 +1,58 @@
+"""Tests for repro.distances.uniform_scaling."""
+
+import numpy as np
+import pytest
+
+from repro.distances import uniform_scaling_distance, us_ed, us_sbd
+from repro.exceptions import InvalidParameterError
+from repro.preprocessing import zscore
+
+
+class TestUniformScaling:
+    def test_identity_zero(self, sine):
+        d, s = uniform_scaling_distance(sine, sine, metric="ed")
+        assert d == pytest.approx(0.0, abs=1e-9)
+        assert s == 1.0
+
+    def test_recovers_playback_speed(self):
+        t = np.linspace(0, 1, 128)
+        x = np.sin(2 * np.pi * 3 * t)
+        y = np.sin(2 * np.pi * 3 * 1.25 * t)   # x played 25% faster
+        unscaled, _ = uniform_scaling_distance(x, y, metric="ed", scales=(1.0,))
+        d, s = uniform_scaling_distance(
+            x, y, metric="ed", scales=(0.8, 1.0, 1.25)
+        )
+        assert s == pytest.approx(0.8)          # 1/1.25: slow y back down
+        assert d < 0.25 * unscaled
+
+    def test_us_ed_at_most_plain_ed(self, rng):
+        """Scale 1.0 is always a candidate, so US-ED <= ED."""
+        from repro.distances import euclidean
+
+        x = rng.normal(0, 1, 40)
+        y = rng.normal(0, 1, 40)
+        assert us_ed(x, y) <= euclidean(x, y) + 1e-9
+
+    def test_us_sbd_handles_shift_and_stretch(self):
+        t = np.linspace(0, 1, 96)
+        x = zscore(np.sin(2 * np.pi * 3 * t))
+        # Faster and shifted copy.
+        y = zscore(np.roll(np.sin(2 * np.pi * 3 * 1.1 * t), 7))
+        plain = us_sbd(x, y, scales=(1.0,))
+        scaled = us_sbd(x, y, scales=(0.8, 0.9, 1.0, 1.1, 1.2))
+        assert scaled <= plain
+        assert scaled < 0.2
+
+    def test_empty_scales_raise(self, sine):
+        with pytest.raises(InvalidParameterError):
+            uniform_scaling_distance(sine, sine, scales=())
+
+    def test_negative_scale_raises(self, sine):
+        with pytest.raises(InvalidParameterError):
+            uniform_scaling_distance(sine, sine, scales=(1.0, -0.5))
+
+    def test_unequal_input_lengths_supported(self, rng):
+        x = rng.normal(0, 1, 50)
+        y = rng.normal(0, 1, 70)
+        d, _ = uniform_scaling_distance(x, y, metric="ed")
+        assert np.isfinite(d)

@@ -1,0 +1,108 @@
+"""Tests for repro.clustering.ushapelets."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import Shapelet, UShapeletClustering, subsequence_distance
+from repro.clustering.ushapelets import _gap_score
+from repro.evaluation import rand_index
+from repro.exceptions import InvalidParameterError
+from repro.preprocessing import zscore
+
+
+@pytest.fixture
+def event_classes(rng):
+    """Two classes separated by a local event shape, at jittered positions."""
+    t = np.linspace(0, 1, 96)
+    rows, labels = [], []
+    for label in (0, 1):
+        for _ in range(10):
+            c = rng.uniform(0.3, 0.7)
+            if label == 0:  # single sharp bump
+                pattern = np.exp(-0.5 * ((t - c) / 0.03) ** 2)
+            else:          # double bump
+                pattern = (np.exp(-0.5 * ((t - c + 0.06) / 0.03) ** 2)
+                           + np.exp(-0.5 * ((t - c - 0.06) / 0.03) ** 2))
+            rows.append(pattern + rng.normal(0, 0.05, 96))
+            labels.append(label)
+    return zscore(np.asarray(rows)), np.asarray(labels)
+
+
+class TestSubsequenceDistance:
+    def test_contained_subsequence_is_zero(self, rng):
+        x = rng.normal(0, 1, 50)
+        shapelet = x[10:25]
+        assert subsequence_distance(shapelet, x) == pytest.approx(0.0, abs=1e-9)
+
+    def test_scale_invariant(self, rng):
+        x = rng.normal(0, 1, 40)
+        shapelet = rng.normal(0, 1, 12)
+        a = subsequence_distance(shapelet, x)
+        b = subsequence_distance(5.0 * shapelet + 3.0, x)
+        assert a == pytest.approx(b, abs=1e-9)
+
+    def test_too_long_raises(self):
+        with pytest.raises(InvalidParameterError):
+            subsequence_distance(np.ones(10), np.ones(5))
+
+    def test_nonnegative(self, rng):
+        for _ in range(5):
+            assert subsequence_distance(rng.normal(0, 1, 8),
+                                        rng.normal(0, 1, 30)) >= 0.0
+
+
+class TestGapScore:
+    def test_separated_groups_positive_gap(self):
+        dists = np.concatenate([np.full(10, 0.1), np.full(10, 2.0)])
+        gap, threshold = _gap_score(dists, 0.2)
+        assert gap > 1.0
+        assert 0.1 < threshold < 2.0
+
+    def test_uniform_distances_low_gap(self, rng):
+        dists = rng.uniform(0.9, 1.1, 30)
+        gap, _ = _gap_score(dists, 0.2)
+        assert gap < 0.3
+
+    def test_balance_constraint(self):
+        # One far outlier cannot form a 1-vs-rest split at min_fraction 0.3.
+        dists = np.concatenate([np.full(9, 0.1), [5.0]])
+        gap, threshold = _gap_score(dists, 0.3)
+        assert threshold < 5.0 or gap == -np.inf
+
+
+class TestUShapeletClustering:
+    def test_recovers_event_classes(self, event_classes):
+        X, y = event_classes
+        model = UShapeletClustering(2, random_state=0).fit(X)
+        assert rand_index(y, model.labels_) >= 0.9
+
+    def test_shapelets_recorded(self, event_classes):
+        X, _ = event_classes
+        model = UShapeletClustering(2, random_state=0).fit(X)
+        shapelets = model.result_.extra["shapelets"]
+        assert shapelets
+        assert all(isinstance(s, Shapelet) for s in shapelets)
+        assert all(s.gap > 0 for s in shapelets)
+
+    def test_distance_map_shape(self, event_classes):
+        X, _ = event_classes
+        model = UShapeletClustering(2, random_state=0).fit(X)
+        dmap = model.result_.extra["distance_map"]
+        assert dmap.shape[0] == X.shape[0]
+        assert dmap.shape[1] == len(model.result_.extra["shapelets"])
+
+    def test_flat_data_degenerates_gracefully(self):
+        X = np.zeros((6, 32))
+        model = UShapeletClustering(2, random_state=0).fit(X)
+        assert model.labels_.shape == (6,)
+        assert np.bincount(model.labels_, minlength=2).min() >= 1
+
+    def test_invalid_min_fraction_raises(self):
+        with pytest.raises(InvalidParameterError):
+            UShapeletClustering(2, min_fraction=0.6)
+
+    def test_deterministic(self, event_classes):
+        X, _ = event_classes
+        a = UShapeletClustering(2, random_state=4).fit(X).labels_
+        b = UShapeletClustering(2, random_state=4).fit(X).labels_
+        assert np.array_equal(a, b)

@@ -1,0 +1,114 @@
+"""Tests for repro._validation input coercion and checks."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_dataset,
+    as_rng,
+    as_series,
+    check_equal_length,
+    check_n_clusters,
+    check_positive_int,
+)
+from repro.exceptions import (
+    EmptyInputError,
+    InvalidParameterError,
+    ShapeMismatchError,
+)
+
+
+class TestAsSeries:
+    def test_list_coerced_to_float64(self):
+        out = as_series([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_row_vector_flattened(self):
+        assert as_series(np.ones((1, 5))).shape == (5,)
+
+    def test_column_vector_flattened(self):
+        assert as_series(np.ones((5, 1))).shape == (5,)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ShapeMismatchError):
+            as_series(np.ones((2, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyInputError):
+            as_series([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            as_series([1.0, np.nan])
+
+    def test_inf_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            as_series([1.0, np.inf])
+
+
+class TestAsDataset:
+    def test_1d_promoted_to_row(self):
+        assert as_dataset([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ShapeMismatchError):
+            as_dataset([[1.0, 2.0], [1.0]])
+
+    def test_3d_rejected(self):
+        with pytest.raises(ShapeMismatchError):
+            as_dataset(np.ones((2, 3, 4)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            as_dataset([[1.0, np.nan]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyInputError):
+            as_dataset(np.empty((0, 0)))
+
+
+class TestChecks:
+    def test_equal_length_passes(self):
+        check_equal_length(np.ones(4), np.ones(4))
+
+    def test_unequal_length_raises(self):
+        with pytest.raises(ShapeMismatchError):
+            check_equal_length(np.ones(4), np.ones(5))
+
+    def test_positive_int_accepts(self):
+        assert check_positive_int(3, "k") == 3
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(0, "k")
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(True, "k")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(2.5, "k")
+
+    def test_n_clusters_capped_by_n(self):
+        with pytest.raises(InvalidParameterError):
+            check_n_clusters(5, 4)
+
+    def test_n_clusters_equal_n_ok(self):
+        assert check_n_clusters(4, 4) == 4
+
+
+class TestAsRng:
+    def test_seed_gives_generator(self):
+        assert isinstance(as_rng(0), np.random.Generator)
+
+    def test_generator_passes_through(self):
+        g = np.random.default_rng(1)
+        assert as_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        assert as_rng(7).integers(1000) == as_rng(7).integers(1000)

@@ -1,0 +1,65 @@
+"""Tests for repro.evaluation.validity (Davies-Bouldin, Dunn, W/B ratio)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import davies_bouldin, dunn_index, within_between_ratio
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def blobs(rng):
+    points = np.concatenate([rng.normal(c, 0.3, 10) for c in (0.0, 10.0, 20.0)])
+    D = np.abs(points[:, None] - points[None, :])
+    return D, np.repeat([0, 1, 2], 10)
+
+
+class TestDaviesBouldin:
+    def test_good_partition_low(self, blobs, rng):
+        D, y = blobs
+        good = davies_bouldin(D, y)
+        bad = davies_bouldin(D, rng.permutation(y))
+        assert good < bad
+
+    def test_nonnegative(self, blobs):
+        D, y = blobs
+        assert davies_bouldin(D, y) >= 0.0
+
+    def test_single_cluster_raises(self, blobs):
+        D, _ = blobs
+        with pytest.raises(InvalidParameterError):
+            davies_bouldin(D, np.zeros(D.shape[0]))
+
+
+class TestDunn:
+    def test_good_partition_high(self, blobs, rng):
+        D, y = blobs
+        assert dunn_index(D, y) > dunn_index(D, rng.permutation(y))
+
+    def test_well_separated_above_one(self, blobs):
+        D, y = blobs
+        # Blob diameter ~1.8, separation ~8: Dunn must exceed 1.
+        assert dunn_index(D, y) > 1.0
+
+    def test_singletons_only(self):
+        D = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert dunn_index(D, [0, 1]) == np.inf
+
+
+class TestWithinBetween:
+    def test_good_partition_below_one(self, blobs):
+        D, y = blobs
+        assert within_between_ratio(D, y) < 1.0
+
+    def test_random_near_one(self, blobs, rng):
+        D, y = blobs
+        ratio = within_between_ratio(D, rng.permutation(y))
+        assert 0.5 < ratio < 1.5
+
+    def test_all_singletons(self):
+        D = np.array([[0.0, 2.0], [2.0, 0.0]])
+        assert within_between_ratio(D, [0, 1]) == 0.0
+
+    def test_non_square_raises(self):
+        with pytest.raises(InvalidParameterError):
+            within_between_ratio(np.zeros((2, 3)), [0, 1])

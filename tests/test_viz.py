@@ -1,0 +1,96 @@
+"""Tests for repro.harness.viz (terminal visualizations)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.harness import (
+    cluster_summary,
+    line_plot,
+    matrix_heatmap,
+    render_dendrogram,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_length_capped_by_width(self, rng):
+        out = sparkline(rng.normal(0, 1, 500), width=40)
+        assert len(out) <= 40
+
+    def test_monotone_series_monotone_blocks(self):
+        out = sparkline(np.arange(8.0), width=8)
+        assert out == "".join(sorted(out))
+
+    def test_constant_series(self):
+        out = sparkline(np.ones(10), width=10)
+        assert len(set(out)) == 1
+
+    def test_bad_width_raises(self):
+        with pytest.raises(InvalidParameterError):
+            sparkline(np.ones(5), width=0)
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self, rng):
+        out = line_plot(
+            [rng.normal(0, 1, 30), rng.normal(0, 1, 30)],
+            labels=["first", "second"],
+        )
+        assert "o" in out and "x" in out
+        assert "first" in out and "second" in out
+
+    def test_height_respected(self, rng):
+        out = line_plot([rng.normal(0, 1, 20)], height=6)
+        assert len(out.splitlines()) == 6  # no legend row
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            line_plot([])
+
+
+class TestClusterSummary:
+    def test_lists_all_clusters(self, rng):
+        X = rng.normal(0, 1, (8, 16))
+        labels = np.array([0, 0, 1, 1, 1, 2, 2, 2])
+        out = cluster_summary(X, labels)
+        assert "cluster 0 (2 members)" in out
+        assert "cluster 2 (3 members)" in out
+
+    def test_centroid_rows(self, rng):
+        X = rng.normal(0, 1, (4, 10))
+        out = cluster_summary(X, [0, 0, 1, 1], centroids=X[:2])
+        assert out.count("centroid:") == 2
+
+    def test_label_mismatch_raises(self, rng):
+        with pytest.raises(InvalidParameterError):
+            cluster_summary(rng.normal(0, 1, (3, 5)), [0, 1])
+
+
+class TestDendrogram:
+    def test_renders_all_merges(self, rng):
+        from repro.clustering import linkage_matrix
+
+        points = rng.normal(0, 1, 6)
+        D = np.abs(points[:, None] - points[None, :])
+        merges = linkage_matrix(D, "average")
+        out = render_dendrogram(merges, labels=list("abcdef"))
+        assert len(out.splitlines()) == 5
+        assert "(6)" in out  # final merge holds every leaf
+
+    def test_bad_label_count_raises(self):
+        merges = np.array([[0, 1, 0.5, 2]])
+        with pytest.raises(InvalidParameterError):
+            render_dendrogram(merges, labels=["only-one"])
+
+
+class TestHeatmap:
+    def test_shape_and_shading(self):
+        M = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = matrix_heatmap(M, width=4)
+        assert len(out.splitlines()) == 2
+        assert "@" in out and " " in out
+
+    def test_1d_raises(self):
+        with pytest.raises(InvalidParameterError):
+            matrix_heatmap(np.ones(4))
