@@ -1,0 +1,116 @@
+"""Micro-benchmark: serial vs parallel distance-matrix wall-clock.
+
+Times ``pairwise_distances`` on an ``n=200``, ``m=128`` CBF sample for SBD
+and DTW — the two measures bracketing the engine's kernel families
+(vectorized FFT vs generic per-pair loop) — on the serial reference path
+and on the process backend, and records the speedups in
+``BENCH_parallel.json`` at the repo root.
+
+Run standalone (full size)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_matrix.py
+
+or through pytest (the full-size run is marked ``slow``; the default
+selection runs a scaled-down smoke version)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_matrix.py -m slow
+
+Interpretation: the speedup is bounded by physical cores — the JSON
+records ``cpu_count`` so results from a single-core container (speedup
+~1x or below, pool overhead with nothing to parallelize against) are not
+mistaken for an engine regression. On a 4-core machine the DTW matrix,
+whose ``n (n - 1) / 2 = 19900`` pure-Python pair evaluations dominate,
+scales near-linearly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_cbf
+from repro.distances import pairwise_distances
+from repro.parallel import effective_n_jobs
+from repro.preprocessing import zscore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_parallel.json"
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_PARALLEL_N", "200"))
+BENCH_M = int(os.environ.get("REPRO_BENCH_PARALLEL_M", "128"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_PARALLEL_JOBS", "4"))
+
+
+def _sample(n: int, m: int) -> np.ndarray:
+    per_class = max(n // 3, 1)
+    X, _ = make_cbf(per_class, m, np.random.default_rng(0))
+    while X.shape[0] < n:  # top up to exactly n rows
+        extra, _ = make_cbf(1, m, np.random.default_rng(X.shape[0]))
+        X = np.vstack([X, extra])
+    return zscore(X[:n])
+
+
+def run_benchmark(n: int = BENCH_N, m: int = BENCH_M, n_jobs: int = BENCH_JOBS) -> dict:
+    X = _sample(n, m)
+    results = {}
+    for metric in ("sbd", "dtw"):
+        start = time.perf_counter()
+        serial = pairwise_distances(X, metric)
+        serial_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = pairwise_distances(
+            X, metric, n_jobs=n_jobs, backend="processes"
+        )
+        processes_s = time.perf_counter() - start
+
+        assert np.allclose(serial, parallel, atol=1e-12), (
+            f"parallel {metric} matrix diverged from serial"
+        )
+        results[metric] = {
+            "serial_s": round(serial_s, 4),
+            "processes_s": round(processes_s, 4),
+            "speedup": round(serial_s / max(processes_s, 1e-9), 3),
+        }
+    report = {
+        "benchmark": "pairwise_distances serial vs processes",
+        "n": n,
+        "m": m,
+        "n_jobs_requested": n_jobs,
+        "cpu_count": effective_n_jobs(-1),
+        "results": results,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+@pytest.mark.slow
+def test_bench_parallel_matrix_full():
+    """Full-size (n=200, m=128) benchmark; writes BENCH_parallel.json."""
+    report = run_benchmark()
+    for metric, row in report["results"].items():
+        assert row["serial_s"] > 0 and row["processes_s"] > 0
+    # The speedup claim only holds with real cores to spread across.
+    if report["cpu_count"] >= 4:
+        assert report["results"]["dtw"]["speedup"] >= 2.0
+
+
+def test_bench_parallel_matrix_smoke(tmp_path, monkeypatch):
+    """Scaled-down correctness pass of the benchmark harness itself."""
+    import sys
+
+    monkeypatch.setattr(
+        sys.modules[__name__], "OUTPUT", tmp_path / "BENCH_parallel.json"
+    )
+    report = run_benchmark(n=24, m=32, n_jobs=2)
+    assert set(report["results"]) == {"sbd", "dtw"}
+    assert (tmp_path / "BENCH_parallel.json").exists()
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

@@ -32,6 +32,12 @@ from repro.harness import (
 
 BENCH_FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
 
+# Parallel execution of the benches' dissimilarity matrices: worker count
+# and backend for repro.parallel (e.g. REPRO_BENCH_NJOBS=4
+# REPRO_BENCH_BACKEND=processes). Defaults keep the seed serial behavior.
+BENCH_NJOBS = int(os.environ.get("REPRO_BENCH_NJOBS", "0")) or None
+BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND") or None
+
 # Datasets used by the scaled-down distance-measure evaluation (Table 2,
 # Figures 5-6). Chosen to span families while keeping DTW tractable.
 DISTANCE_DATASETS = (
@@ -116,7 +122,9 @@ def kmeans_variants_eval():
 def dissimilarity_matrices():
     """Precomputed ED/cDTW5/SBD matrices per clustering dataset (Table 4)."""
     datasets = bench_datasets(CLUSTERING_DATASETS)
-    return datasets, compute_dissimilarity_matrices(datasets)
+    return datasets, compute_dissimilarity_matrices(
+        datasets, n_jobs=BENCH_NJOBS, backend=BENCH_BACKEND
+    )
 
 
 @pytest.fixture(scope="session")

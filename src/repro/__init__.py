@@ -89,6 +89,12 @@ from .exceptions import (
     ShapeMismatchError,
     UnknownNameError,
 )
+from .parallel import (
+    get_executor,
+    list_executors,
+    parallel_map,
+    register_executor,
+)
 from .preprocessing import minmax_scale, zscore
 from .stats import (
     compare_to_baseline,
@@ -125,6 +131,11 @@ __all__ = [
     "list_distances",
     "register_distance",
     "pairwise_distances",
+    # parallel execution
+    "get_executor",
+    "list_executors",
+    "parallel_map",
+    "register_executor",
     # clustering
     "TimeSeriesKMeans",
     "k_avg_ed",

@@ -16,7 +16,7 @@ Hierarchical clustering is deterministic; the paper reports it over one run.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -153,6 +153,10 @@ class Hierarchical(BaseClusterer):
     metric:
         Registered distance name, callable, or ``"precomputed"`` (then
         ``fit`` expects the ``(n, n)`` dissimilarity matrix).
+    n_jobs, backend:
+        Parallel execution of the dissimilarity matrix — forwarded to
+        :func:`repro.distances.pairwise_distances`. Agglomeration itself
+        is deterministic and unchanged.
     """
 
     def __init__(
@@ -161,6 +165,8 @@ class Hierarchical(BaseClusterer):
         linkage: str = "average",
         metric: Union[str, DistanceFn] = "ed",
         random_state=None,
+        n_jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__(n_clusters, random_state)
         if linkage not in LINKAGES:
@@ -169,12 +175,16 @@ class Hierarchical(BaseClusterer):
             )
         self.linkage = linkage
         self.metric = metric
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def _fit(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
         if isinstance(self.metric, str) and self.metric == "precomputed":
             D = np.asarray(X, dtype=np.float64)
         else:
-            D = pairwise_distances(X, metric=self.metric)
+            D = pairwise_distances(
+                X, metric=self.metric, n_jobs=self.n_jobs, backend=self.backend
+            )
         merges = linkage_matrix(D, linkage=self.linkage)
         labels = cut_tree(merges, self.n_clusters)
         return ClusterResult(

@@ -43,6 +43,8 @@ class KDBA(TimeSeriesKMeans):
         max_iter: int = 100,
         n_init: int = 1,
         random_state=None,
+        n_jobs=None,
+        backend=None,
     ):
         metric = make_cdtw(window) if window is not None else "dtw"
         self.window = window
@@ -54,6 +56,8 @@ class KDBA(TimeSeriesKMeans):
             max_iter=max_iter,
             n_init=n_init,
             random_state=random_state,
+            n_jobs=n_jobs,
+            backend=backend,
         )
 
     def _dba_centroid(

@@ -26,6 +26,7 @@ from ..averaging.mean import arithmetic_mean
 from ..distances.base import DistanceFn, get_distance
 from ..distances.matrix import cross_distances
 from ..exceptions import ConvergenceWarning
+from ..parallel.executors import parallel_map
 from .base import (
     BaseClusterer,
     ClusterResult,
@@ -62,6 +63,13 @@ class TimeSeriesKMeans(BaseClusterer):
         Random restarts; lowest-inertia run wins.
     random_state:
         Seed or Generator for initialization.
+    n_jobs, backend:
+        Parallel execution (see :mod:`repro.parallel`): the assignment
+        step's cross-distance matrix is tiled over workers, and with
+        ``n_jobs > 1`` the per-cluster centroid refinements run
+        concurrently. Clusters are refined independently and assignment
+        ties resolve identically, so labels are deterministic in the
+        worker count.
 
     Notes
     -----
@@ -78,12 +86,16 @@ class TimeSeriesKMeans(BaseClusterer):
         max_iter: int = 100,
         n_init: int = 1,
         random_state=None,
+        n_jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__(n_clusters, random_state)
         self.metric = metric
         self.centroid_fn: CentroidFn = centroid_fn or _mean_centroid
         self.max_iter = check_positive_int(max_iter, "max_iter")
         self.n_init = check_positive_int(n_init, "n_init")
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def _metric_fn(self) -> Union[str, DistanceFn]:
         """Value handed to cross_distances (names keep vectorized paths)."""
@@ -91,6 +103,22 @@ class TimeSeriesKMeans(BaseClusterer):
             return self.metric
         get_distance(self.metric)  # fail fast on unknown names
         return self.metric
+
+    def _refine_centroids(
+        self, X: np.ndarray, labels: np.ndarray, centroids: np.ndarray
+    ) -> None:
+        """Recompute each non-empty cluster's centroid, in parallel when
+        ``n_jobs > 1``. Empty clusters keep their previous centroid."""
+        occupied = [j for j in range(self.n_clusters) if np.any(labels == j)]
+
+        def refine(j: int) -> np.ndarray:
+            return self.centroid_fn(X[labels == j], centroids[j])
+
+        updated = parallel_map(
+            refine, occupied, n_jobs=self.n_jobs, backend="threads"
+        )
+        for j, centroid in zip(occupied, updated):
+            centroids[j] = centroid
 
     def _single_run(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
         n, m = X.shape
@@ -103,12 +131,14 @@ class TimeSeriesKMeans(BaseClusterer):
         dists = np.zeros((n, k))
         for n_iter in range(1, self.max_iter + 1):
             previous = labels
-            for j in range(k):
-                members = X[labels == j]
-                if members.shape[0] == 0:
-                    continue
-                centroids[j] = self.centroid_fn(members, centroids[j])
-            dists = cross_distances(X, centroids, metric=metric)
+            self._refine_centroids(X, labels, centroids)
+            dists = cross_distances(
+                X,
+                centroids,
+                metric=metric,
+                n_jobs=self.n_jobs,
+                backend=self.backend,
+            )
             labels = np.argmin(dists, axis=1)
             labels = repair_empty_clusters(labels, k, rng)
             if np.array_equal(labels, previous):

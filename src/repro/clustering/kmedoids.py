@@ -101,6 +101,11 @@ class KMedoids(BaseClusterer):
         matrix via ``metric="precomputed"``.
     max_iter:
         Cap on SWAP iterations (paper uses 100).
+    n_jobs, backend:
+        Parallel execution of the dissimilarity matrix — forwarded to
+        :func:`repro.distances.pairwise_distances` (see
+        :mod:`repro.parallel`). The PAM phases themselves are unchanged,
+        so results are identical for any worker count.
 
     Notes
     -----
@@ -115,10 +120,14 @@ class KMedoids(BaseClusterer):
         metric: Union[str, DistanceFn] = "ed",
         max_iter: int = 100,
         random_state=None,
+        n_jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__(n_clusters, random_state)
         self.metric = metric
         self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def _fit(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
         if isinstance(self.metric, str) and self.metric == "precomputed":
@@ -129,7 +138,9 @@ class KMedoids(BaseClusterer):
                 )
             data_for_centroids = None
         else:
-            D = pairwise_distances(X, metric=self.metric)
+            D = pairwise_distances(
+                X, metric=self.metric, n_jobs=self.n_jobs, backend=self.backend
+            )
             data_for_centroids = X
         medoids = pam_build(D, self.n_clusters)
         medoids, n_iter, converged = pam_swap(D, medoids, self.max_iter)

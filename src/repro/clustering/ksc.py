@@ -41,6 +41,8 @@ class KSC(TimeSeriesKMeans):
         max_iter: int = 100,
         n_init: int = 1,
         random_state=None,
+        n_jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         self.max_shift = max_shift
         super().__init__(
@@ -50,6 +52,8 @@ class KSC(TimeSeriesKMeans):
             max_iter=max_iter,
             n_init=n_init,
             random_state=random_state,
+            n_jobs=n_jobs,
+            backend=backend,
         )
 
     def _ksc_centroid(

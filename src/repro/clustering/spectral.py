@@ -78,6 +78,10 @@ class SpectralClustering(BaseClusterer):
         Gaussian kernel width; ``None`` for the median heuristic.
     kmeans_n_init:
         Restarts of the embedded-space k-means stage.
+    n_jobs, backend:
+        Parallel execution of the dissimilarity matrix — forwarded to
+        :func:`repro.distances.pairwise_distances`. The embedding and
+        k-means stages are unchanged.
     """
 
     def __init__(
@@ -87,17 +91,23 @@ class SpectralClustering(BaseClusterer):
         sigma: Optional[float] = None,
         kmeans_n_init: int = 10,
         random_state=None,
+        n_jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__(n_clusters, random_state)
         self.metric = metric
         self.sigma = sigma
         self.kmeans_n_init = kmeans_n_init
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def _fit(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
         if isinstance(self.metric, str) and self.metric == "precomputed":
             D = np.asarray(X, dtype=np.float64)
         else:
-            D = pairwise_distances(X, metric=self.metric)
+            D = pairwise_distances(
+                X, metric=self.metric, n_jobs=self.n_jobs, backend=self.backend
+            )
         A = gaussian_affinity(D, sigma=self.sigma)
         embedding = spectral_embedding(A, self.n_clusters)
         inner = TimeSeriesKMeans(

@@ -21,6 +21,7 @@ SBD in the assignment step — is available via ``assignment_distance``.
 from __future__ import annotations
 
 import warnings
+from functools import partial
 from typing import Callable, Optional
 
 import numpy as np
@@ -33,10 +34,18 @@ from ..clustering.base import (
     repair_empty_clusters,
 )
 from ..exceptions import ConvergenceWarning
+from ..parallel.executors import parallel_map
 from ._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
 from .shape_extraction import shape_extraction
 
 __all__ = ["KShape", "kshape"]
+
+
+def _flipped(fn, x, y):
+    """Swap an assignment distance's (centroid, series) argument order to
+    the (row, column) order of ``cross_distances`` (picklable, unlike a
+    lambda, so the process backend can ship it)."""
+    return fn(y, x)
 
 
 class KShape(BaseClusterer):
@@ -66,6 +75,13 @@ class KShape(BaseClusterer):
         Optional callable ``(x, y) -> float`` replacing SBD in the
         assignment step (used for the ``k-Shape+DTW`` ablation). When given,
         assignment falls back to per-pair evaluation.
+    n_jobs, backend:
+        Parallel execution (see :mod:`repro.parallel`): with
+        ``n_jobs > 1`` the per-cluster shape extractions of the refinement
+        step run concurrently, and the per-pair assignment matrix of a
+        custom ``assignment_distance`` is tiled over workers. Each
+        cluster's extraction is independent and the default SBD assignment
+        is already batched, so results are identical for any worker count.
 
     Attributes
     ----------
@@ -101,6 +117,8 @@ class KShape(BaseClusterer):
         random_state=None,
         init: str = "random",
         assignment_distance: Optional[Callable[[np.ndarray, np.ndarray], float]] = None,
+        n_jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__(n_clusters, random_state)
         self.max_iter = check_positive_int(max_iter, "max_iter")
@@ -113,6 +131,8 @@ class KShape(BaseClusterer):
             )
         self.init = init
         self.assignment_distance = assignment_distance
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def _plusplus_seeds(
         self,
@@ -166,6 +186,16 @@ class KShape(BaseClusterer):
         k = centroids.shape[0]
         dists = np.empty((n, k))
         if self.assignment_distance is not None:
+            if self.n_jobs is not None or self.backend is not None:
+                from ..distances.matrix import cross_distances
+
+                return cross_distances(
+                    X,
+                    centroids,
+                    metric=partial(_flipped, self.assignment_distance),
+                    n_jobs=self.n_jobs,
+                    backend=self.backend,
+                )
             for j in range(k):
                 for i in range(n):
                     dists[i, j] = self.assignment_distance(centroids[j], X[i])
@@ -199,11 +229,17 @@ class KShape(BaseClusterer):
             previous = labels
             # Refinement step: recompute each centroid via shape extraction,
             # aligning members toward the centroid of the previous iteration.
-            for j in range(k):
-                members = X[labels == j]
-                if members.shape[0] == 0:
-                    continue  # keep the previous centroid for empty clusters
-                centroids[j] = shape_extraction(members, reference=centroids[j])
+            # Empty clusters keep their previous centroid. Extractions are
+            # independent, so they parallelize without changing results.
+            occupied = [j for j in range(k) if np.any(labels == j)]
+            extracted = parallel_map(
+                lambda j: shape_extraction(X[labels == j], reference=centroids[j]),
+                occupied,
+                n_jobs=self.n_jobs,
+                backend="threads",
+            )
+            for j, centroid in zip(occupied, extracted):
+                centroids[j] = centroid
             # Assignment step: move each series to its closest centroid.
             dists = self._assignment_distances(X, fft_X, norms_X, centroids, fft_len)
             labels = np.argmin(dists, axis=1)
@@ -250,17 +286,22 @@ def kshape(
     max_iter: int = 100,
     n_init: int = 1,
     random_state=None,
+    n_jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ClusterResult:
     """Functional interface to :class:`KShape`.
 
     Returns the :class:`~repro.clustering.base.ClusterResult` of the best of
-    ``n_init`` runs.
+    ``n_init`` runs. ``n_jobs``/``backend`` select parallel execution as
+    documented on :class:`KShape`.
     """
     model = KShape(
         n_clusters,
         max_iter=max_iter,
         n_init=n_init,
         random_state=random_state,
+        n_jobs=n_jobs,
+        backend=backend,
     )
     model.fit(X)
     assert model.result_ is not None

@@ -219,12 +219,21 @@ def evaluate_kmeans_variants(
 def compute_dissimilarity_matrices(
     datasets: Sequence[Dataset],
     metrics: Dict[str, str] = None,
+    n_jobs: int = None,
+    backend: str = None,
 ) -> Dict[str, Dict[str, np.ndarray]]:
-    """Full dissimilarity matrices per dataset and metric (Table 4 input)."""
+    """Full dissimilarity matrices per dataset and metric (Table 4 input).
+
+    ``n_jobs``/``backend`` are forwarded to
+    :func:`repro.distances.pairwise_distances`; the cDTW matrices dominate
+    this step's cost and parallelize across symmetric tiles.
+    """
     metrics = metrics or {"ED": "ed", "cDTW": "cdtw5", "SBD": "sbd"}
     return {
         ds.name: {
-            label: pairwise_distances(ds.X, metric)
+            label: pairwise_distances(
+                ds.X, metric, n_jobs=n_jobs, backend=backend
+            )
             for label, metric in metrics.items()
         }
         for ds in datasets

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
 
 from .._validation import as_rng
+from ..parallel.executors import parallel_map
 
 __all__ = ["timed", "ExperimentResult", "run_matrix", "average_over_runs"]
 
@@ -80,6 +81,8 @@ def run_matrix(
     datasets: Iterable,
     evaluate: Callable,
     verbose: bool = False,
+    n_jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ExperimentResult:
     """Run every method on every dataset.
 
@@ -96,6 +99,13 @@ def run_matrix(
         timed around its whole call.
     verbose:
         Print one progress line per (dataset, method) pair.
+    n_jobs, backend:
+        Run the (dataset, method) cells concurrently via
+        :func:`repro.parallel.parallel_map` (``backend=None`` defaults to
+        threads). Scores are unaffected; per-cell runtimes are still
+        wall-clock around each call, so concurrent cells contend for
+        cores — keep the serial default when runtimes feed a paper-style
+        comparison table.
 
     Returns
     -------
@@ -105,16 +115,23 @@ def run_matrix(
     names = list(methods)
     scores = np.zeros((len(datasets), len(names)))
     runtimes = np.zeros_like(scores)
-    for di, dataset in enumerate(datasets):
-        for mi, mname in enumerate(names):
-            score, elapsed = timed(evaluate, methods[mname], dataset)
-            scores[di, mi] = score
-            runtimes[di, mi] = elapsed
-            if verbose:
-                print(
-                    f"  {getattr(dataset, 'name', di)!s:24s} {mname:16s} "
-                    f"score={score:.4f} time={elapsed:.3f}s"
-                )
+    cells = [
+        (di, mi) for di in range(len(datasets)) for mi in range(len(names))
+    ]
+
+    def run_cell(cell):
+        di, mi = cell
+        return timed(evaluate, methods[names[mi]], datasets[di])
+
+    results = parallel_map(run_cell, cells, n_jobs=n_jobs, backend=backend)
+    for (di, mi), (score, elapsed) in zip(cells, results):
+        scores[di, mi] = score
+        runtimes[di, mi] = elapsed
+        if verbose:
+            print(
+                f"  {getattr(datasets[di], 'name', di)!s:24s} "
+                f"{names[mi]:16s} score={score:.4f} time={elapsed:.3f}s"
+            )
     return ExperimentResult(
         methods=names,
         datasets=[getattr(d, "name", str(i)) for i, d in enumerate(datasets)],

@@ -1,0 +1,70 @@
+"""Parallel execution backends for distance-matrix and refinement work.
+
+The paper's Section 5.3 singles out the pairwise dissimilarity matrix as
+the reason PAM, hierarchical, and spectral clustering do not scale; this
+subsystem attacks exactly that bottleneck. It provides
+
+* an executor registry (:func:`get_executor`, :func:`register_executor`)
+  with ``"serial"``, ``"threads"``, and ``"processes"`` backends — the
+  process backend ships datasets to workers once via shared memory;
+* symmetric-block chunking with a cost model that keeps tiny inputs on
+  the serial path (:mod:`repro.parallel.chunking`);
+* the tiled matrix engine consumed by
+  :func:`repro.distances.pairwise_distances` and
+  :func:`repro.distances.cross_distances` via their ``n_jobs=`` /
+  ``backend=`` parameters (:mod:`repro.parallel.engine`);
+* :func:`parallel_map` for coarse-grained jobs (per-cluster centroid
+  refinement, harness sweeps).
+
+Every clusterer that consumes a dissimilarity matrix (``KShape``,
+``KDBA``, ``KMedoids``, ``Hierarchical``, ``SpectralClustering``, the
+k-means variants) exposes the same ``n_jobs=`` / ``backend=`` pair and
+threads it down to this subsystem.
+"""
+
+from .chunking import (
+    Tile,
+    choose_backend,
+    choose_tile_size,
+    cross_tiles,
+    effective_n_jobs,
+    estimate_matrix_cost_s,
+    estimate_pair_cost_us,
+    symmetric_tiles,
+)
+from .engine import cross_matrix, pairwise_matrix, resolve_backend
+from .executors import (
+    BaseExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    list_executors,
+    parallel_map,
+    register_executor,
+)
+from .fft_cache import SBDPlanCache, cached_fft_len
+
+__all__ = [
+    "Tile",
+    "symmetric_tiles",
+    "cross_tiles",
+    "choose_tile_size",
+    "choose_backend",
+    "effective_n_jobs",
+    "estimate_pair_cost_us",
+    "estimate_matrix_cost_s",
+    "pairwise_matrix",
+    "cross_matrix",
+    "resolve_backend",
+    "BaseExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "register_executor",
+    "get_executor",
+    "list_executors",
+    "parallel_map",
+    "SBDPlanCache",
+    "cached_fft_len",
+]

@@ -1,0 +1,112 @@
+"""The tiled distance-matrix engine behind ``pairwise_distances(n_jobs=...)``.
+
+Splits a matrix job into independent tiles (upper triangle only for
+symmetric measures), runs them on the selected backend, and assembles the
+result — mirroring off-diagonal tiles and the strict-upper half of
+diagonal tiles into the lower triangle. When the caller gives ``n_jobs``
+but no explicit ``backend``, the cost model in
+:mod:`repro.parallel.chunking` decides whether the job is even worth a
+pool: tiny matrices always run serially.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .chunking import (
+    choose_backend,
+    choose_tile_size,
+    cross_tiles,
+    effective_n_jobs,
+    symmetric_tiles,
+)
+from .executors import get_executor
+from .kernels import MetricSpec
+
+__all__ = ["pairwise_matrix", "cross_matrix", "resolve_backend"]
+
+
+def resolve_backend(
+    n_rows: int,
+    n_cols: int,
+    m: int,
+    metric: MetricSpec,
+    n_jobs: Optional[int],
+    backend: Optional[str],
+    symmetric: bool,
+) -> tuple:
+    """``(backend_name, n_jobs)`` for a matrix job.
+
+    An explicit ``backend`` is always honored (tests force specific
+    backends on tiny inputs); with ``backend=None`` the cost model picks,
+    and may override ``n_jobs > 1`` down to serial for tiny jobs.
+    """
+    jobs = effective_n_jobs(n_jobs)
+    if backend is not None:
+        name = backend.lower()
+        get_executor(name)  # fail fast on unknown names
+        return name, max(jobs, 2) if name != "serial" else 1
+    key = metric.lower() if isinstance(metric, str) else None
+    n_equiv = int(round((n_rows * n_cols) ** 0.5))
+    name = choose_backend(n_equiv, m, key, jobs, symmetric)
+    return name, jobs if name != "serial" else 1
+
+
+def pairwise_matrix(
+    A: np.ndarray,
+    metric: MetricSpec,
+    symmetric: bool = True,
+    n_jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+    tile_size: Optional[int] = None,
+) -> np.ndarray:
+    """``(n, n)`` dissimilarity matrix of ``A`` via tiled execution."""
+    A = np.ascontiguousarray(np.asarray(A, dtype=np.float64))
+    n, m = A.shape
+    name, jobs = resolve_backend(n, n, m, metric, n_jobs, backend, symmetric)
+    tile = choose_tile_size(n, n, jobs, tile_size)
+    tiles = list(
+        symmetric_tiles(n, tile) if symmetric else cross_tiles(n, n, tile)
+    )
+    results = get_executor(name).compute_tiles(
+        A, None, metric, tiles, jobs, skip_diagonal=True
+    )
+    out = np.zeros((n, n))
+    for t, arr in results:
+        if symmetric and t.diagonal:
+            upper = np.triu(arr, 1)
+            out[t.i0 : t.i1, t.j0 : t.j1] = upper + upper.T
+        elif symmetric:
+            out[t.i0 : t.i1, t.j0 : t.j1] = arr
+            out[t.j0 : t.j1, t.i0 : t.i1] = arr.T
+        else:
+            out[t.i0 : t.i1, t.j0 : t.j1] = arr
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def cross_matrix(
+    A: np.ndarray,
+    B: np.ndarray,
+    metric: MetricSpec,
+    n_jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+    tile_size: Optional[int] = None,
+) -> np.ndarray:
+    """``(n_x, n_y)`` cross-distance matrix via tiled execution."""
+    A = np.ascontiguousarray(np.asarray(A, dtype=np.float64))
+    B = np.ascontiguousarray(np.asarray(B, dtype=np.float64))
+    n_x, m = A.shape
+    n_y = B.shape[0]
+    name, jobs = resolve_backend(n_x, n_y, m, metric, n_jobs, backend, False)
+    tile = choose_tile_size(n_x, n_y, jobs, tile_size)
+    tiles = list(cross_tiles(n_x, n_y, tile))
+    results = get_executor(name).compute_tiles(
+        A, B, metric, tiles, jobs, skip_diagonal=False
+    )
+    out = np.empty((n_x, n_y))
+    for t, arr in results:
+        out[t.i0 : t.i1, t.j0 : t.j1] = arr
+    return out

@@ -1,0 +1,221 @@
+"""Pluggable execution backends and the executor registry.
+
+Three backends ship with the package:
+
+* ``"serial"`` — inline loop, zero overhead, the reference semantics;
+* ``"threads"`` — :class:`concurrent.futures.ThreadPoolExecutor`; cheap to
+  start and effective for numpy-vectorized kernels (ED, SBD), which
+  release the GIL inside BLAS/FFT calls;
+* ``"processes"`` — :class:`multiprocessing.Pool` with the datasets handed
+  to workers once through shared memory; the only backend that parallelizes
+  pure-Python metrics (DTW, the elastic measures) past the GIL.
+
+The registry mirrors the distance registry: experiments select a backend
+by name, and new backends (e.g. a GPU or distributed executor) plug in via
+:func:`register_executor` without touching call sites.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import UnknownNameError
+from .chunking import Tile, effective_n_jobs
+from .kernels import (
+    MetricSpec,
+    compute_tile,
+    init_process_worker,
+    make_state,
+    process_tile,
+)
+from .shared import share_array
+
+__all__ = [
+    "BaseExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "register_executor",
+    "get_executor",
+    "list_executors",
+    "parallel_map",
+]
+
+TileResult = Tuple[Tile, np.ndarray]
+
+
+class BaseExecutor:
+    """Backend interface: compute a batch of distance-matrix tiles.
+
+    ``B is None`` signals a pairwise job (columns index the same dataset
+    as rows); ``skip_diagonal`` keeps ``d(x, x)`` cells at zero exactly as
+    the serial implementation does.
+    """
+
+    name = "base"
+
+    def compute_tiles(
+        self,
+        A: np.ndarray,
+        B: Optional[np.ndarray],
+        metric_spec: MetricSpec,
+        tiles: Sequence[Tile],
+        n_jobs: int,
+        skip_diagonal: bool = False,
+    ) -> List[TileResult]:
+        raise NotImplementedError
+
+
+class SerialExecutor(BaseExecutor):
+    """Inline tile loop — the reference backend."""
+
+    name = "serial"
+
+    def compute_tiles(self, A, B, metric_spec, tiles, n_jobs, skip_diagonal=False):
+        state = make_state(A, A if B is None else B, metric_spec, skip_diagonal)
+        return [(tile, compute_tile(state, tile)) for tile in tiles]
+
+
+class ThreadExecutor(BaseExecutor):
+    """Thread-pool backend; workers share one state (and one FFT plan)."""
+
+    name = "threads"
+
+    def compute_tiles(self, A, B, metric_spec, tiles, n_jobs, skip_diagonal=False):
+        state = make_state(A, A if B is None else B, metric_spec, skip_diagonal)
+        if isinstance(metric_spec, str) and metric_spec.lower() == "sbd":
+            # Build the shared FFT plan up front so threads don't race to
+            # compute it (benign in CPython, but wasteful).
+            state["sbd_plans"].plan_for("A", state["A"])
+            if state["B"] is not state["A"]:
+                state["sbd_plans"].plan_for("B", state["B"])
+        with ThreadPoolExecutor(max_workers=max(n_jobs, 1)) as pool:
+            return list(
+                pool.map(lambda tile: (tile, compute_tile(state, tile)), tiles)
+            )
+
+
+class ProcessExecutor(BaseExecutor):
+    """Process-pool backend with shared-memory datasets.
+
+    Each dataset crosses the process boundary exactly once (into a
+    :class:`~multiprocessing.shared_memory.SharedMemory` segment); tasks
+    carry only tile coordinates. Metrics that cannot be pickled (e.g.
+    lambdas under a spawn start method) fall back to the thread backend
+    with a warning rather than failing the computation.
+    """
+
+    name = "processes"
+
+    def compute_tiles(self, A, B, metric_spec, tiles, n_jobs, skip_diagonal=False):
+        import multiprocessing as mp
+
+        ctx = mp.get_context()
+        shm_a = shm_b = None
+        try:
+            shm_a, a_spec = share_array(A)
+            b_spec = None
+            if B is not None and B is not A:
+                shm_b, b_spec = share_array(B)
+            try:
+                with ctx.Pool(
+                    processes=max(n_jobs, 1),
+                    initializer=init_process_worker,
+                    initargs=(a_spec, b_spec, metric_spec, skip_diagonal),
+                ) as pool:
+                    chunksize = max(1, len(tiles) // (4 * max(n_jobs, 1)))
+                    return pool.map(process_tile, tiles, chunksize=chunksize)
+            except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                warnings.warn(
+                    f"process backend could not pickle the job ({exc}); "
+                    "falling back to threads",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return ThreadExecutor().compute_tiles(
+                    A, B, metric_spec, tiles, n_jobs, skip_diagonal
+                )
+        finally:
+            for shm in (shm_a, shm_b):
+                if shm is not None:
+                    shm.close()
+                    shm.unlink()
+
+
+_REGISTRY: Dict[str, BaseExecutor] = {}
+
+
+def register_executor(
+    name: str, executor: BaseExecutor, overwrite: bool = False
+) -> None:
+    """Register an execution backend under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise UnknownNameError(
+            f"executor {name!r} is already registered; pass overwrite=True"
+        )
+    _REGISTRY[key] = executor
+
+
+def get_executor(name: str) -> BaseExecutor:
+    """Look up a backend by name (``"serial"``/``"threads"``/``"processes"``)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        available = ", ".join(sorted(_REGISTRY))
+        raise UnknownNameError(
+            f"unknown backend {name!r}; available: {available}"
+        )
+    return _REGISTRY[key]
+
+
+def list_executors() -> Tuple[str, ...]:
+    """Sorted names of all registered execution backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_executor("serial", SerialExecutor())
+register_executor("threads", ThreadExecutor())
+register_executor("processes", ProcessExecutor())
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    n_jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> list:
+    """Order-preserving map with a selectable backend.
+
+    Used for the coarse-grained jobs that are not distance-matrix tiles —
+    per-cluster centroid refinement and harness sweeps. ``backend=None``
+    with ``n_jobs > 1`` defaults to threads (the work units close over
+    shared arrays); ``"processes"`` requires ``fn`` and the items to be
+    picklable and falls back to threads when they are not.
+    """
+    items = list(items)
+    jobs = effective_n_jobs(n_jobs)
+    name = (backend or ("threads" if jobs > 1 else "serial")).lower()
+    if name != "serial":
+        get_executor(name)  # fail fast on unknown backends
+    if jobs <= 1 or name == "serial" or len(items) <= 1:
+        return [fn(item) for item in items]
+    if name == "processes":
+        import multiprocessing as mp
+
+        try:
+            with mp.get_context().Pool(processes=jobs) as pool:
+                return pool.map(fn, items)
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            warnings.warn(
+                f"process backend could not pickle the job ({exc}); "
+                "falling back to threads",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,54 @@
+"""Per-process FFT plan and rFFT caches for the SBD tile kernel.
+
+SBD tiles repeatedly need the power-of-two FFT length for a series length
+``m`` and the rFFTs of the dataset rows. Each worker (process *or* thread)
+computes the batched rFFT of a dataset at most once per matrix job and
+reuses it for every tile it is handed, mirroring the "compute the FFTs
+once per fit" trick k-Shape itself uses (Algorithm 1 / Appendix B).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core._fft_batch import fft_len_for, rfft_batch
+
+__all__ = ["cached_fft_len", "SBDPlanCache"]
+
+
+@lru_cache(maxsize=1024)
+def cached_fft_len(m: int) -> int:
+    """Memoized :func:`repro.core._fft_batch.fft_len_for`."""
+    return fft_len_for(m)
+
+
+class SBDPlanCache:
+    """Caches ``(rfft_batch(X), norms(X), fft_len)`` per dataset token.
+
+    Tokens identify a dataset within one matrix job (e.g. ``"X"`` and
+    ``"Y"``); the cache lives in worker-local state, so each process pays
+    the batched FFT of each dataset at most once regardless of how many
+    tiles it processes.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[str, Tuple[np.ndarray, np.ndarray, int]] = {}
+
+    def plan_for(self, token: str, X: np.ndarray):
+        """``(fft_X, norms_X, fft_len)`` for dataset ``X``, computed once."""
+        plan = self._plans.get(token)
+        if plan is None:
+            fft_len = cached_fft_len(X.shape[1])
+            plan = (
+                rfft_batch(X, fft_len),
+                np.linalg.norm(X, axis=1),
+                fft_len,
+            )
+            self._plans[token] = plan
+        return plan
+
+    def clear(self) -> None:
+        self._plans.clear()

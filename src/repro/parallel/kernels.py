@@ -1,0 +1,168 @@
+"""Tile kernels shared by every execution backend.
+
+A *tile job* is fully described by worker-local state (the datasets, the
+metric, and per-dataset FFT plans) plus a :class:`~repro.parallel.chunking.Tile`.
+The same :func:`compute_tile` runs inline for the serial backend, under a
+thread pool for the thread backend, and inside pool workers for the
+process backend — which is what makes the equivalence guarantees of the
+test harness meaningful: every backend executes literally the same kernel.
+
+ED and SBD tiles are vectorized (the SBD kernel reuses the per-worker
+batched-FFT plan from :mod:`repro.parallel.fft_cache`); every other metric
+falls back to a per-pair loop over the tile's cells, skipping the
+``j <= i`` half of diagonal tiles so symmetric matrices cost exactly
+``n * (n - 1) / 2`` distance evaluations, same as the serial path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Union
+
+import numpy as np
+
+from ..core._fft_batch import ncc_c_max_batch
+from .chunking import Tile
+from .fft_cache import SBDPlanCache
+from .shared import SharedArraySpec, attach_array
+
+__all__ = ["make_state", "compute_tile", "init_process_worker", "process_tile"]
+
+MetricSpec = Union[str, Callable[[np.ndarray, np.ndarray], float]]
+
+# Metric names with a dedicated vectorized tile kernel. The SBD variants
+# (sbd_nofft, sbd_nopow2) intentionally stay on the generic path: they
+# exist to demonstrate *other* algorithms, so they must run their own code.
+_VECTORIZED = ("ed", "sqed", "sbd")
+
+
+def make_state(
+    A: np.ndarray,
+    B: np.ndarray,
+    metric_spec: MetricSpec,
+    skip_diagonal: bool = False,
+    keepalive: Any = None,
+) -> Dict[str, Any]:
+    """Worker-local state for tile computation.
+
+    ``skip_diagonal`` marks pairwise jobs, where cells with equal global
+    row/column index are left at zero (matching the serial
+    implementation, which never evaluates ``d(x, x)``).
+    """
+    return {
+        "A": A,
+        "B": B,
+        "spec": metric_spec,
+        "fn": None,  # resolved lazily; vectorized metrics never need it
+        "sbd_plans": SBDPlanCache(),
+        "skip_diagonal": skip_diagonal,
+        "keepalive": keepalive,  # shared-memory handles, kept referenced
+    }
+
+
+def _metric_key(spec: MetricSpec) -> Optional[str]:
+    return spec.lower() if isinstance(spec, str) else None
+
+
+def _resolve_fn(state: Dict[str, Any]) -> Callable:
+    fn = state["fn"]
+    if fn is None:
+        spec = state["spec"]
+        if callable(spec):
+            fn = spec
+        else:
+            from ..distances.base import get_distance
+
+            fn = get_distance(spec)
+        state["fn"] = fn
+    return fn
+
+
+def _ed_tile(state: Dict[str, Any], tile: Tile, squared: bool) -> np.ndarray:
+    a = state["A"][tile.i0 : tile.i1]
+    b = state["B"][tile.j0 : tile.j1]
+    sq = (
+        np.sum(a**2, axis=1)[:, None]
+        - 2.0 * (a @ b.T)
+        + np.sum(b**2, axis=1)[None, :]
+    )
+    np.maximum(sq, 0.0, out=sq)
+    return sq if squared else np.sqrt(sq)
+
+
+def _sbd_tile(state: Dict[str, Any], tile: Tile) -> np.ndarray:
+    A, B = state["A"], state["B"]
+    m = A.shape[1]
+    fft_A, norms_A, fft_len = state["sbd_plans"].plan_for("A", A)
+    if B is A:
+        fft_B, norms_B = fft_A, norms_A
+    else:
+        fft_B, norms_B, _ = state["sbd_plans"].plan_for("B", B)
+    fft_a = fft_A[tile.i0 : tile.i1]
+    norms_a = norms_A[tile.i0 : tile.i1]
+    out = np.empty((tile.i1 - tile.i0, tile.j1 - tile.j0))
+    for lj, j in enumerate(range(tile.j0, tile.j1)):
+        values, _ = ncc_c_max_batch(
+            fft_a, norms_a, fft_B[j], float(norms_B[j]), m, fft_len
+        )
+        out[:, lj] = 1.0 - values
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def _generic_tile(state: Dict[str, Any], tile: Tile) -> np.ndarray:
+    A, B = state["A"], state["B"]
+    fn = _resolve_fn(state)
+    skip_diagonal = state["skip_diagonal"]
+    out = np.zeros((tile.i1 - tile.i0, tile.j1 - tile.j0))
+    for li, i in enumerate(range(tile.i0, tile.i1)):
+        for lj, j in enumerate(range(tile.j0, tile.j1)):
+            if tile.diagonal and j <= i:
+                continue  # computed once, mirrored on assembly
+            if skip_diagonal and i == j:
+                continue
+            out[li, lj] = fn(A[i], B[j])
+    return out
+
+
+def compute_tile(state: Dict[str, Any], tile: Tile) -> np.ndarray:
+    """One tile of the distance matrix, dispatched on the metric."""
+    key = _metric_key(state["spec"])
+    if key == "ed":
+        return _ed_tile(state, tile, squared=False)
+    if key == "sqed":
+        return _ed_tile(state, tile, squared=True)
+    if key == "sbd":
+        return _sbd_tile(state, tile)
+    return _generic_tile(state, tile)
+
+
+# ---------------------------------------------------------------------------
+# Process-pool worker protocol. The initializer attaches the shared-memory
+# datasets once per worker; tasks then carry only tile coordinates.
+# ---------------------------------------------------------------------------
+
+_PROCESS_STATE: Optional[Dict[str, Any]] = None
+
+
+def init_process_worker(
+    a_spec: SharedArraySpec,
+    b_spec: Optional[SharedArraySpec],
+    metric_spec: MetricSpec,
+    skip_diagonal: bool,
+) -> None:
+    """Pool initializer: attach shared arrays, build worker-local state."""
+    global _PROCESS_STATE
+    shm_a, A = attach_array(a_spec)
+    if b_spec is None:
+        shm_b, B = None, A
+    else:
+        shm_b, B = attach_array(b_spec)
+    _PROCESS_STATE = make_state(
+        A, B, metric_spec, skip_diagonal=skip_diagonal, keepalive=(shm_a, shm_b)
+    )
+
+
+def process_tile(tile: Tile):
+    """Pool task: compute one tile against the worker's attached state."""
+    assert _PROCESS_STATE is not None, "worker initializer did not run"
+    return tile, compute_tile(_PROCESS_STATE, tile)

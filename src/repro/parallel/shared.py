@@ -1,0 +1,60 @@
+"""Zero-copy hand-off of read-only datasets to worker processes.
+
+The process backend ships each dataset to the pool exactly once through
+:class:`multiprocessing.shared_memory.SharedMemory` instead of pickling it
+into every task: the parent copies the array into a shared segment, workers
+attach by name and build a read-only ndarray view over the same pages.
+
+Ownership is strictly parent-side: the parent creates, closes, and unlinks
+every segment; workers only attach and close. Pool workers share the
+parent's ``resource_tracker`` process, whose cache is a name *set* — the
+worker-side attach re-registers the same name harmlessly, and the parent's
+single ``unlink()`` unregisters it exactly once, so no "leaked
+shared_memory" warnings are emitted on any start method.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import NamedTuple, Tuple
+
+import numpy as np
+
+__all__ = ["SharedArraySpec", "share_array", "attach_array"]
+
+
+class SharedArraySpec(NamedTuple):
+    """Picklable description of an ndarray living in shared memory."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def share_array(arr: np.ndarray):
+    """Copy ``arr`` into a new shared-memory segment.
+
+    Returns
+    -------
+    (shm, spec):
+        The parent-owned :class:`SharedMemory` block (caller must
+        ``close()`` and ``unlink()`` it after the pool is done) and the
+        picklable spec workers attach with.
+    """
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    return shm, SharedArraySpec(shm.name, arr.shape, arr.dtype.str)
+
+
+def attach_array(spec: SharedArraySpec):
+    """Attach to a shared segment and view it as a read-only ndarray.
+
+    Returns ``(shm, array)``; the caller must keep ``shm`` referenced for
+    as long as the array is used (the buffer dies with the handle).
+    """
+    shm = shared_memory.SharedMemory(name=spec.name)
+    arr = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    arr.flags.writeable = False
+    return shm, arr

@@ -1,0 +1,1 @@
+"""Golden regression fixtures (see regenerate.py)."""

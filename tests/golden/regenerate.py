@@ -1,0 +1,50 @@
+"""Regenerate the golden dissimilarity-matrix fixtures.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Each ``golden_<metric>.npz`` stores the fixed CBF sample (``X``) and its
+dissimilarity matrix (``D``) computed by the *serial reference path* of
+``pairwise_distances``. These matrices are the stable oracle for future
+kernel rewrites: both the serial and every parallel path must keep
+reproducing them to 1e-12 (see ``tests/test_golden_matrices.py``).
+
+Only regenerate after an intentional, reviewed semantic change to a
+distance measure — a diff in these files is a behavior change, not noise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import make_cbf
+from repro.distances import pairwise_distances
+from repro.preprocessing import zscore
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+GOLDEN_METRICS = ("sbd", "dtw", "cdtw5", "ksc")
+CBF_SEED = 7
+CBF_PER_CLASS = 4
+CBF_LENGTH = 32
+
+
+def golden_sample() -> np.ndarray:
+    """The fixed 12x32 z-normalized CBF sample every fixture is built on."""
+    X, _ = make_cbf(CBF_PER_CLASS, CBF_LENGTH, np.random.default_rng(CBF_SEED))
+    return zscore(X)
+
+
+def main() -> None:
+    X = golden_sample()
+    for metric in GOLDEN_METRICS:
+        D = pairwise_distances(X, metric)  # serial reference path
+        path = GOLDEN_DIR / f"golden_{metric}.npz"
+        np.savez_compressed(path, X=X, D=D)
+        print(f"wrote {path.name}: X{X.shape} D{D.shape}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Golden regression fixtures: a stable oracle for kernel rewrites.
+
+``tests/golden/golden_<metric>.npz`` pins the SBD/DTW/cDTW/KSC
+dissimilarity matrices of a fixed CBF sample, computed by the seed serial
+implementation. Any future rewrite of a distance kernel or of the matrix
+engine — vectorization, new backend, accelerator port — must keep
+reproducing these matrices to 1e-12 on the serial path *and* on every
+parallel backend; a change here is a semantic change to a measure and
+must be intentional (see ``tests/golden/regenerate.py``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.distances import pairwise_distances
+
+from .golden.regenerate import GOLDEN_METRICS, golden_sample
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+ATOL = 1e-12
+
+
+def _load(metric: str):
+    path = GOLDEN_DIR / f"golden_{metric}.npz"
+    assert path.exists(), f"missing golden fixture {path.name}"
+    with np.load(path) as data:
+        return data["X"], data["D"]
+
+
+@pytest.mark.parametrize("metric", GOLDEN_METRICS)
+def test_fixture_sample_is_reproducible(metric):
+    """The stored CBF sample is the one the generator produces today."""
+    X, _ = _load(metric)
+    np.testing.assert_allclose(X, golden_sample(), rtol=0.0, atol=ATOL)
+
+
+@pytest.mark.parametrize("metric", GOLDEN_METRICS)
+def test_golden_serial(metric):
+    X, D = _load(metric)
+    np.testing.assert_allclose(
+        pairwise_distances(X, metric), D, rtol=0.0, atol=ATOL
+    )
+
+
+@pytest.mark.parametrize("backend", ("serial", "threads", "processes"))
+@pytest.mark.parametrize("metric", GOLDEN_METRICS)
+def test_golden_parallel(metric, backend):
+    X, D = _load(metric)
+    got = pairwise_distances(X, metric, n_jobs=2, backend=backend, tile_size=5)
+    np.testing.assert_allclose(got, D, rtol=0.0, atol=ATOL)
+
+
+@pytest.mark.parametrize("metric", GOLDEN_METRICS)
+def test_golden_matrices_are_sane(metric):
+    _, D = _load(metric)
+    # The seed's vectorized SBD path computes both triangles independently,
+    # so its symmetry holds to rounding (~1e-15), not bit-for-bit.
+    np.testing.assert_allclose(D, D.T, rtol=0.0, atol=ATOL)
+    np.testing.assert_array_equal(np.diag(D), 0.0)
+    assert np.all(D >= 0.0)
+    # The sample holds three CBF classes; off-diagonal structure exists.
+    assert D.max() > 0.0

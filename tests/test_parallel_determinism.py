@@ -1,0 +1,77 @@
+"""Clusterer determinism in the worker count.
+
+Parallel execution must be invisible in the results: with a fixed
+``random_state``, every clusterer that consumes distance matrices has to
+produce identical labels under ``n_jobs=1`` and ``n_jobs=2`` (and under
+every backend). Randomness may only enter through the seeded generator,
+never through scheduling order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import Hierarchical, KMedoids, SpectralClustering, TimeSeriesKMeans
+from repro.core import KShape, kshape
+from repro.datasets import make_cbf
+from repro.preprocessing import zscore
+
+
+@pytest.fixture(scope="module")
+def cbf_sample():
+    X, y = make_cbf(5, 32, np.random.default_rng(42))
+    return zscore(X), y
+
+
+def test_kshape_labels_deterministic_in_n_jobs(cbf_sample):
+    X, _ = cbf_sample
+    serial = KShape(3, random_state=17).fit(X)
+    parallel = KShape(3, random_state=17, n_jobs=2).fit(X)
+    np.testing.assert_array_equal(serial.labels_, parallel.labels_)
+    np.testing.assert_allclose(
+        serial.centroids_, parallel.centroids_, rtol=0.0, atol=1e-12
+    )
+    assert serial.n_iter_ == parallel.n_iter_
+
+
+def test_kshape_functional_deterministic_in_n_jobs(cbf_sample):
+    X, _ = cbf_sample
+    serial = kshape(X, 3, random_state=3)
+    parallel = kshape(X, 3, random_state=3, n_jobs=2, backend="threads")
+    np.testing.assert_array_equal(serial.labels, parallel.labels)
+
+
+@pytest.mark.parametrize("backend", ("threads", "processes"))
+def test_kmedoids_labels_deterministic_in_n_jobs(cbf_sample, backend):
+    X, _ = cbf_sample
+    serial = KMedoids(3, metric="sbd", random_state=5).fit(X)
+    parallel = KMedoids(
+        3, metric="sbd", random_state=5, n_jobs=2, backend=backend
+    ).fit(X)
+    np.testing.assert_array_equal(serial.labels_, parallel.labels_)
+    np.testing.assert_array_equal(
+        serial.medoid_indices_, parallel.medoid_indices_
+    )
+
+
+def test_kmeans_labels_deterministic_in_n_jobs(cbf_sample):
+    X, _ = cbf_sample
+    serial = TimeSeriesKMeans(3, metric="sbd", random_state=9).fit(X)
+    parallel = TimeSeriesKMeans(
+        3, metric="sbd", random_state=9, n_jobs=2
+    ).fit(X)
+    np.testing.assert_array_equal(serial.labels_, parallel.labels_)
+
+
+def test_hierarchical_and_spectral_deterministic_in_n_jobs(cbf_sample):
+    X, _ = cbf_sample
+    h_serial = Hierarchical(3, metric="sbd").fit(X)
+    h_parallel = Hierarchical(3, metric="sbd", n_jobs=2, backend="threads").fit(X)
+    np.testing.assert_array_equal(h_serial.labels_, h_parallel.labels_)
+
+    s_serial = SpectralClustering(3, metric="sbd", random_state=2).fit(X)
+    s_parallel = SpectralClustering(
+        3, metric="sbd", random_state=2, n_jobs=2, backend="threads"
+    ).fit(X)
+    np.testing.assert_array_equal(s_serial.labels_, s_parallel.labels_)

@@ -1,0 +1,105 @@
+"""Backend equivalence: every backend must reproduce the seed serial path.
+
+The parallel engine is only trustworthy if, for every registered metric
+and every backend, ``pairwise_distances`` and ``cross_distances`` return
+exactly what the seed serial implementation returns — on ordinary random
+data and on the degenerate inputs (constant rows, length-1 series) where
+shift-invariant measures hit their zero-norm guards.
+
+Serial and thread backends are swept over the full distance registry.
+The process backend pays a pool spawn per call, so the default (tier-1)
+run covers a representative metric subset — one per kernel family — and
+the exhaustive sweep is marked ``slow``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import cross_distances, list_distances, pairwise_distances
+from repro.parallel import list_executors
+
+ATOL = 1e-12
+
+# One representative per kernel family: vectorized ED, vectorized SBD,
+# generic-loop numpy (DTW/cDTW/KSC), generic-loop pure python (MSM).
+PROCESS_METRICS = ("ed", "sbd", "dtw", "cdtw5", "ksc", "msm")
+
+CASES = ("random", "constant", "length1")
+
+
+def _inputs(case: str):
+    rng = np.random.default_rng(20240806)
+    if case == "random":
+        return rng.normal(size=(8, 16)), rng.normal(size=(5, 16))
+    if case == "constant":
+        return np.full((6, 12), 3.0), np.full((4, 12), -1.5)
+    if case == "length1":
+        return rng.normal(size=(5, 1)), rng.normal(size=(3, 1))
+    raise AssertionError(case)
+
+
+def _assert_matches_serial(metric: str, backend: str, case: str):
+    X, Y = _inputs(case)
+    ref_pair = pairwise_distances(X, metric)
+    ref_cross = cross_distances(X, Y, metric)
+    got_pair = pairwise_distances(
+        X, metric, n_jobs=2, backend=backend, tile_size=3
+    )
+    got_cross = cross_distances(
+        X, Y, metric, n_jobs=2, backend=backend, tile_size=3
+    )
+    np.testing.assert_allclose(got_pair, ref_pair, rtol=0.0, atol=ATOL)
+    np.testing.assert_allclose(got_cross, ref_cross, rtol=0.0, atol=ATOL)
+
+
+def test_all_backends_registered():
+    assert set(list_executors()) >= {"serial", "threads", "processes"}
+
+
+@pytest.mark.parametrize("case", CASES)
+@pytest.mark.parametrize("backend", ("serial", "threads"))
+@pytest.mark.parametrize("metric", list_distances())
+def test_equivalence_inprocess_backends(metric, backend, case):
+    _assert_matches_serial(metric, backend, case)
+
+
+@pytest.mark.parametrize("case", CASES)
+@pytest.mark.parametrize("metric", PROCESS_METRICS)
+def test_equivalence_process_backend(metric, case):
+    _assert_matches_serial(metric, "processes", case)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("case", CASES)
+@pytest.mark.parametrize(
+    "metric", [m for m in list_distances() if m not in PROCESS_METRICS]
+)
+def test_equivalence_process_backend_exhaustive(metric, case):
+    _assert_matches_serial(metric, "processes", case)
+
+
+@pytest.mark.parametrize("backend", ("serial", "threads", "processes"))
+def test_equivalence_callable_metric(backend):
+    X, Y = _inputs("random")
+
+    def manhattan(a, b):
+        return float(np.abs(a - b).sum())
+
+    ref = pairwise_distances(X, manhattan)
+    got = pairwise_distances(X, manhattan, n_jobs=2, backend=backend, tile_size=3)
+    np.testing.assert_allclose(got, ref, rtol=0.0, atol=ATOL)
+    refc = cross_distances(X, Y, manhattan)
+    gotc = cross_distances(X, Y, manhattan, n_jobs=2, backend=backend, tile_size=3)
+    np.testing.assert_allclose(gotc, refc, rtol=0.0, atol=ATOL)
+
+
+def test_auto_backend_matches_serial():
+    """n_jobs without backend: the cost model may pick any backend, but
+    the result must not change."""
+    X, _ = _inputs("random")
+    for metric in ("ed", "sbd", "dtw"):
+        ref = pairwise_distances(X, metric)
+        got = pairwise_distances(X, metric, n_jobs=4)
+        np.testing.assert_allclose(got, ref, rtol=0.0, atol=ATOL)

@@ -1,0 +1,182 @@
+"""Property tests for the parallel matrix engine (seeded-loop style).
+
+Invariants every backend must satisfy on arbitrary inputs:
+
+* **symmetry** — ``D == D.T`` for symmetric measures;
+* **zero diagonal** — ``d(x, x)`` cells are never evaluated and stay 0;
+* **non-negativity** — all of the paper's measures are dissimilarities;
+* **tile-boundary invariance** — the tiling is an implementation detail:
+  tile sizes 1, 7, and ``n`` must give identical matrices;
+* **halved work** — symmetric matrices cost exactly ``n * (n - 1) / 2``
+  distance evaluations (the upper triangle), counted through a wrapping
+  metric, on the seed serial path and on the tiled engine alike.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distances import dtw, pairwise_distances
+from repro.parallel import (
+    Tile,
+    choose_backend,
+    cross_tiles,
+    effective_n_jobs,
+    symmetric_tiles,
+)
+
+BACKENDS = ("serial", "threads", "processes")
+PROPERTY_METRICS = ("ed", "sbd", "dtw", "ksc")
+
+
+def _datasets():
+    rng = np.random.default_rng(99)
+    yield rng.normal(size=(9, 12))
+    yield rng.uniform(-1, 1, size=(7, 5))
+    constant = np.ones((6, 8))
+    constant[::2] *= -2.0
+    yield constant
+
+
+@pytest.mark.parametrize("backend", ("serial", "threads"))
+@pytest.mark.parametrize("metric", PROPERTY_METRICS)
+def test_matrix_properties(metric, backend):
+    for X in _datasets():
+        D = pairwise_distances(X, metric, n_jobs=2, backend=backend, tile_size=4)
+        assert D.shape == (X.shape[0], X.shape[0])
+        np.testing.assert_array_equal(D, D.T)
+        np.testing.assert_array_equal(np.diag(D), 0.0)
+        assert np.all(D >= 0.0)
+
+
+@pytest.mark.parametrize("metric", ("sbd", "dtw"))
+def test_matrix_properties_processes(metric):
+    X = next(_datasets())
+    D = pairwise_distances(X, metric, n_jobs=2, backend="processes", tile_size=4)
+    np.testing.assert_array_equal(D, D.T)
+    np.testing.assert_array_equal(np.diag(D), 0.0)
+    assert np.all(D >= 0.0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("metric", ("ed", "sbd", "dtw"))
+def test_tile_boundary_invariance(metric, backend):
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(9, 12))
+    n = X.shape[0]
+    matrices = [
+        pairwise_distances(X, metric, n_jobs=2, backend=backend, tile_size=t)
+        for t in (1, 7, n)
+    ]
+    for other in matrices[1:]:
+        np.testing.assert_allclose(matrices[0], other, rtol=0.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cross_tile_boundary_invariance(backend):
+    from repro.distances import cross_distances
+
+    rng = np.random.default_rng(8)
+    X, Y = rng.normal(size=(6, 10)), rng.normal(size=(9, 10))
+    matrices = [
+        cross_distances(X, Y, "dtw", n_jobs=2, backend=backend, tile_size=t)
+        for t in (1, 7, 9)
+    ]
+    for other in matrices[1:]:
+        np.testing.assert_allclose(matrices[0], other, rtol=0.0, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Halved call count (symmetric matrices never evaluate the lower triangle).
+# ---------------------------------------------------------------------------
+
+
+class CountingDTW:
+    """DTW wrapper counting distance evaluations (thread-safe)."""
+
+    def __init__(self):
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, x, y):
+        with self._lock:
+            self.calls += 1
+        return dtw(x, y)
+
+
+def test_serial_symmetric_matrix_halves_calls():
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(10, 8))
+    n = X.shape[0]
+    counter = CountingDTW()
+    D = pairwise_distances(X, counter)
+    assert counter.calls == n * (n - 1) // 2
+    np.testing.assert_allclose(D, pairwise_distances(X, "dtw"), atol=1e-12)
+    # Asymmetric mode evaluates both triangles (minus the diagonal).
+    counter = CountingDTW()
+    pairwise_distances(X, counter, symmetric=False)
+    assert counter.calls == n * (n - 1)
+
+
+@pytest.mark.parametrize("tile_size", (1, 3, 10))
+def test_tiled_engine_halves_calls(tile_size):
+    """The tiled serial/thread paths must do the same halved work."""
+    rng = np.random.default_rng(12)
+    X = rng.normal(size=(10, 8))
+    n = X.shape[0]
+    counter = CountingDTW()
+    pairwise_distances(X, counter, backend="serial", tile_size=tile_size)
+    assert counter.calls == n * (n - 1) // 2
+    counter = CountingDTW()
+    pairwise_distances(
+        X, counter, n_jobs=2, backend="threads", tile_size=tile_size
+    )
+    assert counter.calls == n * (n - 1) // 2
+
+
+# ---------------------------------------------------------------------------
+# Chunking helpers.
+# ---------------------------------------------------------------------------
+
+
+def test_symmetric_tiles_cover_upper_triangle_once():
+    for n, t in ((1, 1), (5, 2), (9, 4), (10, 10), (7, 100)):
+        seen = np.zeros((n, n), dtype=int)
+        for tile in symmetric_tiles(n, t):
+            assert isinstance(tile, Tile)
+            if tile.diagonal:
+                assert (tile.i0, tile.i1) == (tile.j0, tile.j1)
+                for i in range(tile.i0, tile.i1):
+                    for j in range(i + 1, tile.j1):
+                        seen[i, j] += 1
+            else:
+                seen[tile.i0 : tile.i1, tile.j0 : tile.j1] += 1
+        expected = np.triu(np.ones((n, n), dtype=int), 1)
+        np.testing.assert_array_equal(seen, expected)
+
+
+def test_cross_tiles_cover_rectangle_once():
+    for nx, ny, t in ((1, 1, 1), (5, 3, 2), (4, 9, 3), (6, 6, 100)):
+        seen = np.zeros((nx, ny), dtype=int)
+        for tile in cross_tiles(nx, ny, t):
+            seen[tile.i0 : tile.i1, tile.j0 : tile.j1] += 1
+        np.testing.assert_array_equal(seen, 1)
+
+
+def test_effective_n_jobs():
+    assert effective_n_jobs(None) == 1
+    assert effective_n_jobs(1) == 1
+    assert effective_n_jobs(3) == 3
+    assert effective_n_jobs(-1) >= 1
+
+
+def test_cost_model_keeps_tiny_inputs_serial():
+    assert choose_backend(5, 16, "ed", n_jobs=4) == "serial"
+    assert choose_backend(10, 32, "sbd", n_jobs=4) == "serial"
+    # A big DTW matrix is worth a process pool.
+    assert choose_backend(500, 128, "dtw", n_jobs=4) == "processes"
+    # n_jobs=1 never parallelizes.
+    assert choose_backend(500, 128, "dtw", n_jobs=1) == "serial"
