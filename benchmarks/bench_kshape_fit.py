@@ -1,0 +1,228 @@
+"""Micro-benchmark: seed vs fast-path ``KShape.fit`` wall-clock per phase.
+
+PR 3 reworked the k-Shape hot loop: Gram-trick shape extraction (no ``Q``
+or ``M`` materialization), one vectorized batched alignment gather,
+dirty-cluster caching, and batched centroid rFFTs. This bench times the
+**seed path** — a faithful replica of the pre-change ``_single_run``
+(literal Equation 15 extraction with two dense ``m×m`` products, per-row
+``shift_series`` alignment, one ``np.fft.rfft`` per centroid per
+iteration, no caching) — against the shipped ``KShape.fit``, phase by
+phase (align / extract / assign), and records the result in
+``BENCH_kshape.json`` at the repo root.
+
+Both paths consume the identical RNG stream, so the comparison also locks
+in correctness: labels must be *identical* and inertia must agree to
+float round-off.
+
+Run standalone (full size, the ISSUE's n=500, m=1024, k=8 workload)::
+
+    PYTHONPATH=src python benchmarks/bench_kshape_fit.py
+
+scaled down (CI)::
+
+    PYTHONPATH=src python benchmarks/bench_kshape_fit.py --smoke
+
+or through pytest (the full-size run is marked ``slow``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kshape_fit.py -m slow
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+from scipy.linalg import eigh
+
+from repro.clustering.base import random_assignment, repair_empty_clusters
+from repro.core._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
+from repro.core.kshape import KShape
+from repro.core.shape_extraction import _alignment_shifts
+from repro.exceptions import ConvergenceWarning
+from repro.preprocessing import shift_series, zscore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_kshape.json"
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_KSHAPE_N", "500"))
+BENCH_M = int(os.environ.get("REPRO_BENCH_KSHAPE_M", "1024"))
+BENCH_K = int(os.environ.get("REPRO_BENCH_KSHAPE_K", "8"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_KSHAPE_SEED", "7"))
+
+
+def make_workload(n: int, m: int, k: int, seed: int = 0) -> np.ndarray:
+    """``k`` families of randomly phased sinusoids (shift-invariant classes)."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 1.0, m)
+    rows = []
+    for i in range(n):
+        freq = 2.0 + 1.5 * (i % k)
+        phase = rng.uniform(0.0, 1.0)
+        rows.append(
+            np.sin(2 * np.pi * (freq * t + phase)) + rng.normal(0, 0.1, m)
+        )
+    return zscore(np.asarray(rows))
+
+
+def _naive_eig_centroid(data: np.ndarray) -> np.ndarray:
+    """Seed extraction core: literal Eq. 15 with Q and M materialized."""
+    if data.shape[0] == 1:
+        return zscore(data[0])
+    data = zscore(data)
+    m = data.shape[1]
+    s_matrix = data.T @ data
+    q_matrix = np.eye(m) - np.ones((m, m)) / m
+    m_matrix = q_matrix.T @ s_matrix @ q_matrix
+    _, vecs = eigh(m_matrix, subset_by_index=[m - 1, m - 1])
+    centroid = vecs[:, 0]
+    if np.dot(centroid, data.mean(axis=0)) < 0:
+        centroid = -centroid
+    return zscore(centroid)
+
+
+def seed_fit(X: np.ndarray, k: int, seed: int, max_iter: int = 100) -> dict:
+    """Replica of the pre-change ``KShape._single_run`` with phase timers."""
+    n, m = X.shape
+    rng = np.random.default_rng(seed)
+    fft_len = fft_len_for(m)
+    fft_X = rfft_batch(X, fft_len)
+    norms_X = np.linalg.norm(X, axis=1)
+    labels = random_assignment(n, k, rng)
+    centroids = np.zeros((k, m))
+    dists = np.zeros((n, k))
+    timings = {"align": 0.0, "extract": 0.0, "assign": 0.0}
+    converged = False
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        previous = labels
+        for j in range(k):
+            members = X[labels == j]
+            if members.shape[0] == 0:
+                continue
+            tick = time.perf_counter()
+            if np.any(centroids[j]):
+                shifts = _alignment_shifts(members, centroids[j])
+                aligned = np.empty_like(members)
+                for i in range(members.shape[0]):  # the seed per-row loop
+                    aligned[i] = shift_series(members[i], int(shifts[i]))
+            else:
+                aligned = members.copy()
+            timings["align"] += time.perf_counter() - tick
+            tick = time.perf_counter()
+            centroids[j] = _naive_eig_centroid(aligned)
+            timings["extract"] += time.perf_counter() - tick
+        tick = time.perf_counter()
+        for j in range(k):  # one rfft per centroid per iteration
+            fft_c = np.fft.rfft(centroids[j], fft_len)
+            norm_c = float(np.linalg.norm(centroids[j]))
+            values, _ = ncc_c_max_batch(
+                fft_X, norms_X, fft_c, norm_c, m, fft_len
+            )
+            dists[:, j] = 1.0 - values
+        labels = np.argmin(dists, axis=1)
+        labels = repair_empty_clusters(labels, k, rng)
+        timings["assign"] += time.perf_counter() - tick
+        if np.array_equal(labels, previous):
+            converged = True
+            break
+    inertia = float(np.sum(dists[np.arange(n), labels] ** 2))
+    return {
+        "labels": labels,
+        "inertia": inertia,
+        "n_iter": n_iter,
+        "converged": converged,
+        "timings": timings,
+    }
+
+
+def run_benchmark(
+    n: int = BENCH_N,
+    m: int = BENCH_M,
+    k: int = BENCH_K,
+    seed: int = BENCH_SEED,
+    output: Path | None = None,
+) -> dict:
+    X = make_workload(n, m, k, seed=0)
+
+    start = time.perf_counter()
+    reference = seed_fit(X, k, seed)
+    seed_total = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        model = KShape(k, random_state=seed).fit(X)
+    fast_total = time.perf_counter() - start
+    fast_timings = model.result_.extra["phase_seconds"]
+
+    labels_identical = bool(np.array_equal(reference["labels"], model.labels_))
+    inertia_match = bool(
+        np.isclose(reference["inertia"], model.inertia_, rtol=1e-9, atol=1e-12)
+    )
+    report = {
+        "benchmark": "KShape.fit seed path vs fast path",
+        "n": n,
+        "m": m,
+        "k": k,
+        "random_state": seed,
+        "seed_path": {
+            "total_s": round(seed_total, 4),
+            "align_s": round(reference["timings"]["align"], 4),
+            "extract_s": round(reference["timings"]["extract"], 4),
+            "assign_s": round(reference["timings"]["assign"], 4),
+            "n_iter": reference["n_iter"],
+        },
+        "fast_path": {
+            "total_s": round(fast_total, 4),
+            "align_s": round(fast_timings["align"], 4),
+            "extract_s": round(fast_timings["extract"], 4),
+            "assign_s": round(fast_timings["assign"], 4),
+            "n_iter": model.n_iter_,
+        },
+        "speedup": round(seed_total / max(fast_total, 1e-9), 3),
+        "labels_identical": labels_identical,
+        "inertia_match": inertia_match,
+    }
+    assert labels_identical, "fast path diverged from the seed labels"
+    assert inertia_match, "fast path inertia diverged from the seed path"
+    (OUTPUT if output is None else output).write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    return report
+
+
+@pytest.mark.slow
+def test_bench_kshape_fit_full():
+    """Full-size (n=500, m=1024, k=8) benchmark; writes BENCH_kshape.json."""
+    report = run_benchmark()
+    assert report["labels_identical"] and report["inertia_match"]
+    assert report["speedup"] >= 3.0
+
+
+def test_bench_kshape_fit_smoke(tmp_path, monkeypatch):
+    """Scaled-down correctness pass of the benchmark harness itself."""
+    monkeypatch.setattr(
+        sys.modules[__name__], "OUTPUT", tmp_path / "BENCH_kshape.json"
+    )
+    report = run_benchmark(n=40, m=64, k=3, seed=5)
+    assert report["labels_identical"] and report["inertia_match"]
+    assert (tmp_path / "BENCH_kshape.json").exists()
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        # CI-sized pass; keep the committed full-size JSON untouched.
+        import tempfile
+
+        smoke_out = Path(tempfile.gettempdir()) / "BENCH_kshape_smoke.json"
+        print(json.dumps(
+            run_benchmark(n=40, m=64, k=3, seed=5, output=smoke_out), indent=2
+        ))
+    else:
+        print(json.dumps(run_benchmark(), indent=2))

@@ -10,9 +10,21 @@ until the memberships stabilize or an iteration cap is reached:
   under SBD (Algorithm 1).
 
 The assignment step is fully batched: the dataset's FFTs are computed once
-per ``fit`` and reused every iteration, so one iteration costs
-``O(n * k * m log m)`` with small numpy constants — the linear-in-``n``
-scaling Appendix B demonstrates.
+per ``fit`` and reused every iteration, the ``k`` centroid rFFTs are taken
+with a single batched transform, and all ``k`` columns of the ``(n, k)``
+distance matrix come out of one chunked broadcast multiply — so one
+iteration costs ``O(n * k * m log m)`` with small numpy constants, the
+linear-in-``n`` scaling Appendix B demonstrates.
+
+On top of the batching, the loop tracks **dirty clusters**: a cluster whose
+member set is unchanged *and* whose members' optimal alignment lags toward
+the current centroid equal the lags used for its last extraction would
+reproduce its centroid bit-for-bit, so the extraction, the centroid FFT,
+and the cluster's distance-matrix column are all reused instead of
+recomputed. Because the skip condition is exactly "recomputing would be a
+no-op", results are identical to the always-recompute path (see
+``cache_clusters``); late iterations, where most clusters are stable,
+shrink to the cost of the few clusters still in motion.
 
 The paper's ``k-Shape+DTW`` ablation (Table 3) — k-Shape with DTW replacing
 SBD in the assignment step — is available via ``assignment_distance``.
@@ -22,7 +34,8 @@ from __future__ import annotations
 
 import warnings
 from functools import partial
-from typing import Callable, Optional
+from time import perf_counter
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -35,8 +48,15 @@ from ..clustering.base import (
 )
 from ..exceptions import ConvergenceWarning
 from ..parallel.executors import parallel_map
-from ._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
-from .shape_extraction import shape_extraction
+from ..preprocessing.utils import shift_series_batch
+from ._fft_batch import (
+    fft_len_for,
+    ncc_c_max_batch,
+    ncc_c_max_multi,
+    rfft_batch,
+    sbd_to_centroids,
+)
+from .shape_extraction import _extract_from_aligned
 
 __all__ = ["KShape", "kshape"]
 
@@ -46,6 +66,16 @@ def _flipped(fn, x, y):
     the (row, column) order of ``cross_distances`` (picklable, unlike a
     lambda, so the process backend can ship it)."""
     return fn(y, x)
+
+
+def _extract_aligned_task(aligned: np.ndarray) -> np.ndarray:
+    """Shape-extract one cluster whose members are already aligned.
+
+    Module-level (not a closure) so it pickles: ``backend="processes"`` is
+    honored by :func:`parallel_map` instead of silently falling back to
+    threads.
+    """
+    return _extract_from_aligned(aligned)
 
 
 class KShape(BaseClusterer):
@@ -74,14 +104,24 @@ class KShape(BaseClusterer):
     assignment_distance:
         Optional callable ``(x, y) -> float`` replacing SBD in the
         assignment step (used for the ``k-Shape+DTW`` ablation). When given,
-        assignment falls back to per-pair evaluation.
+        assignment falls back to per-pair evaluation and the distance-column
+        cache is disabled (centroid-extraction caching still applies).
+    cache_clusters:
+        Reuse the centroid, its cached rFFT/norm, and its distance-matrix
+        column for clusters whose recomputation would provably be a no-op
+        (unchanged member set and unchanged alignment lags). ``False``
+        forces the always-recompute path; labels, centroids, and inertia
+        are identical either way — the flag exists for benchmarking and
+        verification.
     n_jobs, backend:
         Parallel execution (see :mod:`repro.parallel`): with
         ``n_jobs > 1`` the per-cluster shape extractions of the refinement
-        step run concurrently, and the per-pair assignment matrix of a
-        custom ``assignment_distance`` is tiled over workers. Each
-        cluster's extraction is independent and the default SBD assignment
-        is already batched, so results are identical for any worker count.
+        step run concurrently (the worker is picklable, so
+        ``backend="processes"`` is honored), and the per-pair assignment
+        matrix of a custom ``assignment_distance`` is tiled over workers.
+        Each cluster's extraction is independent and the default SBD
+        assignment is already batched, so results are identical for any
+        worker count.
 
     Attributes
     ----------
@@ -117,6 +157,7 @@ class KShape(BaseClusterer):
         random_state=None,
         init: str = "random",
         assignment_distance: Optional[Callable[[np.ndarray, np.ndarray], float]] = None,
+        cache_clusters: bool = True,
         n_jobs: Optional[int] = None,
         backend: Optional[str] = None,
     ):
@@ -131,6 +172,7 @@ class KShape(BaseClusterer):
             )
         self.init = init
         self.assignment_distance = assignment_distance
+        self.cache_clusters = bool(cache_clusters)
         self.n_jobs = n_jobs
         self.backend = backend
 
@@ -184,7 +226,6 @@ class KShape(BaseClusterer):
         """``(n, k)`` matrix of distances from every series to every centroid."""
         n, m = X.shape
         k = centroids.shape[0]
-        dists = np.empty((n, k))
         if self.assignment_distance is not None:
             if self.n_jobs is not None or self.backend is not None:
                 from ..distances.matrix import cross_distances
@@ -196,17 +237,12 @@ class KShape(BaseClusterer):
                     n_jobs=self.n_jobs,
                     backend=self.backend,
                 )
+            dists = np.empty((n, k))
             for j in range(k):
                 for i in range(n):
                     dists[i, j] = self.assignment_distance(centroids[j], X[i])
             return dists
-        for j in range(k):
-            fft_c = np.fft.rfft(centroids[j], fft_len)
-            norm_c = float(np.linalg.norm(centroids[j]))
-            values, _ = ncc_c_max_batch(
-                fft_X, norms_X, fft_c, norm_c, m, fft_len
-            )
-            dists[:, j] = 1.0 - values
+        dists, _ = sbd_to_centroids(fft_X, norms_X, centroids, m, fft_len)
         return dists
 
     def _single_run(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
@@ -221,29 +257,99 @@ class KShape(BaseClusterer):
         else:
             labels = random_assignment(n, k, rng)
 
+        custom_metric = self.assignment_distance is not None
+        # Per-centroid rFFT/norm cache, refreshed only for re-extracted
+        # clusters; also powers alignment-lag lookups with a custom metric.
+        fft_C = np.zeros((k, fft_len // 2 + 1), dtype=complex)
+        norms_C = np.zeros(k)
+        # member_shifts[i, j]: lag row i must move by to align with centroid
+        # j — the (negated) SBD lag, cached from the assignment kernel so
+        # refinement needs no extra FFT work.
+        member_shifts = np.zeros((n, k), dtype=np.int64)
+        # Dirty-cluster bookkeeping: the member set and alignment lags each
+        # centroid was last extracted from.
+        last_members: List[Optional[np.ndarray]] = [None] * k
+        last_shifts: List[Optional[np.ndarray]] = [None] * k
+
         converged = False
         n_iter = 0
         dists = np.zeros((n, k))
         history = []  # per-iteration (inertia, membership changes)
+        timings = {"align": 0.0, "extract": 0.0, "assign": 0.0}
         for n_iter in range(1, self.max_iter + 1):
             previous = labels
             # Refinement step: recompute each centroid via shape extraction,
             # aligning members toward the centroid of the previous iteration.
-            # Empty clusters keep their previous centroid. Extractions are
-            # independent, so they parallelize without changing results.
-            occupied = [j for j in range(k) if np.any(labels == j)]
+            # Empty clusters keep their previous centroid; clean clusters
+            # (same members, same lags) keep everything.
+            tick = perf_counter()
+            dirty: List[int] = []
+            tasks: List[np.ndarray] = []
+            for j in range(k):
+                members = np.flatnonzero(labels == j)
+                if members.size == 0:
+                    continue
+                if not np.any(centroids[j]):
+                    # All-zero reference (first iteration): alignment is a
+                    # no-op, exactly as align_cluster treats it.
+                    shifts = np.zeros(members.size, dtype=np.int64)
+                elif custom_metric:
+                    _, lags = ncc_c_max_batch(
+                        fft_X[members], norms_X[members],
+                        fft_C[j], float(norms_C[j]), m, fft_len,
+                    )
+                    shifts = -np.asarray(lags, dtype=np.int64)
+                else:
+                    shifts = member_shifts[members, j]
+                if (
+                    self.cache_clusters
+                    and last_members[j] is not None
+                    and np.array_equal(last_members[j], members)
+                    and np.array_equal(last_shifts[j], shifts)
+                ):
+                    continue  # clean: re-extraction would reproduce centroid
+                dirty.append(j)
+                tasks.append(shift_series_batch(X[members], shifts))
+                last_members[j] = members
+                last_shifts[j] = shifts
+            timings["align"] += perf_counter() - tick
+
+            tick = perf_counter()
             extracted = parallel_map(
-                lambda j: shape_extraction(X[labels == j], reference=centroids[j]),
-                occupied,
+                _extract_aligned_task,
+                tasks,
                 n_jobs=self.n_jobs,
-                backend="threads",
+                backend=self.backend,
             )
-            for j, centroid in zip(occupied, extracted):
+            for j, centroid in zip(dirty, extracted):
                 centroids[j] = centroid
+            if dirty:
+                fft_C[dirty] = rfft_batch(centroids[dirty], fft_len)
+                norms_C[dirty] = np.linalg.norm(centroids[dirty], axis=1)
+            timings["extract"] += perf_counter() - tick
+
             # Assignment step: move each series to its closest centroid.
-            dists = self._assignment_distances(X, fft_X, norms_X, centroids, fft_len)
+            # Only columns of re-extracted centroids can change; with
+            # caching off (or on the first pass) every column is rescored.
+            tick = perf_counter()
+            if custom_metric:
+                dists = self._assignment_distances(
+                    X, fft_X, norms_X, centroids, fft_len
+                )
+            else:
+                cols = dirty if self.cache_clusters else list(range(k))
+                if cols:
+                    if not self.cache_clusters:
+                        fft_C[cols] = rfft_batch(centroids[cols], fft_len)
+                        norms_C[cols] = np.linalg.norm(centroids[cols], axis=1)
+                    values, lags = ncc_c_max_multi(
+                        fft_X, norms_X, fft_C[cols], norms_C[cols], m, fft_len
+                    )
+                    dists[:, cols] = (1.0 - values).T
+                    member_shifts[:, cols] = -lags.T
             labels = np.argmin(dists, axis=1)
             labels = repair_empty_clusters(labels, k, rng)
+            timings["assign"] += perf_counter() - tick
             history.append((
                 float(np.sum(dists[np.arange(n), labels] ** 2)),
                 int(np.sum(labels != previous)),
@@ -264,7 +370,7 @@ class KShape(BaseClusterer):
             inertia=inertia,
             n_iter=n_iter,
             converged=converged,
-            extra={"history": history},
+            extra={"history": history, "phase_seconds": timings},
         )
 
     def _fit(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
@@ -286,13 +392,19 @@ def kshape(
     max_iter: int = 100,
     n_init: int = 1,
     random_state=None,
+    init: str = "random",
+    assignment_distance: Optional[Callable[[np.ndarray, np.ndarray], float]] = None,
+    cache_clusters: bool = True,
     n_jobs: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> ClusterResult:
     """Functional interface to :class:`KShape`.
 
     Returns the :class:`~repro.clustering.base.ClusterResult` of the best of
-    ``n_init`` runs. ``n_jobs``/``backend`` select parallel execution as
+    ``n_init`` runs. All estimator knobs pass straight through:
+    ``init=``/``assignment_distance=`` select the seeding strategy and the
+    k-Shape+DTW ablation, ``cache_clusters=`` toggles the dirty-cluster
+    fast path, and ``n_jobs``/``backend`` select parallel execution as
     documented on :class:`KShape`.
     """
     model = KShape(
@@ -300,6 +412,9 @@ def kshape(
         max_iter=max_iter,
         n_init=n_init,
         random_state=random_state,
+        init=init,
+        assignment_distance=assignment_distance,
+        cache_clusters=cache_clusters,
         n_jobs=n_jobs,
         backend=backend,
     )

@@ -28,7 +28,12 @@ import numpy as np
 from .._validation import as_dataset, as_rng, check_n_clusters, check_positive_int
 from ..clustering.base import ClusterResult
 from ..exceptions import ConvergenceWarning, NotFittedError
-from ._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
+from ._fft_batch import (
+    fft_len_for,
+    ncc_c_max_batch,
+    rfft_batch,
+    sbd_to_centroids,
+)
 from .kshape import KShape
 from .shape_extraction import shape_extraction
 
@@ -84,21 +89,19 @@ class MiniBatchKShape:
         return self.centroids_
 
     def _assign(self, X: np.ndarray) -> np.ndarray:
-        """Closest-centroid labels for a batch under SBD."""
+        """Closest-centroid labels for a batch under SBD.
+
+        All ``k`` centroid rFFTs come from one batched transform and the
+        whole ``(n, k)`` distance matrix from the shared chunked assignment
+        kernel (:func:`~repro.core._fft_batch.sbd_to_centroids`) — the same
+        fast path :class:`~repro.core.kshape.KShape` uses.
+        """
         centroids = self._require_fitted()
         n, m = X.shape
         fft_len = fft_len_for(m)
         fft_X = rfft_batch(X, fft_len)
         norms = np.linalg.norm(X, axis=1)
-        dists = np.empty((n, self.n_clusters))
-        for j in range(self.n_clusters):
-            values, _ = ncc_c_max_batch(
-                fft_X, norms,
-                np.fft.rfft(centroids[j], fft_len),
-                float(np.linalg.norm(centroids[j])),
-                m, fft_len,
-            )
-            dists[:, j] = 1.0 - values
+        dists, _ = sbd_to_centroids(fft_X, norms, centroids, m, fft_len)
         return np.argmin(dists, axis=1)
 
     def _seed(self, batch: np.ndarray, rng: np.random.Generator) -> None:
@@ -180,6 +183,8 @@ class MiniBatchKShape:
         fft_len = fft_len_for(m)
         fft_X = rfft_batch(data, fft_len)
         norms = np.linalg.norm(data, axis=1)
+        fft_C = rfft_batch(centroids, fft_len)
+        norms_C = np.linalg.norm(centroids, axis=1)
         inertia = 0.0
         for j in range(self.n_clusters):
             members = labels == j
@@ -187,8 +192,7 @@ class MiniBatchKShape:
                 continue
             values, _ = ncc_c_max_batch(
                 fft_X[members], norms[members],
-                np.fft.rfft(centroids[j], fft_len),
-                float(np.linalg.norm(centroids[j])),
+                fft_C[j], float(norms_C[j]),
                 m, fft_len,
             )
             inertia += float(np.sum((1.0 - values) ** 2))

@@ -10,6 +10,19 @@ sequence — to maximizing the Rayleigh quotient of
 where ``X'`` stacks the aligned members, ``I`` is the identity and ``O``
 the all-ones matrix (Equation 15). The maximizer is the eigenvector of the
 largest eigenvalue of the real symmetric matrix ``M``.
+
+**The Gram trick.** ``Q`` is the column-centering projector, so
+``M = (X'Q)^T (X'Q) = Y^T Y`` with ``Y`` the row-mean-centered aligned
+matrix — ``Q`` and ``M`` never need to be materialized. The wanted
+eigenvector is the top *right singular vector* of ``Y``, which the fast
+path computes on the smaller Gram side: ``Y Y^T`` (``n×n``) when the
+cluster has fewer members than time points (mapping the eigenvector back
+through ``Y^T u / √λ``), or ``Y^T Y`` (``m×m``) otherwise. This drops the
+per-extraction cost from the naive ``O(m³)`` (two dense ``m×m`` products
+plus a full-size eigensolve) to ``O(n·m·min(n,m) + min(n,m)³)``. The
+original Equation 15 construction is kept verbatim as
+:func:`_shape_extraction_naive`, the reference the fast path is tested
+against.
 """
 
 from __future__ import annotations
@@ -22,10 +35,31 @@ from scipy.linalg import eigh
 from .._validation import as_dataset, as_series
 from ..exceptions import ShapeMismatchError
 from ..preprocessing.normalization import zscore
-from ..preprocessing.utils import shift_series
+from ..preprocessing.utils import shift_series, shift_series_batch
 from ._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
 
 __all__ = ["shape_extraction", "align_cluster"]
+
+
+def _alignment_shifts(data: np.ndarray, ref: np.ndarray) -> np.ndarray:
+    """Per-row lags aligning each row of ``data`` toward ``ref``.
+
+    The returned lag is the amount each *member* must shift (the negated
+    SBD lag of the reference toward the row). A zero reference yields zero
+    lags: cross-correlation against a flat series carries no signal.
+    """
+    n, m = data.shape
+    if not np.any(ref):
+        return np.zeros(n, dtype=np.int64)
+    fft_len = fft_len_for(m)
+    fft_rows = rfft_batch(data, fft_len)
+    norms = np.linalg.norm(data, axis=1)
+    fft_ref = np.fft.rfft(ref, fft_len)
+    norm_ref = float(np.linalg.norm(ref))
+    # ncc_c_max_batch returns the lag shifting *ref* toward each row; the
+    # member must move by the opposite lag to meet the reference.
+    _, shifts = ncc_c_max_batch(fft_rows, norms, fft_ref, norm_ref, m, fft_len)
+    return -np.asarray(shifts, dtype=np.int64)
 
 
 def align_cluster(X, reference) -> np.ndarray:
@@ -35,8 +69,10 @@ def align_cluster(X, reference) -> np.ndarray:
     are initialized to all-zero vectors) leaves the sequences untouched:
     cross-correlation against a flat series carries no alignment signal.
 
-    The alignment is computed with one batched FFT cross-correlation rather
-    than per-pair calls, so aligning a whole cluster costs a few numpy FFTs.
+    The lags are computed with one batched FFT cross-correlation and applied
+    with one vectorized gather (:func:`~repro.preprocessing.shift_series_batch`),
+    so aligning a whole cluster costs a few numpy calls with no Python-level
+    per-row loop.
     """
     data = as_dataset(X, "X")
     ref = as_series(reference, "reference")
@@ -47,19 +83,52 @@ def align_cluster(X, reference) -> np.ndarray:
         )
     if not np.any(ref):
         return data.copy()
-    m = data.shape[1]
-    fft_len = fft_len_for(m)
-    fft_rows = rfft_batch(data, fft_len)
-    norms = np.linalg.norm(data, axis=1)
-    fft_ref = np.fft.rfft(ref, fft_len)
-    norm_ref = float(np.linalg.norm(ref))
-    # ncc_c_max_batch returns the lag shifting *ref* toward each row; the
-    # member must move by the opposite lag to meet the reference.
-    _, shifts = ncc_c_max_batch(fft_rows, norms, fft_ref, norm_ref, m, fft_len)
-    aligned = np.empty_like(data)
-    for i in range(data.shape[0]):
-        aligned[i] = shift_series(data[i], -int(shifts[i]))
-    return aligned
+    return shift_series_batch(data, _alignment_shifts(data, ref))
+
+
+def _orient_sign(centroid: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Resolve the eigenvector sign ambiguity toward the cluster's mean."""
+    if np.dot(centroid, data.mean(axis=0)) < 0:
+        return -centroid
+    return centroid
+
+
+def _extract_from_aligned(data: np.ndarray, znormalize: bool = True) -> np.ndarray:
+    """Rayleigh-quotient centroid of an already-aligned ``(n, m)`` cluster.
+
+    Implements the Gram trick described in the module docstring: the top
+    right singular vector of the centered matrix ``Y``, computed on the
+    smaller of the ``n×n`` / ``m×m`` Gram sides.
+    """
+    if data.shape[0] == 1:
+        only = data[0]
+        return zscore(only) if znormalize else only.copy()
+    # Re-z-normalize after alignment: zero-padded shifting perturbs each
+    # member's mean and norm, which would otherwise down-weight heavily
+    # shifted members in the scatter matrix (the reference implementation
+    # does the same).
+    data = zscore(data)
+    n, m = data.shape
+    # Y = X'Q: Q = I - O/m subtracts each row's mean. Rows are already
+    # zero-mean after zscore; the explicit O(n·m) centering removes the
+    # residual float error so both Gram sides see exactly X'Q.
+    y = data - data.mean(axis=1, keepdims=True)
+    if n < m:
+        gram = y @ y.T                                       # Y Y^T, (n, n)
+        vals, vecs = eigh(gram, subset_by_index=[n - 1, n - 1])
+        top = float(vals[0])
+        # Degenerate cluster (Y ≈ 0, e.g. all-constant members): fall back
+        # to the m-side eigensolve so the result matches the naive path's
+        # deterministic eigenvector of the (zero) matrix M.
+        if top > 1e-12 * max(float(np.trace(gram)), 1.0):
+            centroid = y.T @ vecs[:, 0]
+            centroid /= np.linalg.norm(centroid)             # = Y^T u / √λ
+            centroid = _orient_sign(centroid, data)
+            return zscore(centroid) if znormalize else centroid
+    m_matrix = y.T @ y                                       # M = Y^T Y, (m, m)
+    _, vecs = eigh(m_matrix, subset_by_index=[m - 1, m - 1])
+    centroid = _orient_sign(vecs[:, 0], data)
+    return zscore(centroid) if znormalize else centroid
 
 
 def shape_extraction(
@@ -90,27 +159,44 @@ def shape_extraction(
         1-D centroid of length ``m``.
     """
     data = as_dataset(X, "X")
-    n, m = data.shape
     if reference is not None:
         data = align_cluster(data, reference)
+    return _extract_from_aligned(data, znormalize)
+
+
+def _shape_extraction_naive(
+    X,
+    reference: Optional[np.ndarray] = None,
+    znormalize: bool = True,
+) -> np.ndarray:
+    """Reference implementation of Algorithm 2 via the literal Equation 15.
+
+    Materializes ``Q`` and evaluates ``M = Q^T S Q`` with two dense ``m×m``
+    products, aligning members with a per-row :func:`shift_series` loop —
+    the pre-optimization behavior the fast :func:`shape_extraction` is
+    verified against (identical up to eigenvector sign and float error).
+    Kept for tests and benchmarks; O(m³) per call, do not use in hot loops.
+    """
+    data = as_dataset(X, "X")
+    n, m = data.shape
+    if reference is not None:
+        ref = as_series(reference, "reference")
+        if np.any(ref):
+            shifts = _alignment_shifts(data, ref)
+            aligned = np.empty_like(data)
+            for i in range(n):
+                aligned[i] = shift_series(data[i], int(shifts[i]))
+            data = aligned
+        else:
+            data = data.copy()
     if n == 1:
         only = data[0]
         return zscore(only) if znormalize else only.copy()
-
-    # Re-z-normalize after alignment: zero-padded shifting perturbs each
-    # member's mean and norm, which would otherwise down-weight heavily
-    # shifted members in the scatter matrix (the reference implementation
-    # does the same).
     data = zscore(data)
     s_matrix = data.T @ data                                # S = X'^T X'
     q_matrix = np.eye(m) - np.ones((m, m)) / m              # Q = I - O/m
     m_matrix = q_matrix.T @ s_matrix @ q_matrix             # M = Q^T S Q
     # Largest-eigenvalue eigenvector of the real symmetric matrix M.
     _, vecs = eigh(m_matrix, subset_by_index=[m - 1, m - 1])
-    centroid = vecs[:, 0]
-
-    # Eigenvectors are sign-ambiguous: pick the orientation that correlates
-    # positively with the cluster's mean shape.
-    if np.dot(centroid, data.mean(axis=0)) < 0:
-        centroid = -centroid
+    centroid = _orient_sign(vecs[:, 0], data)
     return zscore(centroid) if znormalize else centroid

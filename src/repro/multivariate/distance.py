@@ -29,7 +29,7 @@ from ..exceptions import (
     InvalidParameterError,
     ShapeMismatchError,
 )
-from ..preprocessing.utils import next_power_of_two, shift_series
+from ..preprocessing.utils import next_power_of_two, shift_series_batch
 
 __all__ = [
     "as_mv_series",
@@ -87,9 +87,13 @@ def mv_zscore(X, eps: float = 1e-12) -> np.ndarray:
 
 
 def mv_shift(X, s: int) -> np.ndarray:
-    """Shift every dimension of a ``(d, m)`` series by the same lag ``s``."""
+    """Shift every dimension of a ``(d, m)`` series by the same lag ``s``.
+
+    One vectorized batched gather over the dimensions (the shared-clock
+    model: every channel moves by the same lag).
+    """
     arr = as_mv_series(X)
-    return np.stack([shift_series(row, s) for row in arr])
+    return shift_series_batch(arr, int(s))
 
 
 def _pooled_ncc(X: np.ndarray, Y: np.ndarray, eps: float) -> np.ndarray:

@@ -20,6 +20,7 @@ from .utils import (
     pad_to_length,
     resample_linear,
     shift_series,
+    shift_series_batch,
     sliding_windows,
 )
 
@@ -30,6 +31,7 @@ __all__ = [
     "apply_optimal_scaling",
     "random_amplitude_distortion",
     "shift_series",
+    "shift_series_batch",
     "next_power_of_two",
     "pad_to_length",
     "resample_linear",

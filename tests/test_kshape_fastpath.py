@@ -1,0 +1,319 @@
+"""Tests for PR 3's k-Shape fast path: Gram-trick shape extraction,
+vectorized batched alignment, dirty-cluster caching, and the batched
+multi-centroid assignment kernel."""
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import KShape, kshape
+from repro.core._fft_batch import (
+    fft_len_for,
+    ncc_c_max_batch,
+    ncc_c_max_multi,
+    rfft_batch,
+    sbd_to_centroids,
+)
+from repro.core.kshape import _extract_aligned_task
+from repro.core.shape_extraction import (
+    _shape_extraction_naive,
+    align_cluster,
+    shape_extraction,
+)
+from repro.exceptions import ConvergenceWarning, ShapeMismatchError
+from repro.preprocessing import shift_series, shift_series_batch, zscore
+
+
+def _family(rng, n, m, freq=2.0, noise=0.1):
+    t = np.linspace(0.0, 1.0, m)
+    rows = [
+        np.sin(2 * np.pi * (freq * t + rng.uniform(0, 1)))
+        + rng.normal(0, noise, m)
+        for _ in range(n)
+    ]
+    return zscore(np.asarray(rows))
+
+
+def _assert_same_shape_up_to_sign(a, b, atol=1e-10):
+    close = np.allclose(a, b, atol=atol) or np.allclose(a, -b, atol=atol)
+    assert close, f"max deviation {min(np.abs(a - b).max(), np.abs(a + b).max())}"
+
+
+class TestGramTrickEquivalence:
+    """Property: fast shape extraction ≡ the literal Eq. 15 reference."""
+
+    @pytest.mark.parametrize("n,m", [(6, 40), (40, 40), (80, 24)])
+    def test_matches_naive_across_aspect_ratios(self, rng, n, m):
+        """Covers the n<m (Gram side), n=m, and n>m (M side) branches."""
+        X = _family(rng, n, m)
+        ref = X[0]
+        fast = shape_extraction(X, reference=ref)
+        naive = _shape_extraction_naive(X, reference=ref)
+        _assert_same_shape_up_to_sign(fast, naive)
+
+    @pytest.mark.parametrize("n,m", [(5, 30), (30, 12)])
+    def test_matches_naive_without_reference(self, rng, n, m):
+        X = _family(rng, n, m, freq=3.0)
+        _assert_same_shape_up_to_sign(
+            shape_extraction(X), _shape_extraction_naive(X)
+        )
+
+    def test_matches_naive_raw_eigenvector(self, rng):
+        X = _family(rng, 7, 33)
+        fast = shape_extraction(X, znormalize=False)
+        naive = _shape_extraction_naive(X, znormalize=False)
+        assert abs(np.linalg.norm(fast) - 1.0) < 1e-9
+        _assert_same_shape_up_to_sign(fast, naive)
+
+    def test_constant_rows(self):
+        """Degenerate all-constant cluster: both paths see a zero scatter
+        matrix and must return the identical (deterministic) eigenvector."""
+        X = np.ones((4, 10)) * np.arange(1, 5)[:, None]
+        fast = shape_extraction(X)
+        naive = _shape_extraction_naive(X)
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+    def test_single_member_cluster(self, sine):
+        X = sine.reshape(1, -1)
+        np.testing.assert_allclose(
+            shape_extraction(X), _shape_extraction_naive(X), atol=1e-12
+        )
+        np.testing.assert_allclose(shape_extraction(X), zscore(sine))
+
+    def test_single_member_with_reference(self, sine):
+        X = shift_series(sine, 3).reshape(1, -1)
+        np.testing.assert_allclose(
+            shape_extraction(X, reference=sine),
+            _shape_extraction_naive(X, reference=sine),
+            atol=1e-12,
+        )
+
+    def test_identical_members(self, sine):
+        X = np.tile(sine, (5, 1))
+        _assert_same_shape_up_to_sign(
+            shape_extraction(X), _shape_extraction_naive(X)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_clusters_property(self, seed):
+        """Sweep of random member counts/lengths/shifts (property-style)."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 20))
+        m = int(rng.integers(8, 50))
+        base = zscore(rng.normal(0, 1, m))
+        X = np.stack([
+            shift_series(base, int(rng.integers(-3, 4)))
+            + rng.normal(0, 0.05, m)
+            for _ in range(n)
+        ])
+        _assert_same_shape_up_to_sign(
+            shape_extraction(X, reference=base),
+            _shape_extraction_naive(X, reference=base),
+        )
+
+
+class TestBatchedShift:
+    def test_matches_per_row_shift_series(self, rng):
+        X = rng.normal(0, 1, (12, 20))
+        shifts = rng.integers(-25, 26, 12)
+        batched = shift_series_batch(X, shifts)
+        looped = np.stack(
+            [shift_series(row, int(s)) for row, s in zip(X, shifts)]
+        )
+        np.testing.assert_array_equal(batched, looped)
+
+    def test_scalar_shift_broadcasts(self, rng):
+        X = rng.normal(0, 1, (4, 9))
+        np.testing.assert_array_equal(
+            shift_series_batch(X, 3),
+            np.stack([shift_series(row, 3) for row in X]),
+        )
+
+    def test_overshift_zeroes_rows(self, rng):
+        X = rng.normal(0, 1, (3, 7))
+        out = shift_series_batch(X, np.array([7, -7, 100]))
+        np.testing.assert_array_equal(out, np.zeros_like(X))
+
+    def test_bad_shift_shape_raises(self, rng):
+        with pytest.raises(ShapeMismatchError):
+            shift_series_batch(rng.normal(0, 1, (3, 7)), np.zeros(4, dtype=int))
+
+    def test_align_cluster_matches_per_row_reference(self, rng):
+        """align_cluster's one-gather path ≡ the seed per-row loop."""
+        from repro.core.shape_extraction import _alignment_shifts
+
+        X = _family(rng, 10, 48)
+        ref = X[0]
+        shifts = _alignment_shifts(X, ref)
+        looped = np.stack(
+            [shift_series(row, int(s)) for row, s in zip(X, shifts)]
+        )
+        np.testing.assert_array_equal(align_cluster(X, ref), looped)
+
+
+class TestMultiCentroidKernel:
+    def test_multi_matches_per_reference_batch(self, rng):
+        X = _family(rng, 15, 32)
+        C = _family(rng, 4, 32, freq=5.0)
+        m = X.shape[1]
+        fft_len = fft_len_for(m)
+        fft_X = rfft_batch(X, fft_len)
+        norms_X = np.linalg.norm(X, axis=1)
+        fft_C = rfft_batch(C, fft_len)
+        norms_C = np.linalg.norm(C, axis=1)
+        values, shifts = ncc_c_max_multi(
+            fft_X, norms_X, fft_C, norms_C, m, fft_len
+        )
+        for j in range(C.shape[0]):
+            v, s = ncc_c_max_batch(
+                fft_X, norms_X, fft_C[j], float(norms_C[j]), m, fft_len
+            )
+            np.testing.assert_array_equal(values[j], v)
+            np.testing.assert_array_equal(shifts[j], s)
+
+    def test_multi_chunking_is_invariant(self, rng):
+        X = _family(rng, 9, 16)
+        C = _family(rng, 5, 16, freq=4.0)
+        m = X.shape[1]
+        fft_len = fft_len_for(m)
+        fft_X = rfft_batch(X, fft_len)
+        norms_X = np.linalg.norm(X, axis=1)
+        fft_C = rfft_batch(C, fft_len)
+        norms_C = np.linalg.norm(C, axis=1)
+        full, _ = ncc_c_max_multi(fft_X, norms_X, fft_C, norms_C, m, fft_len)
+        tiny, _ = ncc_c_max_multi(
+            fft_X, norms_X, fft_C, norms_C, m, fft_len, max_chunk_bytes=1
+        )
+        np.testing.assert_array_equal(full, tiny)
+
+    def test_zero_norm_centroid_scores_safely(self, rng):
+        X = _family(rng, 6, 16)
+        C = np.zeros((2, 16))
+        C[0] = X[0]
+        m = X.shape[1]
+        fft_len = fft_len_for(m)
+        dists, shifts = sbd_to_centroids(
+            rfft_batch(X, fft_len), np.linalg.norm(X, axis=1), C, m, fft_len
+        )
+        assert np.all(dists[:, 1] == 1.0)
+        assert np.all(shifts[:, 1] == 0)
+
+
+class TestDirtyClusterDeterminism:
+    """Caching must be invisible: identical labels, centroids, inertia."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_cache_matches_always_recompute(self, seed, k):
+        rng = np.random.default_rng(99)
+        X = np.vstack([
+            _family(rng, 12, 48, freq=f) for f in (2.0, 3.5, 5.0, 7.0)
+        ])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            cached = KShape(k, random_state=seed, cache_clusters=True).fit(X)
+            fresh = KShape(k, random_state=seed, cache_clusters=False).fit(X)
+        np.testing.assert_array_equal(cached.labels_, fresh.labels_)
+        np.testing.assert_array_equal(cached.centroids_, fresh.centroids_)
+        assert cached.inertia_ == fresh.inertia_
+        assert cached.n_iter_ == fresh.n_iter_
+
+    def test_cache_matches_with_plusplus_init(self):
+        rng = np.random.default_rng(4)
+        X = np.vstack([_family(rng, 10, 32, freq=f) for f in (2.0, 6.0)])
+        cached = KShape(
+            2, random_state=1, init="plusplus", cache_clusters=True
+        ).fit(X)
+        fresh = KShape(
+            2, random_state=1, init="plusplus", cache_clusters=False
+        ).fit(X)
+        np.testing.assert_array_equal(cached.labels_, fresh.labels_)
+        np.testing.assert_array_equal(cached.centroids_, fresh.centroids_)
+
+    def test_phase_timings_recorded(self, two_class_data):
+        X, _ = two_class_data
+        model = KShape(2, random_state=0).fit(X)
+        phases = model.result_.extra["phase_seconds"]
+        assert set(phases) == {"align", "extract", "assign"}
+        assert all(v >= 0.0 for v in phases.values())
+
+
+class TestParallelRefinement:
+    def test_extraction_worker_is_picklable(self):
+        """The module-level worker must pickle so backend="processes" is
+        honored instead of silently downgrading to threads."""
+        assert pickle.loads(pickle.dumps(_extract_aligned_task)) is _extract_aligned_task
+
+    def test_threads_backend_matches_serial(self, two_class_data):
+        X, _ = two_class_data
+        serial = KShape(2, random_state=7).fit(X)
+        threaded = KShape(2, random_state=7, n_jobs=2, backend="threads").fit(X)
+        np.testing.assert_array_equal(serial.labels_, threaded.labels_)
+        np.testing.assert_array_equal(serial.centroids_, threaded.centroids_)
+
+    @pytest.mark.slow
+    def test_processes_backend_matches_serial(self, two_class_data):
+        X, _ = two_class_data
+        serial = KShape(2, random_state=7).fit(X)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)  # no fallback
+            procs = KShape(
+                2, random_state=7, n_jobs=2, backend="processes"
+            ).fit(X)
+        np.testing.assert_array_equal(serial.labels_, procs.labels_)
+        np.testing.assert_array_equal(serial.centroids_, procs.centroids_)
+
+
+class TestFunctionalPassthrough:
+    def test_kshape_forwards_init(self, two_class_data):
+        X, _ = two_class_data
+        result = kshape(X, 2, random_state=4, init="plusplus")
+        model = KShape(2, random_state=4, init="plusplus").fit(X)
+        np.testing.assert_array_equal(result.labels, model.labels_)
+
+    def test_kshape_forwards_assignment_distance(self, two_class_data):
+        from repro.distances import cdtw
+
+        X, _ = two_class_data
+
+        def metric(a, b):
+            return cdtw(a, b, 0.1)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            result = kshape(
+                X, 2, random_state=0, max_iter=10, assignment_distance=metric
+            )
+            model = KShape(
+                2, random_state=0, max_iter=10, assignment_distance=metric
+            ).fit(X)
+        np.testing.assert_array_equal(result.labels, model.labels_)
+
+    def test_kshape_forwards_cache_toggle(self, two_class_data):
+        X, _ = two_class_data
+        a = kshape(X, 2, random_state=2, cache_clusters=False)
+        b = kshape(X, 2, random_state=2, cache_clusters=True)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestCustomMetricCaching:
+    def test_dtw_ablation_still_converges(self, two_class_data):
+        """With a custom assignment metric the distance cache is off but
+        centroid caching still applies; results must stay stable."""
+        from repro.distances import cdtw
+
+        X, _ = two_class_data
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            a = KShape(
+                2, random_state=0, max_iter=15,
+                assignment_distance=lambda x, y: cdtw(x, y, 0.1),
+            ).fit(X)
+            b = KShape(
+                2, random_state=0, max_iter=15, cache_clusters=False,
+                assignment_distance=lambda x, y: cdtw(x, y, 0.1),
+            ).fit(X)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+        np.testing.assert_array_equal(a.centroids_, b.centroids_)
