@@ -1,0 +1,152 @@
+"""Micro-benchmark: brute-force vs pruned (c)DTW 1-NN wall-clock.
+
+PR 4 added the pruned nearest-neighbor engine
+(:class:`repro.distances.NeighborEngine`): batch-precomputed Keogh
+envelopes, vectorized LB_Kim/LB_Yi screening, ascending-bound candidate
+ordering, and ``cutoff=``-early-abandoning DTW confirmation. This bench
+classifies a CBF workload with both the dense ``cross_distances`` path and
+the engine, checks the predictions are **bit-identical**, and records the
+speedup plus the engine's per-tier pruning rates in ``BENCH_prune.json``
+at the repo root.
+
+Run standalone (full size)::
+
+    PYTHONPATH=src python benchmarks/bench_prune_1nn.py
+
+scaled down (CI)::
+
+    PYTHONPATH=src python benchmarks/bench_prune_1nn.py --smoke
+
+or through pytest (the full-size run is marked ``slow``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_prune_1nn.py -m slow
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.classification import one_nn_classify
+from repro.datasets import make_cbf
+from repro.distances import PruningStats
+from repro.preprocessing import zscore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_prune.json"
+
+BENCH_N_TRAIN = int(os.environ.get("REPRO_BENCH_PRUNE_NTRAIN", "100"))
+BENCH_N_TEST = int(os.environ.get("REPRO_BENCH_PRUNE_NTEST", "40"))
+BENCH_M = int(os.environ.get("REPRO_BENCH_PRUNE_M", "160"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_PRUNE_SEED", "11"))
+
+# The Table 2 rows the engine accelerates: (metric, engine window).
+ROWS = (
+    ("cdtw5", 0.05),
+    ("cdtw10", 0.10),
+)
+
+
+def make_workload(n_train: int, n_test: int, m: int, seed: int):
+    """A z-normalized CBF (cylinder-bell-funnel) train/test split."""
+    rng = np.random.default_rng(seed)
+    X, y = make_cbf(n_train + n_test, m, rng)
+    X = zscore(X)
+    return X[:n_train], y[:n_train], X[n_train:], y[n_train:]
+
+
+def run_benchmark(
+    n_train: int = BENCH_N_TRAIN,
+    n_test: int = BENCH_N_TEST,
+    m: int = BENCH_M,
+    seed: int = BENCH_SEED,
+    output: Path | None = None,
+) -> dict:
+    X_tr, y_tr, X_te, _ = make_workload(n_train, n_test, m, seed)
+
+    rows = {}
+    for metric, window in ROWS:
+        start = time.perf_counter()
+        brute = one_nn_classify(X_tr, y_tr, X_te, metric=metric)
+        brute_s = time.perf_counter() - start
+
+        stats = PruningStats()
+        start = time.perf_counter()
+        pruned = one_nn_classify(
+            X_tr, y_tr, X_te, metric=metric, lb_window=window, stats=stats
+        )
+        pruned_s = time.perf_counter() - start
+
+        identical = bool(np.array_equal(brute, pruned))
+        assert identical, f"pruned 1-NN diverged from brute force ({metric})"
+        rows[metric] = {
+            "brute_s": round(brute_s, 4),
+            "pruned_s": round(pruned_s, 4),
+            "speedup": round(brute_s / max(pruned_s, 1e-9), 3),
+            "predictions_identical": identical,
+            "pruning": {
+                k: (round(v, 4) if isinstance(v, float) else v)
+                for k, v in stats.as_dict().items()
+            },
+        }
+
+    report = {
+        "benchmark": "brute vs pruned (c)DTW 1-NN",
+        "n_train": n_train,
+        "n_test": n_test,
+        "m": m,
+        "seed": seed,
+        "rows": rows,
+    }
+    (OUTPUT if output is None else output).write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    return report
+
+
+@pytest.mark.slow
+def test_bench_prune_1nn_full():
+    """Full-size benchmark; writes BENCH_prune.json at the repo root."""
+    report = run_benchmark()
+    for metric, row in report["rows"].items():
+        assert row["predictions_identical"], metric
+        assert row["pruning"]["prune_rate"] > 0.5, metric
+    assert report["rows"]["cdtw5"]["speedup"] >= 3.0
+
+
+def test_bench_prune_1nn_smoke(tmp_path, monkeypatch):
+    """Scaled-down correctness pass of the benchmark harness itself."""
+    monkeypatch.setattr(
+        sys.modules[__name__], "OUTPUT", tmp_path / "BENCH_prune.json"
+    )
+    report = run_benchmark(n_train=25, n_test=10, m=64, seed=5)
+    for row in report["rows"].values():
+        assert row["predictions_identical"]
+        pruning = row["pruning"]
+        assert pruning["candidates"] == (
+            pruning["lb_kim"] + pruning["lb_yi"] + pruning["lb_keogh"]
+            + pruning["abandoned"] + pruning["full"]
+            + pruning["cached"] + pruning["skipped"]
+        )
+    assert (tmp_path / "BENCH_prune.json").exists()
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        # CI-sized pass; keep the committed full-size JSON untouched.
+        import tempfile
+
+        smoke_out = Path(tempfile.gettempdir()) / "BENCH_prune_smoke.json"
+        print(json.dumps(
+            run_benchmark(n_train=25, n_test=10, m=64, seed=5,
+                          output=smoke_out),
+            indent=2,
+        ))
+    else:
+        print(json.dumps(run_benchmark(), indent=2))

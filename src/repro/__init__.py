@@ -63,15 +63,23 @@ from .datasets import (
     make_ecg_five_days,
 )
 from .distances import (
+    NeighborEngine,
+    PruningStats,
+    cascade,
     cdtw,
     dtw,
     dtw_path,
     euclidean,
     get_distance,
+    keogh_envelope,
     ksc_distance,
     lb_keogh,
+    lb_keogh_max,
+    lb_kim,
+    lb_yi,
     list_distances,
     pairwise_distances,
+    pruned_medoid,
     register_distance,
 )
 from .evaluation import (
@@ -126,6 +134,14 @@ __all__ = [
     "cdtw",
     "dtw_path",
     "lb_keogh",
+    "lb_kim",
+    "lb_yi",
+    "lb_keogh_max",
+    "cascade",
+    "keogh_envelope",
+    "NeighborEngine",
+    "PruningStats",
+    "pruned_medoid",
     "ksc_distance",
     "get_distance",
     "list_distances",

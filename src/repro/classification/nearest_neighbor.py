@@ -14,15 +14,15 @@ deterministic. This module provides:
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .._validation import as_dataset
 from ..distances.base import DistanceFn, get_distance, make_cdtw
 from ..distances.dtw import dtw
-from ..distances.lower_bounds import lb_keogh
 from ..distances.matrix import cross_distances
+from ..distances.prune import NeighborEngine, PruningStats
 from ..exceptions import EmptyInputError, ShapeMismatchError
 
 __all__ = [
@@ -48,6 +48,9 @@ def one_nn_classify(
     X_test,
     metric: Union[str, DistanceFn] = "ed",
     lb_window=None,
+    stats: Optional[PruningStats] = None,
+    n_jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Predict a label for each test series from its nearest training series.
 
@@ -60,11 +63,21 @@ def one_nn_classify(
     metric:
         Registered distance name or callable.
     lb_window:
-        When set, candidates are first screened with LB_Keogh at this
-        Sakoe-Chiba window and the full distance is only computed when the
-        bound beats the best distance so far — the paper's ``_LB``
-        configurations. Only sound when ``metric`` is (c)DTW with the same
-        window.
+        When set, the search runs through the pruned
+        :class:`repro.distances.NeighborEngine`: training-set envelopes are
+        precomputed once per call, candidates are screened with the
+        LB_Kim → LB_Yi → LB_Keogh cascade at this Sakoe-Chiba window, and
+        survivors are confirmed with early-abandoning (c)DTW — the paper's
+        ``_LB`` configurations. Predictions are bit-identical to the
+        brute-force path. Only sound when ``metric`` is (c)DTW with a
+        window no wider than ``lb_window``.
+    stats:
+        Optional :class:`repro.distances.PruningStats` accumulator the
+        pruned search's per-tier counters are merged into.
+    n_jobs, backend:
+        Parallel execution of the pruned queries (see
+        :mod:`repro.parallel`); each query prunes independently, so results
+        are deterministic in the worker count. Ignored on the brute path.
 
     Returns
     -------
@@ -82,26 +95,11 @@ def one_nn_classify(
         dists = cross_distances(test, train, metric=metric)
         nearest = np.argmin(dists, axis=1)
         return labels[nearest]
-    fn = get_distance(metric) if isinstance(metric, str) else metric
-    predictions = np.empty(test.shape[0], dtype=labels.dtype)
-    for qi in range(test.shape[0]):
-        best_dist = np.inf
-        best_idx = 0
-        query = test[qi]
-        # Cheap bounds first, then scan in increasing-bound order so the
-        # best-so-far tightens as fast as possible.
-        bounds = np.array(
-            [lb_keogh(query, train[ti], lb_window) for ti in range(train.shape[0])]
-        )
-        for ti in np.argsort(bounds):
-            if bounds[ti] >= best_dist:
-                break  # all remaining bounds are at least this large
-            d = fn(query, train[ti])
-            if d < best_dist:
-                best_dist = d
-                best_idx = ti
-        predictions[qi] = labels[best_idx]
-    return predictions
+    engine = NeighborEngine(train, window=lb_window, metric=metric)
+    nearest, _ = engine.query_batch(test, n_jobs=n_jobs, backend=backend)
+    if stats is not None:
+        stats.merge(engine.stats)
+    return labels[nearest]
 
 
 def one_nn_accuracy(
@@ -111,12 +109,16 @@ def one_nn_accuracy(
     y_test,
     metric: Union[str, DistanceFn] = "ed",
     lb_window=None,
+    stats: Optional[PruningStats] = None,
+    n_jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> float:
     """Fraction of test series whose 1-NN label matches the true label."""
     test = as_dataset(X_test, "X_test")
     truth = _check_labels(test, y_test, "test")
     predicted = one_nn_classify(
-        X_train, y_train, X_test, metric=metric, lb_window=lb_window
+        X_train, y_train, X_test, metric=metric, lb_window=lb_window,
+        stats=stats, n_jobs=n_jobs, backend=backend,
     )
     return float(np.mean(predicted == truth))
 

@@ -25,7 +25,8 @@ from .._validation import check_positive_int
 from ..averaging.mean import arithmetic_mean
 from ..distances.base import DistanceFn, get_distance
 from ..distances.matrix import cross_distances
-from ..exceptions import ConvergenceWarning
+from ..distances.prune import NeighborEngine, PruningStats, dtw_window_of
+from ..exceptions import ConvergenceWarning, InvalidParameterError
 from ..parallel.executors import parallel_map
 from .base import (
     BaseClusterer,
@@ -70,6 +71,14 @@ class TimeSeriesKMeans(BaseClusterer):
         concurrently. Clusters are refined independently and assignment
         ties resolve identically, so labels are deterministic in the
         worker count.
+    prune:
+        Pruned assignment for (c)DTW metrics: each series' nearest
+        centroid is found through :class:`repro.distances.NeighborEngine`
+        (lower-bound cascade + early-abandoning DTW) instead of the dense
+        cross-distance matrix. ``None`` (default) enables it automatically
+        whenever ``metric`` is (c)DTW-like; ``True``/``False`` force it.
+        Exact: labels and inertia are bit-identical either way. Per-tier
+        counters accumulate in ``result_.extra["pruning_stats"]``.
 
     Notes
     -----
@@ -88,6 +97,7 @@ class TimeSeriesKMeans(BaseClusterer):
         random_state=None,
         n_jobs: Optional[int] = None,
         backend: Optional[str] = None,
+        prune: Optional[bool] = None,
     ):
         super().__init__(n_clusters, random_state)
         self.metric = metric
@@ -96,6 +106,7 @@ class TimeSeriesKMeans(BaseClusterer):
         self.n_init = check_positive_int(n_init, "n_init")
         self.n_jobs = n_jobs
         self.backend = backend
+        self.prune = prune
 
     def _metric_fn(self) -> Union[str, DistanceFn]:
         """Value handed to cross_distances (names keep vectorized paths)."""
@@ -120,27 +131,56 @@ class TimeSeriesKMeans(BaseClusterer):
         for j, centroid in zip(occupied, updated):
             centroids[j] = centroid
 
+    def _use_prune(self, metric) -> bool:
+        """Whether the assignment step goes through the pruned engine."""
+        if self.prune is False:
+            return False
+        is_dtw, _ = dtw_window_of(metric)
+        if self.prune and not is_dtw:
+            raise InvalidParameterError(
+                "prune=True requires a (c)DTW metric; the lower bounds are "
+                f"not admissible for {self.metric!r}"
+            )
+        return is_dtw
+
     def _single_run(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
         n, m = X.shape
         k = self.n_clusters
         metric = self._metric_fn()
+        pruned = self._use_prune(metric)
+        pruning = PruningStats()
         labels = random_assignment(n, k, rng)
         centroids = np.zeros((k, m))
         converged = False
         n_iter = 0
         dists = np.zeros((n, k))
+        point_dists = np.zeros(n)
         for n_iter in range(1, self.max_iter + 1):
             previous = labels
             self._refine_centroids(X, labels, centroids)
-            dists = cross_distances(
-                X,
-                centroids,
-                metric=metric,
-                n_jobs=self.n_jobs,
-                backend=self.backend,
-            )
-            labels = np.argmin(dists, axis=1)
-            labels = repair_empty_clusters(labels, k, rng)
+            if pruned:
+                engine = NeighborEngine(centroids, metric=metric)
+                assigned, best = engine.query_batch(
+                    X, n_jobs=self.n_jobs, backend=self.backend
+                )
+                pruning.merge(engine.stats)
+                labels = repair_empty_clusters(assigned, k, rng)
+                repaired = np.flatnonzero(labels != assigned)
+                if repaired.size:
+                    confirm = metric if callable(metric) else get_distance(metric)
+                    for i in repaired:
+                        best[i] = float(confirm(X[i], centroids[labels[i]]))
+                point_dists = best
+            else:
+                dists = cross_distances(
+                    X,
+                    centroids,
+                    metric=metric,
+                    n_jobs=self.n_jobs,
+                    backend=self.backend,
+                )
+                labels = np.argmin(dists, axis=1)
+                labels = repair_empty_clusters(labels, k, rng)
             if np.array_equal(labels, previous):
                 converged = True
                 break
@@ -151,13 +191,18 @@ class TimeSeriesKMeans(BaseClusterer):
                 ConvergenceWarning,
                 stacklevel=2,
             )
-        inertia = float(np.sum(dists[np.arange(n), labels] ** 2))
+        if pruned:
+            inertia = float(np.sum(point_dists**2))
+        else:
+            inertia = float(np.sum(dists[np.arange(n), labels] ** 2))
+        extra = {"pruning_stats": pruning} if pruned else {}
         return ClusterResult(
             labels=labels,
             centroids=centroids.copy(),
             inertia=inertia,
             n_iter=n_iter,
             converged=converged,
+            extra=extra,
         )
 
     def _fit(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:

@@ -25,7 +25,13 @@ import numpy as np
 
 from .._validation import check_positive_int
 from ..distances.base import DistanceFn
-from ..distances.matrix import pairwise_distances
+from ..distances.matrix import cross_distances, pairwise_distances
+from ..distances.prune import (
+    NeighborEngine,
+    PruningStats,
+    dtw_window_of,
+    pruned_medoid,
+)
 from ..exceptions import ConvergenceWarning, InvalidParameterError
 from .base import BaseClusterer, ClusterResult
 
@@ -100,12 +106,28 @@ class KMedoids(BaseClusterer):
         dissimilarity matrix. Ignored when ``fit`` is given a precomputed
         matrix via ``metric="precomputed"``.
     max_iter:
-        Cap on SWAP iterations (paper uses 100).
+        Cap on SWAP (or alternate) iterations (paper uses 100).
+    method:
+        ``"pam"`` (default) runs BUILD + SWAP over the full dissimilarity
+        matrix. ``"alternate"`` runs Voronoi iteration instead — assign
+        every series to its nearest medoid, then recompute each cluster's
+        medoid — which never materializes the ``n x n`` matrix and, for
+        (c)DTW metrics, routes the assignment step through the pruned
+        :class:`repro.distances.NeighborEngine` and the medoid updates
+        through :func:`repro.distances.pruned_medoid`.
+    prune:
+        Only meaningful with ``method="alternate"``: ``None`` (default)
+        prunes automatically when ``metric`` is (c)DTW-like, ``True``
+        forces it (raising for non-DTW metrics), ``False`` forces the
+        dense path. Pruning is exact — labels, medoids, and inertia are
+        bit-identical either way — and its per-tier counters land in
+        ``result_.extra["pruning_stats"]``.
     n_jobs, backend:
         Parallel execution of the dissimilarity matrix — forwarded to
         :func:`repro.distances.pairwise_distances` (see
         :mod:`repro.parallel`). The PAM phases themselves are unchanged,
-        so results are identical for any worker count.
+        so results are identical for any worker count. In alternate mode
+        the engine's batched queries parallelize the same way.
 
     Notes
     -----
@@ -122,14 +144,125 @@ class KMedoids(BaseClusterer):
         random_state=None,
         n_jobs: Optional[int] = None,
         backend: Optional[str] = None,
+        method: str = "pam",
+        prune: Optional[bool] = None,
     ):
         super().__init__(n_clusters, random_state)
         self.metric = metric
         self.max_iter = check_positive_int(max_iter, "max_iter")
         self.n_jobs = n_jobs
         self.backend = backend
+        if method not in ("pam", "alternate"):
+            raise InvalidParameterError(
+                f"method must be 'pam' or 'alternate', got {method!r}"
+            )
+        self.method = method
+        self.prune = prune
+
+    def _use_prune(self) -> bool:
+        if self.prune is False:
+            return False
+        is_dtw, _ = dtw_window_of(self.metric)
+        if self.prune and not is_dtw:
+            raise InvalidParameterError(
+                "prune=True requires a (c)DTW metric; the lower bounds are "
+                f"not admissible for {self.metric!r}"
+            )
+        return is_dtw
+
+    def _assign(
+        self, X: np.ndarray, medoids: np.ndarray, pruned: bool,
+        pruning: PruningStats,
+    ) -> tuple:
+        """Labels and nearest-medoid distances for every series."""
+        if pruned:
+            engine = NeighborEngine(X[medoids], metric=self.metric)
+            labels, dists = engine.query_batch(
+                X, n_jobs=self.n_jobs, backend=self.backend
+            )
+            pruning.merge(engine.stats)
+            return labels, dists
+        D = cross_distances(
+            X, X[medoids], metric=self.metric,
+            n_jobs=self.n_jobs, backend=self.backend,
+        )
+        labels = np.argmin(D, axis=1)
+        return labels, D[np.arange(X.shape[0]), labels]
+
+    def _fit_alternate(
+        self, X: np.ndarray, rng: np.random.Generator
+    ) -> ClusterResult:
+        n = X.shape[0]
+        k = self.n_clusters
+        pruned = self._use_prune()
+        pruning = PruningStats()
+        medoids = rng.choice(n, size=k, replace=False)
+        converged = False
+        n_iter = 0
+        labels = np.zeros(n, dtype=np.int64)
+        dists = np.zeros(n)
+        def assign_repaired(medoids):
+            labels, dists = self._assign(X, medoids, pruned, pruning)
+            # Every medoid anchors its own cluster; forcing one back may
+            # empty another cluster, so sweep until no cluster is empty.
+            for _ in range(k):
+                empties = [j for j in range(k) if not np.any(labels == j)]
+                if not empties:
+                    break
+                for j in empties:
+                    labels[medoids[j]] = j
+                    dists[medoids[j]] = 0.0
+            return labels, dists
+
+        for n_iter in range(1, self.max_iter + 1):
+            labels, dists = assign_repaired(medoids)
+            new_medoids = medoids.copy()
+            for j in range(k):
+                members = np.flatnonzero(labels == j)
+                if pruned:
+                    local, _ = pruned_medoid(
+                        X[members], metric=self.metric, stats=pruning
+                    )
+                else:
+                    Dc = pairwise_distances(
+                        X[members], metric=self.metric,
+                        n_jobs=self.n_jobs, backend=self.backend,
+                    )
+                    local = int(np.argmin(Dc.sum(axis=1)))
+                new_medoids[j] = members[local]
+            if np.array_equal(new_medoids, medoids):
+                converged = True
+                break
+            medoids = new_medoids
+        if not converged:
+            warnings.warn(
+                f"alternate k-medoids did not converge in "
+                f"{self.max_iter} iterations",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+            labels, dists = assign_repaired(medoids)
+        inertia = float(np.sum(dists**2))
+        extra = {"medoid_indices": medoids}
+        if pruned:
+            extra["pruning_stats"] = pruning
+        return ClusterResult(
+            labels=labels,
+            centroids=X[medoids].copy(),
+            inertia=inertia,
+            n_iter=n_iter,
+            converged=converged,
+            extra=extra,
+        )
 
     def _fit(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
+        if self.method == "alternate":
+            if isinstance(self.metric, str) and self.metric == "precomputed":
+                raise InvalidParameterError(
+                    "method='alternate' works on raw series; use "
+                    "method='pam' with a precomputed matrix"
+                )
+            return self._fit_alternate(X, rng)
         if isinstance(self.metric, str) and self.metric == "precomputed":
             D = np.asarray(X, dtype=np.float64)
             if D.ndim != 2 or D.shape[0] != D.shape[1]:

@@ -72,9 +72,20 @@ def resolve_window(window, m: int) -> Optional[int]:
 
 
 def _accumulate_diagonals(
-    x: np.ndarray, y: np.ndarray, w: Optional[int]
+    x: np.ndarray, y: np.ndarray, w: Optional[int], cutoff_sq: Optional[float] = None
 ) -> float:
-    """Anti-diagonal DP for the accumulated DTW cost; returns gamma(mx-1, my-1)."""
+    """Anti-diagonal DP for the accumulated DTW cost; returns gamma(mx-1, my-1).
+
+    With ``cutoff_sq`` set, the computation is abandoned — returning ``inf``
+    — as soon as two consecutive anti-diagonals hold no cell at or below the
+    cutoff. A warping step advances ``i + j`` by 1 or 2, so every complete
+    path touches at least one of any two consecutive diagonals; accumulated
+    costs never decrease along a path, hence no path can finish at or below
+    the cutoff once both diagonals exceed it. Exact: the DP values computed
+    are untouched, so a non-abandoned result is bit-identical to the
+    unconstrained run, and abandonment proves the true cost is strictly
+    greater than ``cutoff_sq``.
+    """
     mx, my = x.shape[0], y.shape[0]
     if w is not None:
         # The band must be wide enough to connect corners of a non-square matrix.
@@ -82,6 +93,7 @@ def _accumulate_diagonals(
     inf = np.inf
     prev = np.full(mx, inf)   # gamma on diagonal d-1, indexed by i
     prev2 = np.full(mx, inf)  # gamma on diagonal d-2, indexed by i
+    prev_min = inf            # min over the band cells of diagonal d-1
     for d in range(mx + my - 1):
         i_lo = max(0, d - my + 1)
         i_hi = min(mx - 1, d)
@@ -92,6 +104,7 @@ def _accumulate_diagonals(
         cur = np.full(mx, inf)
         if i_lo > i_hi:
             prev2, prev = prev, cur
+            prev_min = inf
             continue
         idx = np.arange(i_lo, i_hi + 1)
         cost = (x[idx] - y[d - idx]) ** 2
@@ -106,11 +119,16 @@ def _accumulate_diagonals(
                 # Cell (0, d) can only come from (0, d-1).
                 best[0] = prev[0]
             cur[idx] = cost + best
+        if cutoff_sq is not None:
+            cur_min = float(cur[i_lo: i_hi + 1].min())
+            if cur_min > cutoff_sq and prev_min > cutoff_sq:
+                return inf
+            prev_min = cur_min
         prev2, prev = prev, cur
     return float(prev[mx - 1])
 
 
-def dtw(x, y, window=None) -> float:
+def dtw(x, y, window=None, cutoff=None) -> float:
     """DTW distance between two series (optionally Sakoe-Chiba constrained).
 
     Parameters
@@ -120,24 +138,40 @@ def dtw(x, y, window=None) -> float:
     window:
         ``None`` for full DTW; an int (cells) or float (fraction of the
         longer length) for the Sakoe-Chiba half-width.
+    cutoff:
+        Early-abandoning threshold in the same sqrt-of-squares scale as the
+        return value (a best-so-far distance in nearest-neighbor search).
+        Whenever the true distance is ``<= cutoff`` the result is
+        bit-identical to the uncutoff call; ``inf`` is returned only when
+        the true distance is provably strictly greater. ``None`` (default)
+        disables abandoning.
 
     Returns
     -------
     float
         ``sqrt`` of the accumulated squared-difference cost of the optimal
-        warping path (Equation 4).
+        warping path (Equation 4), or ``inf`` when abandoned at ``cutoff``.
     """
     xv = as_series(x, "x")
     yv = as_series(y, "y")
     w = resolve_window(window, max(xv.shape[0], yv.shape[0]))
-    return float(np.sqrt(_accumulate_diagonals(xv, yv, w)))
+    cutoff_sq = None
+    if cutoff is not None:
+        if cutoff < 0:
+            return np.inf  # distances are non-negative, so anything exceeds it
+        if np.isfinite(cutoff):
+            cutoff_sq = float(cutoff) ** 2
+    return float(np.sqrt(_accumulate_diagonals(xv, yv, w, cutoff_sq)))
 
 
-def cdtw(x, y, window=0.05) -> float:
-    """Constrained DTW with a Sakoe-Chiba band (default 5%, the paper's cDTW5)."""
+def cdtw(x, y, window=0.05, cutoff=None) -> float:
+    """Constrained DTW with a Sakoe-Chiba band (default 5%, the paper's cDTW5).
+
+    ``cutoff`` enables exact early abandoning exactly as in :func:`dtw`.
+    """
     if window is None:
         raise InvalidParameterError("cdtw requires a window; use dtw for none")
-    return dtw(x, y, window=window)
+    return dtw(x, y, window=window, cutoff=cutoff)
 
 
 def sakoe_chiba_mask(mx: int, my: int, window) -> np.ndarray:

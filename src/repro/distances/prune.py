@@ -1,0 +1,533 @@
+"""Pruned nearest-neighbor engine: lower-bound cascade + early abandoning.
+
+The paper's ``cDTW_LB`` baselines (Table 2) exist because full (c)DTW is
+the cost center of 1-NN and medoid-style evaluation; the UCR Suite [65] it
+cites shows that cascading progressively tighter lower bounds and
+abandoning the DTW recurrence once it provably exceeds the best-so-far
+prunes the vast majority of candidates. :class:`NeighborEngine` packages
+that pipeline for a *fixed candidate set*:
+
+1. the Keogh envelopes of all candidates are precomputed **once** with a
+   single vectorized filter call (:func:`repro.distances.lower_bounds.keogh_envelope`
+   on the 2-D candidate matrix);
+2. per query, LB_Kim and LB_Yi are evaluated vectorized over *all*
+   candidates at once (one broadcast each instead of a Python loop per
+   pair);
+3. survivors get the symmetric LB_Keogh (both envelope directions,
+   vectorized), are ordered by ascending bound, and are confirmed with
+   ``cutoff=``-early-abandoning :func:`repro.distances.dtw.dtw` — exact,
+   never approximate, so results are bit-identical to brute force
+   (``argmin`` ties included: the lowest candidate index wins).
+
+Every tier reports how many candidates it killed through
+:class:`PruningStats`, so benchmarks can record pruning *power*, not just
+wall-clock.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_dataset, as_series, check_equal_length
+from ..exceptions import InvalidParameterError
+from .base import DistanceFn, get_distance
+from .dtw import cdtw, dtw, resolve_window
+from .lower_bounds import keogh_envelope
+
+__all__ = ["PruningStats", "NeighborEngine", "dtw_window_of", "pruned_medoid"]
+
+
+@dataclass
+class PruningStats:
+    """Per-tier accounting of a pruned search.
+
+    Attributes
+    ----------
+    candidates:
+        Total (query, candidate) pairs considered.
+    lb_kim / lb_yi / lb_keogh:
+        Pairs discarded by that bound tier (cheapest sufficient tier wins
+        the attribution).
+    abandoned:
+        Pairs whose DTW recurrence was started but abandoned at the cutoff.
+    full:
+        Pairs whose (c)DTW ran to completion.
+    cached:
+        Pairs answered from a symmetric-distance cache (medoid search).
+    skipped:
+        Pairs never examined because their candidate was already ruled out
+        (medoid search: the candidate's running total went over budget).
+
+    The tiers partition the work: ``candidates == lb_kim + lb_yi + lb_keogh
+    + abandoned + full + cached + skipped``.
+    """
+
+    candidates: int = 0
+    lb_kim: int = 0
+    lb_yi: int = 0
+    lb_keogh: int = 0
+    abandoned: int = 0
+    full: int = 0
+    cached: int = 0
+    skipped: int = 0
+
+    def merge(self, other: "PruningStats") -> "PruningStats":
+        """Accumulate ``other``'s counters into this instance (returns self)."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    @property
+    def pruned(self) -> int:
+        """Pairs resolved without completing a full (c)DTW."""
+        return self.candidates - self.full
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of pairs resolved without a full (c)DTW."""
+        return self.pruned / self.candidates if self.candidates else 0.0
+
+    def as_dict(self) -> dict:
+        """Counters plus derived rates, ready for JSON reports."""
+        out = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        out["prune_rate"] = self.prune_rate
+        total = max(self.candidates, 1)
+        for tier in ("lb_kim", "lb_yi", "lb_keogh", "abandoned"):
+            out[f"{tier}_rate"] = getattr(self, tier) / total
+        return out
+
+
+def dtw_window_of(metric) -> Tuple[bool, object]:
+    """Classify a metric as (c)DTW and extract its Sakoe-Chiba window.
+
+    Recognizes the registered names (``"dtw"``, ``"cdtw5"``, ``"cdtw10"``,
+    and any name whose registered callable qualifies), the :func:`dtw` /
+    :func:`cdtw` callables themselves, and :func:`functools.partial`
+    wrappers over them — which is what :func:`repro.distances.make_cdtw`
+    produces.
+
+    Returns
+    -------
+    (is_dtw_like, window):
+        ``window`` is the metric's window spec (``None`` for unconstrained
+        DTW) and only meaningful when ``is_dtw_like`` is True.
+    """
+    if isinstance(metric, str):
+        try:
+            fn = get_distance(metric)
+        except Exception:
+            return False, None
+        return dtw_window_of(fn)
+    if metric is dtw:
+        return True, None
+    if metric is cdtw:
+        return True, 0.05  # cdtw's default window
+    if isinstance(metric, functools.partial) and not metric.args:
+        if metric.func is dtw:
+            return True, metric.keywords.get("window", None)
+        if metric.func is cdtw:
+            return True, metric.keywords.get("window", 0.05)
+    return False, None
+
+
+class NeighborEngine:
+    """Batched, exact, lower-bound-pruned nearest-neighbor search.
+
+    Parameters
+    ----------
+    candidates:
+        ``(n, m)`` candidate set the queries are matched against (a 1-NN
+        training set, the current centroids of a k-means run, ...).
+    window:
+        Sakoe-Chiba window used for the Keogh envelopes and — when
+        ``metric`` is None — for the confirming cDTW (``None`` means
+        unconstrained DTW; the envelopes then degenerate to the global
+        extremes, which is still admissible).
+    metric:
+        ``None`` (default) confirms survivors with ``(c)DTW`` at
+        ``window``. A (c)DTW name or callable (see :func:`dtw_window_of`)
+        confirms with *that* metric, early-abandoning at the best-so-far —
+        bit-identical to calling the metric directly. Any other callable is
+        used verbatim without abandoning; the caller is then responsible
+        for the bounds being admissible for it (the legacy ``lb_window``
+        contract).
+
+    Notes
+    -----
+    When both ``window`` and a windowed metric are given, the envelope uses
+    the *wider* of the two so the bounds stay admissible for the confirming
+    distance.
+    """
+
+    def __init__(self, candidates, window=None, metric=None):
+        C = as_dataset(candidates, "candidates")
+        self._C = C
+        self.n_candidates, self.m = C.shape
+        self.window = window
+        self._fn: Optional[DistanceFn] = None
+        if metric is None:
+            self._confirm_window = window
+        else:
+            is_dtw, metric_window = dtw_window_of(metric)
+            if is_dtw:
+                self._confirm_window = metric_window
+            else:
+                self._fn = get_distance(metric) if isinstance(metric, str) else metric
+                if not callable(self._fn):
+                    raise InvalidParameterError(
+                        f"metric must be a distance name or callable, got {metric!r}"
+                    )
+                self._confirm_window = None
+        if self._fn is None:
+            env_cells = self._envelope_cells(window, metric)
+        else:
+            env_cells = resolve_window(window, self.m)
+            if env_cells is None:
+                env_cells = self.m
+        self.window_cells_ = env_cells
+        self._upper, self._lower = keogh_envelope(C, env_cells)
+        if self.n_candidates == 1:
+            self._upper = self._upper.reshape(1, -1)
+            self._lower = self._lower.reshape(1, -1)
+        self._first = C[:, 0]
+        self._last = C[:, -1]
+        self._max = C.max(axis=1)
+        self._min = C.min(axis=1)
+        self.stats = PruningStats()
+
+    def _envelope_cells(self, window, metric) -> int:
+        """Envelope half-width in cells: at least as wide as the confirm band."""
+        cells = resolve_window(window, self.m)
+        if metric is not None:
+            confirm_cells = resolve_window(self._confirm_window, self.m)
+            if confirm_cells is None:
+                confirm_cells = self.m
+            cells = confirm_cells if cells is None else max(cells, confirm_cells)
+        return self.m if cells is None else cells
+
+    # -- bound tiers --------------------------------------------------------
+
+    def _kim(self, xv: np.ndarray) -> np.ndarray:
+        """LB_Kim for ``xv`` against every candidate, vectorized."""
+        return np.maximum.reduce([
+            np.abs(xv[0] - self._first),
+            np.abs(xv[-1] - self._last),
+            np.abs(xv.max() - self._max),
+            np.abs(xv.min() - self._min),
+        ])
+
+    def _yi(self, xv: np.ndarray) -> np.ndarray:
+        """LB_Yi for ``xv`` against every candidate, vectorized.
+
+        The excursions are formed directly (not through expanded prefix-sum
+        algebra) so the result carries only relative rounding error — an
+        expanded ``s2 - 2*hi*s1 + n*hi^2`` form can leave absolute
+        cancellation noise that overshoots a near-zero true bound and would
+        break exact pruning on near-duplicate candidates.
+        """
+        above = np.maximum(xv[None, :] - self._max[:, None], 0.0)
+        below = np.maximum(self._min[:, None] - xv[None, :], 0.0)
+        return np.sqrt(
+            np.einsum("ij,ij->i", above, above)
+            + np.einsum("ij,ij->i", below, below)
+        )
+
+    def _keogh(self, xv: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Symmetric LB_Keogh for ``xv`` against candidates ``rows``."""
+        above = np.maximum(xv[None, :] - self._upper[rows], 0.0)
+        below = np.maximum(self._lower[rows] - xv[None, :], 0.0)
+        forward = np.einsum("ij,ij->i", above, above) + np.einsum(
+            "ij,ij->i", below, below
+        )
+        q_upper, q_lower = keogh_envelope(xv, self.window_cells_)
+        cand = self._C[rows]
+        above_r = np.maximum(cand - q_upper[None, :], 0.0)
+        below_r = np.maximum(q_lower[None, :] - cand, 0.0)
+        reverse = np.einsum("ij,ij->i", above_r, above_r) + np.einsum(
+            "ij,ij->i", below_r, below_r
+        )
+        return np.sqrt(np.maximum(forward, reverse))
+
+    def lower_bounds(self, x) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(lb_kim, lb_yi, lb_keogh)`` arrays of ``x`` vs every candidate.
+
+        The Keogh tier is the symmetric (both-direction) variant, matching
+        :func:`repro.distances.lb_keogh_max` at the engine's envelope
+        window.
+        """
+        xv = as_series(x, "x")
+        check_equal_length(xv, self._C)
+        rows = np.arange(self.n_candidates)
+        return self._kim(xv), self._yi(xv), self._keogh(xv, rows)
+
+    # -- confirmation -------------------------------------------------------
+
+    def _confirm(self, xv: np.ndarray, index: int, cutoff: float) -> float:
+        if self._fn is not None:
+            return float(self._fn(xv, self._C[index]))
+        return dtw(xv, self._C[index], window=self._confirm_window, cutoff=cutoff)
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, x, cutoff: float = np.inf) -> Tuple[int, float]:
+        """Nearest candidate to ``x``: exact, bit-identical to brute force.
+
+        Returns ``(index, distance)`` where ``index`` is the lowest
+        candidate index achieving the minimum distance (``numpy.argmin``
+        semantics). With a finite ``cutoff`` (a shared upper bound from
+        another tile of the search), candidates farther than ``cutoff`` are
+        ignored and ``(-1, inf)`` is returned when none qualifies.
+        """
+        xv = as_series(x, "x")
+        check_equal_length(xv, self._C)
+        index, dist, stats = self._query(xv, float(cutoff))
+        self.stats.merge(stats)
+        return index, dist
+
+    def _query(
+        self, xv: np.ndarray, cutoff: float
+    ) -> Tuple[int, float, PruningStats]:
+        stats = PruningStats(candidates=self.n_candidates)
+        kim = self._kim(xv)
+        yi = self._yi(xv)
+        pre = np.maximum(kim, yi)
+        best = cutoff
+        best_idx = -1
+
+        def prunable(bound: float, idx: int) -> bool:
+            # A bound never exceeds the true distance, so pruning needs the
+            # bound to rule out both a strictly better distance and a tie
+            # at a lower index.
+            return bound > best or (
+                bound == best and best_idx != -1 and idx > best_idx
+            )
+
+        # Seed the upper bound with the cheapest-looking candidate so the
+        # Keogh tier and the scan start from a tight best-so-far.
+        seed = int(np.argmin(pre))
+        if not prunable(pre[seed], seed):
+            d = self._confirm(xv, seed, best)
+            if np.isinf(d):
+                stats.abandoned += 1
+            else:
+                stats.full += 1
+                if d < best or (d == best and (best_idx == -1 or seed < best_idx)):
+                    best, best_idx = d, seed
+        else:  # the external cutoff already rules it out
+            stats.lb_kim += 1 if prunable(kim[seed], seed) else 0
+            stats.lb_yi += 0 if prunable(kim[seed], seed) else 1
+
+        rows = np.arange(self.n_candidates)
+        rest = rows[rows != seed]
+        pre_prunable = (pre[rest] > best) | (
+            (pre[rest] == best) & (best_idx != -1) & (rest > best_idx)
+        )
+        cheap_killed = rest[pre_prunable]
+        kim_killed = (kim[cheap_killed] > best) | (
+            (kim[cheap_killed] == best) & (best_idx != -1) & (cheap_killed > best_idx)
+        )
+        stats.lb_kim += int(np.count_nonzero(kim_killed))
+        stats.lb_yi += int(cheap_killed.shape[0] - np.count_nonzero(kim_killed))
+
+        survivors = rest[~pre_prunable]
+        if survivors.shape[0] == 0:
+            return best_idx, (best if best_idx != -1 else np.inf), stats
+        keogh = self._keogh(xv, survivors)
+        bound = np.maximum(pre[survivors], keogh)
+        order = np.argsort(bound, kind="stable")
+        for pos, oi in enumerate(order):
+            ti = int(survivors[oi])
+            b = float(bound[oi])
+            if b > best:
+                # Sorted ascending: every remaining candidate is pruned too.
+                remaining = survivors[order[pos:]]
+                rem_kim = (kim[remaining] > best) | (
+                    (kim[remaining] == best)
+                    & (best_idx != -1)
+                    & (remaining > best_idx)
+                )
+                rem_pre = (pre[remaining] > best) | (
+                    (pre[remaining] == best)
+                    & (best_idx != -1)
+                    & (remaining > best_idx)
+                )
+                n_kim = int(np.count_nonzero(rem_kim))
+                n_yi = int(np.count_nonzero(rem_pre & ~rem_kim))
+                stats.lb_kim += n_kim
+                stats.lb_yi += n_yi
+                stats.lb_keogh += int(remaining.shape[0] - n_kim - n_yi)
+                break
+            if prunable(b, ti):
+                if prunable(float(kim[ti]), ti):
+                    stats.lb_kim += 1
+                elif prunable(float(pre[ti]), ti):
+                    stats.lb_yi += 1
+                else:
+                    stats.lb_keogh += 1
+                continue
+            d = self._confirm(xv, ti, best)
+            if np.isinf(d):
+                stats.abandoned += 1
+                continue
+            stats.full += 1
+            if d < best or (d == best and (best_idx == -1 or ti < best_idx)):
+                best, best_idx = d, ti
+        return best_idx, (best if best_idx != -1 else np.inf), stats
+
+    def query_batch(
+        self,
+        Q,
+        cutoff: float = np.inf,
+        n_jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Nearest candidate for every row of ``Q``.
+
+        Queries prune independently (each starting from the shared
+        ``cutoff`` upper bound) so they parallelize over the
+        :func:`repro.parallel.parallel_map` executors; results and
+        statistics are deterministic in the worker count.
+
+        Returns
+        -------
+        (indices, distances):
+            ``(q,)`` integer and float arrays.
+        """
+        data = as_dataset(Q, "Q")
+        check_equal_length(data, self._C)
+        from ..parallel.executors import parallel_map
+
+        results = parallel_map(
+            lambda row: self._query(row, float(cutoff)),
+            list(data),
+            n_jobs=n_jobs,
+            backend=backend,
+        )
+        indices = np.fromiter((r[0] for r in results), dtype=np.int64)
+        distances = np.fromiter((r[1] for r in results), dtype=np.float64)
+        for _, _, stats in results:
+            self.stats.merge(stats)
+        return indices, distances
+
+
+def pruned_medoid(
+    X,
+    window=None,
+    metric=None,
+    stats: Optional[PruningStats] = None,
+) -> Tuple[int, float]:
+    """Index of the member of ``X`` minimizing its summed distance to the rest.
+
+    The medoid-update step of alternating k-medoids, pruned with the same
+    machinery as :class:`NeighborEngine`: the full lower-bound matrix is
+    precomputed vectorized (one engine pass per row), candidates are
+    scanned in ascending bound-sum order, every pair inherits the running
+    budget ``best_total - partial_sum - remaining_bounds`` as its DTW
+    cutoff, and exact symmetric distances are cached so each surviving pair
+    is computed once.
+
+    ``metric`` must be (c)DTW-like (see :func:`dtw_window_of`); ``None``
+    confirms with ``(c)DTW`` at ``window``.
+
+    Returns
+    -------
+    (index, total):
+        The winning member index and its summed distance.
+    """
+    data = as_dataset(X, "X")
+    n = data.shape[0]
+    if n == 1:
+        return 0, 0.0
+    engine = NeighborEngine(data, window=window, metric=metric)
+    if engine._fn is not None:
+        raise InvalidParameterError(
+            "pruned_medoid requires a (c)DTW metric; "
+            "got a metric the bounds are not admissible for"
+        )
+    local = PruningStats(candidates=n * (n - 1))
+    kim_m = np.empty((n, n))
+    yi_m = np.empty((n, n))
+    keogh_m = np.empty((n, n))
+    rows = np.arange(n)
+    for i in range(n):
+        kim_m[i] = engine._kim(data[i])
+        yi_m[i] = engine._yi(data[i])
+        keogh_m[i] = engine._keogh(data[i], rows)
+    lb = np.maximum.reduce([kim_m, yi_m, keogh_m])
+    np.fill_diagonal(lb, 0.0)
+    lb_sums = lb.sum(axis=1)
+    order = np.argsort(lb_sums, kind="stable")
+    cache: dict = {}
+    best_total = np.inf
+    best_idx = int(order[0])
+    for ci in order:
+        i = int(ci)
+        row_lb = lb[i]
+        if lb_sums[i] >= best_total and np.isfinite(best_total):
+            # The whole candidate is ruled out by its bound-sum; attribute
+            # its pairs to the cheapest tier whose row-sum alone suffices.
+            row_kim = kim_m[i].sum() - kim_m[i, i]
+            row_yi = np.maximum(kim_m[i], yi_m[i]).sum() - max(
+                kim_m[i, i], yi_m[i, i]
+            )
+            if row_kim >= best_total:
+                local.lb_kim += n - 1
+            elif row_yi >= best_total:
+                local.lb_yi += n - 1
+            else:
+                local.lb_keogh += n - 1
+            continue
+        others = rows[rows != i]
+        # Visit the loosest-bounded pairs first so the cached/easy mass is
+        # subtracted from the budget as late as possible.
+        scan = others[np.argsort(-row_lb[others], kind="stable")]
+        total = 0.0
+        rest = float(row_lb[others].sum())
+        dead = False
+        for pos, j in enumerate(scan):
+            j = int(j)
+            rest -= float(row_lb[j])
+            budget = best_total - total - rest
+            key = (i, j) if i < j else (j, i)
+            if key in cache:
+                local.cached += 1
+                d = cache[key]
+            else:
+                if row_lb[j] > budget:
+                    if kim_m[i, j] > budget:
+                        local.lb_kim += 1
+                    elif max(kim_m[i, j], yi_m[i, j]) > budget:
+                        local.lb_yi += 1
+                    else:
+                        local.lb_keogh += 1
+                    local.skipped += len(scan) - pos - 1
+                    dead = True
+                    break
+                d = dtw(
+                    data[i],
+                    data[j],
+                    window=engine._confirm_window,
+                    cutoff=budget if np.isfinite(budget) else None,
+                )
+                if np.isinf(d):
+                    local.abandoned += 1
+                    local.skipped += len(scan) - pos - 1
+                    dead = True
+                    break
+                local.full += 1
+                cache[key] = d
+            total += d
+            if total + rest >= best_total and np.isfinite(best_total):
+                local.skipped += len(scan) - pos - 1
+                dead = True
+                break
+        if not dead and total < best_total:
+            best_total = total
+            best_idx = i
+    if stats is not None:
+        stats.merge(local)
+    return best_idx, float(best_total)

@@ -86,6 +86,53 @@ class TestResolveWindow:
         with pytest.raises(InvalidParameterError):
             resolve_window(True, 10)
 
+    def test_fraction_rounds_down_at_length_one(self):
+        # floor(0.5 * 1) = 0: a sub-cell fraction of a single point is no band.
+        assert resolve_window(0.5, 1) == 0
+        assert resolve_window(1.0, 1) == 1
+
+
+class TestCutoff:
+    def test_bit_identical_when_within_cutoff(self, rng):
+        for _ in range(20):
+            x = rng.normal(0, 1, 30)
+            y = rng.normal(0, 1, 30)
+            for w in (None, 3, 0.1):
+                full = dtw(x, y, window=w)
+                assert dtw(x, y, window=w, cutoff=full) == full
+                assert dtw(x, y, window=w, cutoff=full + 1.0) == full
+                assert dtw(x, y, window=w, cutoff=np.inf) == full
+
+    def test_inf_only_when_strictly_greater(self, rng):
+        for _ in range(20):
+            x = rng.normal(0, 1, 30)
+            y = rng.normal(0, 1, 30)
+            full = dtw(x, y, window=4)
+            got = dtw(x, y, window=4, cutoff=full * 0.5)
+            assert got == full or np.isinf(got)
+            if np.isinf(got):
+                assert full > full * 0.5
+
+    def test_abandons_far_pair(self, rng):
+        x = rng.normal(0, 1, 40)
+        y = rng.normal(20, 1, 40)
+        assert np.isinf(dtw(x, y, cutoff=1.0))
+
+    def test_negative_cutoff_always_abandons(self, rng):
+        x = rng.normal(0, 1, 10)
+        assert np.isinf(dtw(x, x, cutoff=-1.0))
+        assert np.isinf(dtw(x, x, cutoff=-np.inf))
+
+    def test_zero_cutoff_keeps_exact_match(self, rng):
+        x = rng.normal(0, 1, 10)
+        assert dtw(x, x, cutoff=0.0) == 0.0
+
+    def test_cdtw_forwards_cutoff(self, rng):
+        x = rng.normal(0, 1, 30)
+        y = rng.normal(0, 1, 30)
+        full = cdtw(x, y, window=0.1)
+        assert cdtw(x, y, window=0.1, cutoff=full) == full
+
 
 class TestSakoeChibaMask:
     def test_diagonal_always_inside(self):

@@ -40,6 +40,33 @@ class TestEnvelope:
         assert np.array_equal(l_frac, l_abs)
 
 
+class TestBatchEnvelope:
+    def test_batch_rows_match_per_row(self, rng):
+        Y = rng.normal(0, 1, (7, 40))
+        for w in (0, 3, 0.05, None):
+            bu, bl = keogh_envelope(Y, w)
+            assert bu.shape == Y.shape and bl.shape == Y.shape
+            for i in range(Y.shape[0]):
+                u, l = keogh_envelope(Y[i], w)
+                assert np.array_equal(bu[i], u)
+                assert np.array_equal(bl[i], l)
+
+    def test_one_d_shape_preserved(self, rng):
+        y = rng.normal(0, 1, 30)
+        upper, lower = keogh_envelope(y, 4)
+        assert upper.shape == (30,) and lower.shape == (30,)
+        # A (1, m) input keeps the legacy 1-D contract.
+        u2, l2 = keogh_envelope(y.reshape(1, -1), 4)
+        assert u2.shape == (30,)
+        assert np.array_equal(u2, upper) and np.array_equal(l2, lower)
+
+    def test_precomputed_envelope_matches_inline(self, rng):
+        x = rng.normal(0, 1, 40)
+        y = rng.normal(0, 1, 40)
+        env = keogh_envelope(y, 5)
+        assert lb_keogh(x, y, 5, envelope=env) == lb_keogh(x, y, 5)
+
+
 class TestLBKeogh:
     def test_is_lower_bound_of_cdtw(self, rng):
         """The defining property: LB_Keogh(x, y) <= cDTW(x, y) always."""

@@ -48,6 +48,27 @@ class TestOneNN:
         )
         assert np.array_equal(exact, pruned)
 
+    def test_lb_pruning_reports_stats(self, split_data):
+        from repro import PruningStats
+
+        X_tr, y_tr, X_te, _ = split_data
+        stats = PruningStats()
+        one_nn_classify(X_tr, y_tr, X_te, metric="cdtw5", lb_window=0.05,
+                        stats=stats)
+        assert stats.candidates == X_te.shape[0] * X_tr.shape[0]
+        assert stats.candidates == (
+            stats.lb_kim + stats.lb_yi + stats.lb_keogh + stats.abandoned
+            + stats.full + stats.cached + stats.skipped
+        )
+
+    def test_lb_pruning_deterministic_in_workers(self, split_data):
+        X_tr, y_tr, X_te, _ = split_data
+        serial = one_nn_classify(X_tr, y_tr, X_te, metric="cdtw5",
+                                 lb_window=0.05)
+        threaded = one_nn_classify(X_tr, y_tr, X_te, metric="cdtw5",
+                                   lb_window=0.05, n_jobs=4, backend="threads")
+        assert np.array_equal(serial, threaded)
+
     def test_length_mismatch_raises(self, split_data):
         X_tr, y_tr, X_te, _ = split_data
         with pytest.raises(ShapeMismatchError):
