@@ -1,0 +1,219 @@
+"""Micro-benchmark: serving-path latency and throughput.
+
+The serving subsystem (:mod:`repro.serving`) answers assignment queries
+against a fitted model with centroid rFFTs precomputed once at load time
+and all queries pushed through one batched
+:func:`~repro.core._fft_batch.ncc_c_max_multi` call. This bench fits a
+k-Shape model on a CBF workload, saves and reloads it through the artifact
+layer, and times three ways of labeling a query stream:
+
+* **naive** — per-(query, centroid) :func:`repro.sbd` calls, the loop a
+  caller without the serving layer would write;
+* **per-series** — one :class:`repro.serving.ShapePredictor` call per
+  query (single-request latency);
+* **batched** — one predictor call over the whole stream, plus the
+  :class:`repro.serving.MicroBatchQueue` coalescing the same stream in
+  ``max_batch`` chunks.
+
+All three must produce **identical labels**; the report (speedups, mean
+single-series latency, queue occupancy) lands in ``BENCH_serving.json``
+at the repo root.
+
+Run standalone (full size)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+scaled down (CI)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+
+or through pytest (the full-size run is marked ``slow``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -m slow
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import KShape, sbd
+from repro.datasets import make_cbf
+from repro.preprocessing import zscore
+from repro.serving import MicroBatchQueue, ShapePredictor, save_model
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_serving.json"
+
+BENCH_N_FIT = int(os.environ.get("REPRO_BENCH_SERVE_NFIT", "90"))
+BENCH_N_QUERIES = int(os.environ.get("REPRO_BENCH_SERVE_NQUERIES", "600"))
+BENCH_M = int(os.environ.get("REPRO_BENCH_SERVE_M", "256"))
+BENCH_K = int(os.environ.get("REPRO_BENCH_SERVE_K", "3"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SERVE_SEED", "13"))
+BENCH_MAX_BATCH = int(os.environ.get("REPRO_BENCH_SERVE_MAXBATCH", "32"))
+
+
+def make_workload(n_fit: int, n_queries: int, m: int, seed: int):
+    """A z-normalized CBF fit set plus a held-out query stream.
+
+    ``make_cbf`` emits ``3 * n_per_class`` rows grouped by class, so the
+    pool is shuffled before slicing to keep all classes in both splits.
+    """
+    rng = np.random.default_rng(seed)
+    total = n_fit + n_queries
+    X, _ = make_cbf(-(-total // 3), m, rng)  # ceil division per class
+    X = zscore(X[rng.permutation(X.shape[0])[:total]])
+    return X[:n_fit], X[n_fit:]
+
+
+def naive_labels(queries: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """The loop a caller without the serving layer would write."""
+    labels = np.empty(queries.shape[0], dtype=int)
+    for i, q in enumerate(queries):
+        labels[i] = int(np.argmin([sbd(q, c) for c in centroids]))
+    return labels
+
+
+def run_benchmark(
+    n_fit: int = BENCH_N_FIT,
+    n_queries: int = BENCH_N_QUERIES,
+    m: int = BENCH_M,
+    k: int = BENCH_K,
+    seed: int = BENCH_SEED,
+    max_batch: int = BENCH_MAX_BATCH,
+    output: Path | None = None,
+    artifact_dir: Path | None = None,
+) -> dict:
+    X_fit, queries = make_workload(n_fit, n_queries, m, seed)
+    model = KShape(n_clusters=k, random_state=seed).fit(X_fit)
+
+    # Serve from a persisted artifact, the deployment path under test.
+    if artifact_dir is None:
+        import tempfile
+
+        artifact_dir = Path(tempfile.mkdtemp()) / "model"
+    start = time.perf_counter()
+    save_model(model, str(artifact_dir))
+    save_s = time.perf_counter() - start
+    start = time.perf_counter()
+    predictor = ShapePredictor.from_artifact(str(artifact_dir))
+    load_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reference = naive_labels(queries, model.centroids_)
+    naive_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    per_series = np.array(
+        [predictor.predict(q.reshape(1, -1))[0] for q in queries]
+    )
+    per_series_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = predictor.predict(queries)
+    batched_s = time.perf_counter() - start
+
+    queue = MicroBatchQueue(predictor, max_batch=max_batch, autostart=False)
+    futures = [queue.submit(q) for q in queries]
+    start = time.perf_counter()
+    queue.flush()
+    queued_s = time.perf_counter() - start
+    queued = np.array([f.result()[0] for f in futures])
+    stats = queue.stats()
+
+    for name, labels in (
+        ("per_series", per_series),
+        ("batched", batched),
+        ("queued", queued),
+    ):
+        assert np.array_equal(labels, reference), (
+            f"{name} serving labels diverged from the naive loop"
+        )
+
+    report = {
+        "benchmark": "serving latency and throughput",
+        "n_fit": n_fit,
+        "n_queries": n_queries,
+        "m": m,
+        "k": k,
+        "seed": seed,
+        "artifact": {
+            "save_s": round(save_s, 4),
+            "load_s": round(load_s, 4),
+        },
+        "naive_loop": {
+            "total_s": round(naive_s, 4),
+            "queries_per_s": round(n_queries / max(naive_s, 1e-9), 1),
+        },
+        "per_series": {
+            "total_s": round(per_series_s, 4),
+            "mean_latency_ms": round(1e3 * per_series_s / n_queries, 4),
+            "speedup_vs_naive": round(naive_s / max(per_series_s, 1e-9), 3),
+        },
+        "batched": {
+            "total_s": round(batched_s, 4),
+            "queries_per_s": round(n_queries / max(batched_s, 1e-9), 1),
+            "speedup_vs_naive": round(naive_s / max(batched_s, 1e-9), 3),
+        },
+        "micro_batch_queue": {
+            "max_batch": max_batch,
+            "total_s": round(queued_s, 4),
+            "speedup_vs_naive": round(naive_s / max(queued_s, 1e-9), 3),
+            "batches": stats.batches,
+            "mean_batch_size": round(stats.mean_batch_size, 2),
+            "kernel_s": round(stats.kernel_s, 4),
+        },
+        "labels_identical": True,
+    }
+    (OUTPUT if output is None else output).write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    return report
+
+
+@pytest.mark.slow
+def test_bench_serving_full():
+    """Full-size benchmark; writes BENCH_serving.json at the repo root."""
+    report = run_benchmark()
+    assert report["labels_identical"]
+    # The batched kernel must beat the per-(query, centroid) loop clearly.
+    assert report["batched"]["speedup_vs_naive"] >= 3.0
+    assert report["micro_batch_queue"]["speedup_vs_naive"] >= 1.0
+
+
+def test_bench_serving_smoke(tmp_path, monkeypatch):
+    """Scaled-down correctness pass of the benchmark harness itself."""
+    monkeypatch.setattr(
+        sys.modules[__name__], "OUTPUT", tmp_path / "BENCH_serving.json"
+    )
+    report = run_benchmark(
+        n_fit=24, n_queries=40, m=64, k=2, seed=3, max_batch=8,
+        artifact_dir=tmp_path / "model",
+    )
+    assert report["labels_identical"]
+    queue = report["micro_batch_queue"]
+    assert queue["batches"] == 5
+    assert queue["mean_batch_size"] == 8.0
+    assert (tmp_path / "BENCH_serving.json").exists()
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        # CI-sized pass; keep the committed full-size JSON untouched.
+        import tempfile
+
+        tmp = Path(tempfile.mkdtemp())
+        print(json.dumps(
+            run_benchmark(n_fit=24, n_queries=40, m=64, k=2, seed=3,
+                          max_batch=8, output=tmp / "BENCH_serving.json",
+                          artifact_dir=tmp / "model"),
+            indent=2,
+        ))
+    else:
+        print(json.dumps(run_benchmark(), indent=2))

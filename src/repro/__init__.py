@@ -89,11 +89,14 @@ from .evaluation import (
     rand_index,
 )
 from .exceptions import (
+    ArtifactError,
+    ChecksumError,
     ConvergenceWarning,
     EmptyInputError,
     InvalidParameterError,
     NotFittedError,
     ReproError,
+    SchemaVersionError,
     ShapeMismatchError,
     UnknownNameError,
 )
@@ -104,6 +107,17 @@ from .parallel import (
     register_executor,
 )
 from .preprocessing import minmax_scale, zscore
+from .serving import (
+    CentroidMaintainer,
+    DriftReport,
+    MicroBatchQueue,
+    Prediction,
+    ServingStats,
+    ShapePredictor,
+    describe_artifact,
+    load_model,
+    save_model,
+)
 from .stats import (
     compare_to_baseline,
     friedman_test,
@@ -194,6 +208,16 @@ __all__ = [
     # preprocessing
     "zscore",
     "minmax_scale",
+    # serving
+    "save_model",
+    "load_model",
+    "describe_artifact",
+    "ShapePredictor",
+    "Prediction",
+    "MicroBatchQueue",
+    "ServingStats",
+    "CentroidMaintainer",
+    "DriftReport",
     # exceptions
     "ReproError",
     "ShapeMismatchError",
@@ -202,4 +226,7 @@ __all__ = [
     "ConvergenceWarning",
     "NotFittedError",
     "UnknownNameError",
+    "ArtifactError",
+    "SchemaVersionError",
+    "ChecksumError",
 ]

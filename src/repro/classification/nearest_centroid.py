@@ -19,7 +19,7 @@ from typing import Optional
 import numpy as np
 
 from .._validation import as_dataset
-from ..core._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
+from ..core._fft_batch import fft_len_for, rfft_batch, sbd_to_centroids
 from ..core.shape_extraction import shape_extraction
 from ..exceptions import NotFittedError, ShapeMismatchError
 
@@ -80,7 +80,13 @@ class NearestShapeCentroid:
         return self.centroids_
 
     def decision_distances(self, X) -> np.ndarray:
-        """``(n, n_classes)`` SBD of every query to every class centroid."""
+        """``(n, n_classes)`` SBD of every query to every class centroid.
+
+        One :func:`~repro.core._fft_batch.sbd_to_centroids` pass — the
+        chunked batched kernel shared with k-Shape and the serving layer —
+        replaces the former per-class cross-correlation loop; each cell is
+        numerically identical.
+        """
         centroids = self._check_fitted()
         data = as_dataset(X, "X")
         if data.shape[1] != centroids.shape[1]:
@@ -91,16 +97,8 @@ class NearestShapeCentroid:
         fft_len = fft_len_for(m)
         fft_X = rfft_batch(data, fft_len)
         norms = np.linalg.norm(data, axis=1)
-        out = np.empty((data.shape[0], centroids.shape[0]))
-        for j in range(centroids.shape[0]):
-            values, _ = ncc_c_max_batch(
-                fft_X, norms,
-                np.fft.rfft(centroids[j], fft_len),
-                float(np.linalg.norm(centroids[j])),
-                m, fft_len,
-            )
-            out[:, j] = 1.0 - values
-        return out
+        dists, _ = sbd_to_centroids(fft_X, norms, centroids, m, fft_len)
+        return dists
 
     def predict(self, X) -> np.ndarray:
         """Label each query with the class of its closest shape centroid."""

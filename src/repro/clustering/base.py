@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from .._validation import as_dataset, as_rng, check_n_clusters
-from ..exceptions import NotFittedError
+from ..exceptions import NotFittedError, ShapeMismatchError
 
 __all__ = [
     "ClusterResult",
@@ -122,6 +122,27 @@ class BaseClusterer:
     def fit_predict(self, X) -> np.ndarray:
         """Cluster ``X`` and return the label array."""
         return self.fit(X).labels_
+
+    def _predict_data(self, X) -> np.ndarray:
+        """Validate held-out queries against the fitted centroids.
+
+        Shared by the subclasses that implement ``predict``: requires a
+        prior ``fit`` that produced explicit centroids and queries of the
+        training series length.
+        """
+        result = self._check_fitted()
+        if result.centroids is None:
+            raise NotFittedError(
+                f"{type(self).__name__} produced no centroids to predict "
+                "against"
+            )
+        data = as_dataset(X, "X")
+        if data.shape[1] != result.centroids.shape[1]:
+            raise ShapeMismatchError(
+                f"query length {data.shape[1]} does not match the training "
+                f"series length {result.centroids.shape[1]}"
+            )
+        return data
 
     def _check_fitted(self) -> ClusterResult:
         if self.result_ is None:

@@ -217,6 +217,31 @@ class TimeSeriesKMeans(BaseClusterer):
         assert best is not None
         return best
 
+    def predict(self, X) -> np.ndarray:
+        """Assign held-out sequences to the fitted centroids (no update).
+
+        Mirrors the fit loop's assignment step exactly: (c)DTW metrics go
+        through the pruned :class:`~repro.distances.NeighborEngine` (exact,
+        bit-identical to the dense matrix), everything else through
+        :func:`~repro.distances.matrix.cross_distances` — so held-out
+        labels agree with :class:`repro.serving.ShapePredictor` over the
+        same centroids and metric.
+        """
+        data = self._predict_data(X)
+        centroids = self._check_fitted().centroids
+        metric = self._metric_fn()
+        if self._use_prune(metric):
+            engine = NeighborEngine(centroids, metric=metric)
+            labels, _ = engine.query_batch(
+                data, n_jobs=self.n_jobs, backend=self.backend
+            )
+            return labels
+        dists = cross_distances(
+            data, centroids, metric=metric,
+            n_jobs=self.n_jobs, backend=self.backend,
+        )
+        return np.argmin(dists, axis=1)
+
 
 def k_avg_ed(n_clusters: int, **kwargs) -> TimeSeriesKMeans:
     """The paper's k-AVG+ED baseline: classic k-means with ED."""

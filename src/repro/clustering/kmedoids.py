@@ -297,6 +297,36 @@ class KMedoids(BaseClusterer):
             extra={"medoid_indices": medoids},
         )
 
+    def predict(self, X) -> np.ndarray:
+        """Assign held-out sequences to the fitted medoids (no update).
+
+        Requires a fit on raw series (``metric="precomputed"`` keeps no
+        medoid sequences to compare against). (c)DTW metrics route through
+        the pruned :class:`~repro.distances.NeighborEngine`; everything
+        else through :func:`~repro.distances.matrix.cross_distances`.
+        Labels agree bit-for-bit with the fit-time nearest-medoid
+        assignment and with :class:`repro.serving.ShapePredictor` over the
+        medoid sequences.
+        """
+        result = self._check_fitted()
+        if result.centroids is None:
+            raise InvalidParameterError(
+                "KMedoids was fitted on a precomputed matrix; the raw "
+                "medoid sequences needed for predict are unavailable"
+            )
+        data = self._predict_data(X)
+        if self._use_prune():
+            engine = NeighborEngine(result.centroids, metric=self.metric)
+            labels, _ = engine.query_batch(
+                data, n_jobs=self.n_jobs, backend=self.backend
+            )
+            return labels
+        D = cross_distances(
+            data, result.centroids, metric=self.metric,
+            n_jobs=self.n_jobs, backend=self.backend,
+        )
+        return np.argmin(D, axis=1)
+
     @property
     def medoid_indices_(self) -> np.ndarray:
         return self._check_fitted().extra["medoid_indices"]

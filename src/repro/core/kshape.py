@@ -385,6 +385,32 @@ class KShape(BaseClusterer):
         assert best is not None
         return best
 
+    def predict(self, X) -> np.ndarray:
+        """Assign held-out sequences to the fitted centroids (no update).
+
+        Uses the same batched assignment kernel as the fit loop
+        (:func:`~repro.core._fft_batch.sbd_to_centroids`) — or, with a
+        custom ``assignment_distance``, the same per-pair evaluation — so
+        held-out labels agree bit-for-bit with what another fit iteration
+        would have assigned, and with
+        :class:`repro.serving.ShapePredictor` over the saved centroids.
+        """
+        data = self._predict_data(X)
+        result = self._check_fitted()
+        centroids = result.centroids
+        n, m = data.shape
+        fft_len = fft_len_for(m)
+        if self.assignment_distance is not None:
+            # fft arguments are unused on the custom-metric branch.
+            dists = self._assignment_distances(
+                data, None, None, centroids, fft_len
+            )
+        else:
+            fft_X = rfft_batch(data, fft_len)
+            norms_X = np.linalg.norm(data, axis=1)
+            dists, _ = sbd_to_centroids(fft_X, norms_X, centroids, m, fft_len)
+        return np.argmin(dists, axis=1)
+
 
 def kshape(
     X,

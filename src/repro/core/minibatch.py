@@ -28,12 +28,7 @@ import numpy as np
 from .._validation import as_dataset, as_rng, check_n_clusters, check_positive_int
 from ..clustering.base import ClusterResult
 from ..exceptions import ConvergenceWarning, NotFittedError
-from ._fft_batch import (
-    fft_len_for,
-    ncc_c_max_batch,
-    rfft_batch,
-    sbd_to_centroids,
-)
+from ._fft_batch import fft_len_for, rfft_batch, sbd_to_centroids
 from .kshape import KShape
 from .shape_extraction import shape_extraction
 
@@ -175,27 +170,23 @@ class MiniBatchKShape:
         return self.fit(X).predict(X)
 
     def result(self, X) -> ClusterResult:
-        """Package a final assignment of ``X`` as a :class:`ClusterResult`."""
+        """Package a final assignment of ``X`` as a :class:`ClusterResult`.
+
+        Labels and inertia come from a single
+        :func:`~repro.core._fft_batch.sbd_to_centroids` pass — the same
+        chunked kernel :meth:`predict` and the serving layer use — instead
+        of one per-centroid cross-correlation loop, so the whole summary
+        costs one batched transform over ``X``.
+        """
         data = as_dataset(X, "X")
-        labels = self._assign(data)
         centroids = self._require_fitted()
         n, m = data.shape
         fft_len = fft_len_for(m)
         fft_X = rfft_batch(data, fft_len)
         norms = np.linalg.norm(data, axis=1)
-        fft_C = rfft_batch(centroids, fft_len)
-        norms_C = np.linalg.norm(centroids, axis=1)
-        inertia = 0.0
-        for j in range(self.n_clusters):
-            members = labels == j
-            if not members.any():
-                continue
-            values, _ = ncc_c_max_batch(
-                fft_X[members], norms[members],
-                fft_C[j], float(norms_C[j]),
-                m, fft_len,
-            )
-            inertia += float(np.sum((1.0 - values) ** 2))
+        dists, _ = sbd_to_centroids(fft_X, norms, centroids, m, fft_len)
+        labels = np.argmin(dists, axis=1)
+        inertia = float(np.sum(dists[np.arange(n), labels] ** 2))
         return ClusterResult(
             labels=labels,
             centroids=centroids.copy(),

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
+
 import numpy as np
 
 from ..clustering.base import ClusterResult
@@ -30,6 +32,31 @@ __all__ = [
     "save_result",
     "load_result",
 ]
+
+
+def _load_archive_checked(path: str, required: tuple, what: str):
+    """Open an ``.npz`` and verify its required arrays, with typed errors.
+
+    Truncated downloads, non-npz files, and archives written by something
+    else all surface as :class:`~repro.exceptions.InvalidParameterError`
+    instead of leaking zipfile/numpy internals to the caller.
+    """
+    if not os.path.exists(path):
+        raise InvalidParameterError(f"no such file: {path}")
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (ValueError, OSError, zipfile.BadZipFile) as exc:
+        # bad magic, pickled payloads, truncation, non-zip bytes
+        raise InvalidParameterError(
+            f"{path} is not a readable {what} archive: {exc}"
+        ) from exc
+    missing = [key for key in required if key not in archive.files]
+    if missing:
+        archive.close()
+        raise InvalidParameterError(
+            f"{path} is not a {what} archive: missing arrays {missing}"
+        )
+    return archive
 
 
 def save_dataset(dataset: Dataset, path: str) -> str:
@@ -49,17 +76,29 @@ def save_dataset(dataset: Dataset, path: str) -> str:
 
 
 def load_saved_dataset(path: str) -> Dataset:
-    """Load a dataset previously written by :func:`save_dataset`."""
-    if not os.path.exists(path):
-        raise InvalidParameterError(f"no such file: {path}")
-    with np.load(path, allow_pickle=False) as archive:
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    Raises
+    ------
+    InvalidParameterError
+        The file is missing, unreadable, or not a dataset archive (wrong
+        or absent arrays, undecodable metadata).
+    """
+    required = ("name", "X_train", "y_train", "X_test", "y_test", "metadata")
+    with _load_archive_checked(path, required, "dataset") as archive:
+        try:
+            metadata = json.loads(str(archive["metadata"]))
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(
+                f"{path} carries undecodable dataset metadata: {exc}"
+            ) from exc
         return Dataset(
             name=str(archive["name"]),
             X_train=archive["X_train"],
             y_train=archive["y_train"],
             X_test=archive["X_test"],
             y_test=archive["y_test"],
-            metadata=json.loads(str(archive["metadata"])),
+            metadata=metadata,
         )
 
 
@@ -112,10 +151,25 @@ def save_result(result: ClusterResult, path: str) -> str:
 
 
 def load_result(path: str) -> ClusterResult:
-    """Load a clustering result written by :func:`save_result`."""
-    if not os.path.exists(path):
-        raise InvalidParameterError(f"no such file: {path}")
-    with np.load(path, allow_pickle=False) as archive:
+    """Load a clustering result written by :func:`save_result`.
+
+    Raises
+    ------
+    InvalidParameterError
+        The file is missing, unreadable, or not a result archive (wrong or
+        absent arrays, undecodable ``extra`` payload).
+    """
+    required = (
+        "labels", "centroids", "has_centroids",
+        "inertia", "n_iter", "converged", "extra",
+    )
+    with _load_archive_checked(path, required, "result") as archive:
+        try:
+            extra = json.loads(str(archive["extra"]))
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(
+                f"{path} carries an undecodable result extra payload: {exc}"
+            ) from exc
         has_centroids = bool(archive["has_centroids"])
         return ClusterResult(
             labels=archive["labels"],
@@ -123,5 +177,5 @@ def load_result(path: str) -> ClusterResult:
             inertia=float(archive["inertia"]),
             n_iter=int(archive["n_iter"]),
             converged=bool(archive["converged"]),
-            extra=json.loads(str(archive["extra"])),
+            extra=extra,
         )

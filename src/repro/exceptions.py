@@ -33,3 +33,15 @@ class NotFittedError(ReproError, RuntimeError):
 
 class UnknownNameError(ReproError, KeyError):
     """A registry lookup (distance, dataset, method) failed."""
+
+
+class ArtifactError(ReproError, ValueError):
+    """A model artifact could not be written, read, or reconstructed."""
+
+
+class SchemaVersionError(ArtifactError):
+    """An artifact's manifest declares an unsupported schema version."""
+
+
+class ChecksumError(ArtifactError):
+    """An artifact's payload does not match its recorded checksum."""

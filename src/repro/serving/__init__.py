@@ -1,0 +1,42 @@
+"""Model serving: persisted artifacts, batched inference, drift upkeep.
+
+The training side of this package answers "what are the clusters?"; this
+subpackage answers "how do we *serve* them". Four pieces:
+
+* :mod:`~repro.serving.artifacts` — versioned, checksummed
+  :func:`save_model` / :func:`load_model` persistence for fitted
+  clusterers (npz payload + JSON manifest);
+* :mod:`~repro.serving.predictor` — :class:`ShapePredictor`, batched
+  assignment queries with per-model state (centroid rFFTs, Keogh
+  envelopes) precomputed once at load time;
+* :mod:`~repro.serving.queue` — :class:`MicroBatchQueue`, coalescing
+  single-series traffic into batched kernel calls under a
+  max-batch/max-latency policy, with :class:`ServingStats` counters;
+* :mod:`~repro.serving.maintenance` — :class:`CentroidMaintainer`,
+  folding labeled traffic back into centroids with decayed shape
+  extraction and flagging distribution drift.
+"""
+
+from .artifacts import (
+    SCHEMA_VERSION,
+    describe_artifact,
+    load_model,
+    save_model,
+)
+from .maintenance import CentroidMaintainer, DriftReport
+from .predictor import Prediction, ShapePredictor, soft_memberships
+from .queue import MicroBatchQueue, ServingStats
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "save_model",
+    "load_model",
+    "describe_artifact",
+    "ShapePredictor",
+    "Prediction",
+    "soft_memberships",
+    "MicroBatchQueue",
+    "ServingStats",
+    "CentroidMaintainer",
+    "DriftReport",
+]

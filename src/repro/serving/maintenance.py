@@ -1,0 +1,307 @@
+"""Online centroid upkeep and drift detection for served models.
+
+A deployed clusterer ages: the traffic it labels slowly stops looking like
+the data it was fitted on. This module keeps a served model honest without
+refitting from scratch:
+
+* **decayed centroid updates** — labeled traffic folds back into the
+  centroids with the bounded-reservoir rule of
+  :class:`~repro.core.minibatch.MiniBatchKShape` (assign under SBD, append
+  to a FIFO reservoir, re-extract the shape with the previous centroid as
+  alignment reference), blended with the previous centroid under a
+  ``decay`` factor — ``decay=1.0`` reproduces the mini-batch rule exactly,
+  smaller values damp each batch's influence;
+* **drift detection** — every update records the batch's SBD-to-assigned-
+  centroid distances. The first ``baseline_window`` observations freeze a
+  baseline distribution; afterwards a rolling window of the most recent
+  distances is compared to it with a z-test on the mean. A significant
+  upward shift means traffic is drifting away from the centroids and the
+  model should be refitted (or the maintainer's updated centroids
+  promoted).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from .._validation import as_dataset, check_positive_int
+from ..core._fft_batch import fft_len_for, rfft_batch, sbd_to_centroids
+from ..core.shape_extraction import shape_extraction
+from ..exceptions import InvalidParameterError, ShapeMismatchError
+from ..preprocessing.normalization import zscore
+from .predictor import ShapePredictor
+
+__all__ = ["DriftReport", "CentroidMaintainer"]
+
+
+@dataclass
+class DriftReport:
+    """Outcome of a drift check.
+
+    Attributes
+    ----------
+    drifted:
+        Whether the recent mean SBD shifted above the baseline by more than
+        ``threshold`` standard errors.
+    z_score:
+        Standardized shift of the recent mean against the baseline
+        distribution (positive = traffic moving away from the centroids).
+    baseline_mean / baseline_std:
+        The frozen reference distribution's moments.
+    recent_mean:
+        Mean of the rolling window being tested.
+    n_baseline / n_recent:
+        Observation counts behind each side.
+    threshold:
+        The z-score the check fired against.
+    """
+
+    drifted: bool
+    z_score: float
+    baseline_mean: float
+    baseline_std: float
+    recent_mean: float
+    n_baseline: int
+    n_recent: int
+    threshold: float
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name)
+                for name in self.__dataclass_fields__}
+
+
+class CentroidMaintainer:
+    """Fold labeled traffic back into centroids; flag distribution drift.
+
+    Parameters
+    ----------
+    centroids:
+        ``(k, m)`` starting centroids (typically a fitted model's).
+    reservoir_size:
+        Members retained per cluster for re-extraction (FIFO eviction),
+        exactly as :class:`~repro.core.minibatch.MiniBatchKShape`.
+    decay:
+        Blend factor in ``(0, 1]`` applied after each re-extraction:
+        ``centroid = zscore(decay * extracted + (1 - decay) * previous)``.
+        ``1.0`` (default) is the plain mini-batch update.
+    baseline_window:
+        SBD observations frozen into the drift baseline before testing
+        starts.
+    recent_window:
+        Rolling observations compared against the baseline.
+    drift_threshold:
+        z-score above which :meth:`check_drift` reports drift.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import KShape, zscore
+    >>> from repro.serving import CentroidMaintainer
+    >>> rng = np.random.default_rng(0)
+    >>> t = np.linspace(0, 1, 64)
+    >>> X = zscore(np.r_[
+    ...     [np.sin(2 * np.pi * (2 * t + p)) for p in rng.uniform(0, 1, 10)],
+    ...     [np.sin(2 * np.pi * (5 * t + p)) for p in rng.uniform(0, 1, 10)],
+    ... ])
+    >>> model = KShape(n_clusters=2, random_state=1).fit(X)
+    >>> keeper = CentroidMaintainer.from_model(model, baseline_window=20)
+    >>> labels = keeper.update(X)
+    >>> keeper.check_drift().drifted
+    False
+    """
+
+    def __init__(
+        self,
+        centroids,
+        reservoir_size: int = 128,
+        decay: float = 1.0,
+        baseline_window: int = 256,
+        recent_window: int = 128,
+        drift_threshold: float = 3.0,
+    ):
+        C = as_dataset(centroids, "centroids")
+        self.centroids_ = C.copy()
+        self.n_clusters, self.m = C.shape
+        self.reservoir_size = check_positive_int(
+            reservoir_size, "reservoir_size"
+        )
+        if not 0.0 < decay <= 1.0:
+            raise InvalidParameterError(
+                f"decay must be in (0, 1], got {decay}"
+            )
+        self.decay = float(decay)
+        self.baseline_window = check_positive_int(
+            baseline_window, "baseline_window"
+        )
+        self.recent_window = check_positive_int(
+            recent_window, "recent_window"
+        )
+        if drift_threshold <= 0:
+            raise InvalidParameterError(
+                f"drift_threshold must be > 0, got {drift_threshold}"
+            )
+        self.drift_threshold = float(drift_threshold)
+        self._reservoirs: List[np.ndarray] = [
+            np.empty((0, self.m)) for _ in range(self.n_clusters)
+        ]
+        self._baseline: List[float] = []
+        self._recent: Deque[float] = deque(maxlen=self.recent_window)
+        self.n_updates_ = 0
+        self.n_seen_ = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model, **kwargs) -> "CentroidMaintainer":
+        """Wrap a fitted estimator's centroids (and, for
+        :class:`~repro.core.minibatch.MiniBatchKShape`, adopt its
+        reservoirs and reservoir size as the starting state)."""
+        centroids = getattr(model, "centroids_", None)
+        if centroids is None:
+            raise InvalidParameterError(
+                f"{type(model).__name__} exposes no centroids to maintain"
+            )
+        reservoirs = getattr(model, "_reservoirs", None)
+        if reservoirs is not None:
+            kwargs.setdefault(
+                "reservoir_size", getattr(model, "reservoir_size")
+            )
+        keeper = cls(centroids, **kwargs)
+        if reservoirs is not None:
+            keeper._reservoirs = [
+                np.asarray(r[-keeper.reservoir_size:], dtype=np.float64).copy()
+                for r in reservoirs
+            ]
+        return keeper
+
+    # ------------------------------------------------------------------
+    def _assign(self, data: np.ndarray) -> tuple:
+        n, m = data.shape
+        fft_len = fft_len_for(m)
+        fft_X = rfft_batch(data, fft_len)
+        norms = np.linalg.norm(data, axis=1)
+        dists, _ = sbd_to_centroids(
+            fft_X, norms, self.centroids_, m, fft_len
+        )
+        labels = np.argmin(dists, axis=1)
+        return labels, dists[np.arange(n), labels]
+
+    def observe(self, X) -> np.ndarray:
+        """Record a batch's SBD-to-centroid distances *without* updating
+        centroids (monitoring-only deployments). Returns the labels."""
+        data = self._check(X)
+        labels, nearest = self._assign(data)
+        self._record(nearest)
+        self.n_seen_ += data.shape[0]
+        return labels
+
+    def update(self, X, labels=None) -> np.ndarray:
+        """Fold one batch into the centroids; returns the labels used.
+
+        Parameters
+        ----------
+        X:
+            ``(n, m)`` batch of (z-normalized) series.
+        labels:
+            Optional precomputed assignments (e.g. the served labels from a
+            :class:`~repro.serving.ShapePredictor`, avoiding a second
+            assignment pass). When omitted, the batch is assigned under SBD
+            with the shared batched kernel.
+        """
+        data = self._check(X)
+        if labels is None:
+            labels, nearest = self._assign(data)
+        else:
+            labels = np.asarray(labels).ravel()
+            if labels.shape[0] != data.shape[0]:
+                raise ShapeMismatchError(
+                    "labels must have one entry per series"
+                )
+            if labels.size and (
+                labels.min() < 0 or labels.max() >= self.n_clusters
+            ):
+                raise InvalidParameterError(
+                    f"labels must lie in [0, {self.n_clusters})"
+                )
+            _, nearest = self._assign(data)
+        self._record(nearest)
+        for j in np.unique(labels):
+            members = data[labels == j]
+            pool = np.vstack([self._reservoirs[j], members])
+            self._reservoirs[j] = pool[-self.reservoir_size:]
+            extracted = shape_extraction(
+                self._reservoirs[j], reference=self.centroids_[j]
+            )
+            if self.decay >= 1.0:
+                self.centroids_[j] = extracted
+            else:
+                blended = (
+                    self.decay * extracted
+                    + (1.0 - self.decay) * self.centroids_[j]
+                )
+                self.centroids_[j] = zscore(blended)
+        self.n_updates_ += 1
+        self.n_seen_ += data.shape[0]
+        return labels
+
+    def _check(self, X) -> np.ndarray:
+        data = as_dataset(X, "X")
+        if data.shape[1] != self.m:
+            raise ShapeMismatchError(
+                f"batch length {data.shape[1]} does not match centroids "
+                f"({self.m})"
+            )
+        return data
+
+    def _record(self, nearest: np.ndarray) -> None:
+        for value in np.asarray(nearest, dtype=np.float64):
+            if len(self._baseline) < self.baseline_window:
+                self._baseline.append(float(value))
+            else:
+                self._recent.append(float(value))
+
+    # ------------------------------------------------------------------
+    def check_drift(self) -> DriftReport:
+        """Test the rolling window's mean SBD against the frozen baseline.
+
+        Uses a one-sided z-test on the mean: ``z = (recent_mean -
+        baseline_mean) / (baseline_std / sqrt(n_recent))``. Until both the
+        baseline is frozen and at least two recent observations exist, the
+        report carries ``z_score = 0`` and never flags drift.
+        """
+        n_base = len(self._baseline)
+        n_recent = len(self._recent)
+        base_mean = float(np.mean(self._baseline)) if n_base else 0.0
+        base_std = float(np.std(self._baseline)) if n_base else 0.0
+        recent_mean = float(np.mean(self._recent)) if n_recent else 0.0
+        ready = n_base >= self.baseline_window and n_recent >= 2
+        if ready and base_std > 0:
+            z = (recent_mean - base_mean) / (base_std / np.sqrt(n_recent))
+        elif ready and recent_mean > base_mean:
+            z = float("inf")  # zero-variance baseline, any rise is drift
+        else:
+            z = 0.0
+        return DriftReport(
+            drifted=bool(ready and z > self.drift_threshold),
+            z_score=float(z),
+            baseline_mean=base_mean,
+            baseline_std=base_std,
+            recent_mean=recent_mean,
+            n_baseline=n_base,
+            n_recent=n_recent,
+            threshold=self.drift_threshold,
+        )
+
+    def reset_baseline(self) -> None:
+        """Re-learn the baseline from future traffic (after a deliberate
+        model refresh, for example)."""
+        self._baseline = []
+        self._recent.clear()
+
+    def predictor(self, **kwargs) -> ShapePredictor:
+        """A fresh :class:`~repro.serving.ShapePredictor` over the current
+        centroids (rFFTs recomputed, since updates invalidate them)."""
+        return ShapePredictor(self.centroids_, metric="sbd", **kwargs)

@@ -1,0 +1,278 @@
+"""Micro-batching request queue for single-series inference traffic.
+
+Serving traffic arrives one series at a time, but every kernel in this
+package is batched — one :func:`~repro.core._fft_batch.ncc_c_max_multi`
+call over 32 queries costs far less than 32 calls over one. The
+:class:`MicroBatchQueue` bridges the two: :meth:`~MicroBatchQueue.submit`
+enqueues a single series and returns a future; a collector thread coalesces
+waiting requests into one batched :class:`~repro.serving.ShapePredictor`
+call under a **max-batch / max-latency** policy — a batch is flushed as
+soon as it holds ``max_batch`` requests *or* its oldest request has waited
+``max_latency_s`` seconds, whichever comes first.
+
+Because the predictor's batched and per-series answers are exactly equal,
+coalescing never changes a response — it only changes throughput. Per-request
+latency and per-batch occupancy counters accumulate into a
+:class:`ServingStats` snapshot for dashboards and the serving benchmark.
+
+For deterministic tests (and single-threaded callers), construct with
+``autostart=False`` and drive the queue manually with
+:meth:`~MicroBatchQueue.flush`.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._validation import as_series, check_positive_int
+from ..exceptions import InvalidParameterError
+
+__all__ = ["ServingStats", "MicroBatchQueue"]
+
+
+@dataclass
+class ServingStats:
+    """Cumulative serving counters (one snapshot is one point in time).
+
+    Attributes
+    ----------
+    requests:
+        Series submitted.
+    completed:
+        Series answered.
+    batches:
+        Kernel invocations performed.
+    batch_occupancy:
+        Series summed over all batches (``completed`` counted at flush
+        time); ``mean_batch_size`` derives from it.
+    max_batch_size:
+        Largest batch flushed so far.
+    total_latency_s / max_latency_s:
+        Submit-to-resolve wall-clock, summed / worst-case.
+    kernel_s:
+        Time spent inside the batched predictor calls.
+    """
+
+    requests: int = 0
+    completed: int = 0
+    batches: int = 0
+    batch_occupancy: int = 0
+    max_batch_size: int = 0
+    total_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    kernel_s: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batch_occupancy / self.batches if self.batches else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.total_latency_s / self.completed if self.completed else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed series per second of kernel time."""
+        return self.completed / self.kernel_s if self.kernel_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """Counters plus derived rates, ready for JSON reports."""
+        out = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        out["mean_batch_size"] = self.mean_batch_size
+        out["mean_latency_s"] = self.mean_latency_s
+        out["throughput"] = self.throughput
+        return out
+
+
+@dataclass
+class _Request:
+    series: np.ndarray
+    future: Future
+    submitted: float = field(default_factory=monotonic)
+
+
+class MicroBatchQueue:
+    """Coalesce single-series requests into batched predictor calls.
+
+    Parameters
+    ----------
+    predictor:
+        A :class:`~repro.serving.ShapePredictor` (or anything exposing
+        ``predict_full(X) -> Prediction`` and an ``m`` attribute).
+    max_batch:
+        Flush as soon as this many requests are waiting.
+    max_latency_s:
+        Flush once the oldest waiting request has aged this long, even if
+        the batch is not full.
+    autostart:
+        Start the collector thread immediately. ``False`` leaves the queue
+        passive: requests buffer until an explicit :meth:`flush` — the
+        deterministic mode tests and synchronous callers use.
+
+    Notes
+    -----
+    Each future resolves to a ``(label, distance)`` pair. The queue is a
+    context manager; leaving the ``with`` block drains outstanding
+    requests and stops the collector.
+    """
+
+    def __init__(
+        self,
+        predictor,
+        max_batch: int = 32,
+        max_latency_s: float = 0.01,
+        autostart: bool = True,
+    ):
+        self.predictor = predictor
+        self.max_batch = check_positive_int(max_batch, "max_batch")
+        if max_latency_s <= 0:
+            raise InvalidParameterError(
+                f"max_latency_s must be > 0, got {max_latency_s}"
+            )
+        self.max_latency_s = float(max_latency_s)
+        self._inbox: "_queue.Queue[Optional[_Request]]" = _queue.Queue()
+        self._lock = threading.Lock()
+        self._stats = ServingStats()
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        if autostart:
+            self._thread = threading.Thread(
+                target=self._collector, name="repro-serving-queue", daemon=True
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, x) -> Future:
+        """Enqueue one series; the future resolves to ``(label, distance)``."""
+        if self._closed:
+            raise InvalidParameterError("queue is closed")
+        series = as_series(x, "x")
+        request = _Request(series=series, future=Future())
+        with self._lock:
+            self._stats.requests += 1
+        self._inbox.put(request)
+        return request.future
+
+    def predict(self, x) -> Tuple[int, float]:
+        """Blocking single-series convenience: submit and wait.
+
+        With no collector thread (``autostart=False``) the waiting batch is
+        flushed synchronously instead of blocking forever.
+        """
+        future = self.submit(x)
+        if self._thread is None:
+            self.flush()
+        return future.result()
+
+    def stats(self) -> ServingStats:
+        """A consistent snapshot of the cumulative counters."""
+        with self._lock:
+            return ServingStats(**{
+                name: getattr(self._stats, name)
+                for name in ServingStats.__dataclass_fields__
+            })
+
+    # ------------------------------------------------------------------
+    def _drain_waiting(self, limit: int) -> List[_Request]:
+        """Non-blocking: pop up to ``limit`` requests already waiting."""
+        batch: List[_Request] = []
+        while len(batch) < limit:
+            try:
+                item = self._inbox.get_nowait()
+            except _queue.Empty:
+                break
+            if item is not None:
+                batch.append(item)
+        return batch
+
+    def flush(self) -> int:
+        """Synchronously answer every waiting request; returns the count.
+
+        Requests are processed in arrival order, in batches of at most
+        ``max_batch`` (so occupancy statistics match the collector's).
+        """
+        total = 0
+        while True:
+            batch = self._drain_waiting(self.max_batch)
+            if not batch:
+                return total
+            self._process(batch)
+            total += len(batch)
+
+    def _process(self, batch: List[_Request]) -> None:
+        X = np.stack([r.series for r in batch])
+        before = getattr(self.predictor, "kernel_seconds", 0.0)
+        try:
+            prediction = self.predictor.predict_full(X)
+        except Exception as exc:  # resolve, don't wedge the callers
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+        kernel = getattr(self.predictor, "kernel_seconds", 0.0) - before
+        now = monotonic()
+        with self._lock:
+            stats = self._stats
+            stats.batches += 1
+            stats.batch_occupancy += len(batch)
+            stats.max_batch_size = max(stats.max_batch_size, len(batch))
+            stats.kernel_s += kernel
+            for request in batch:
+                latency = now - request.submitted
+                stats.completed += 1
+                stats.total_latency_s += latency
+                stats.max_latency_s = max(stats.max_latency_s, latency)
+        for i, request in enumerate(batch):
+            request.future.set_result(
+                (int(prediction.labels[i]), float(prediction.distances[i]))
+            )
+
+    def _collector(self) -> None:
+        while True:
+            try:
+                first = self._inbox.get(timeout=0.05)
+            except _queue.Empty:
+                if self._closed:
+                    return
+                continue
+            if first is None:  # shutdown sentinel
+                return
+            batch = [first]
+            deadline = first.submitted + self.max_latency_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._inbox.get(timeout=remaining)
+                except _queue.Empty:
+                    break
+                if item is None:
+                    self._process(batch)
+                    return
+                batch.append(item)
+            self._process(batch)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting requests, drain the backlog, stop the collector."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._inbox.put(None)
+            self._thread.join()
+            self._thread = None
+        self.flush()  # anything the collector left behind
+
+    def __enter__(self) -> "MicroBatchQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

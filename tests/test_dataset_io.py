@@ -78,3 +78,120 @@ class TestResultRoundTrip:
         result = ClusterResult(labels=np.array([0, 1]))
         path = save_result(result, str(tmp_path / "res2"))
         assert load_result(path).centroids is None
+
+
+class TestDtypePreservation:
+    def test_dataset_dtypes_survive(self, tmp_path):
+        from repro.datasets import Dataset
+
+        ds = Dataset(
+            name="typed",
+            X_train=np.arange(12, dtype=np.float32).reshape(3, 4),
+            y_train=np.array([0, 1, 0], dtype=np.int8),
+            X_test=np.arange(8, dtype=np.float64).reshape(2, 4),
+            y_test=np.array([1, 0], dtype=np.int64),
+            metadata={},
+        )
+        loaded = load_saved_dataset(save_dataset(ds, str(tmp_path / "t")))
+        # Dataset coerces X to float64 on construction; the archive must
+        # preserve that exactly, and keep the label dtypes as given.
+        assert loaded.X_train.dtype == np.float64
+        assert loaded.y_train.dtype == np.int8
+        assert loaded.X_test.dtype == np.float64
+        assert loaded.y_test.dtype == np.int64
+        assert np.array_equal(loaded.X_train, ds.X_train)
+        assert np.array_equal(loaded.y_test, ds.y_test)
+
+    def test_result_label_dtype_survives(self, tmp_path):
+        result = ClusterResult(labels=np.array([0, 1, 2], dtype=np.int32))
+        loaded = load_result(save_result(result, str(tmp_path / "r")))
+        assert loaded.labels.dtype == np.int32
+
+
+class TestNestedExtraPayloads:
+    def test_nested_extra_round_trips(self, tmp_path):
+        result = ClusterResult(
+            labels=np.array([0, 1]),
+            extra={
+                "pruning_stats": {"candidates": 12, "pruned_keogh": 3},
+                "history": [0.9, 0.5, 0.40000000000000002],
+                "seed": {"init": "plusplus", "nested": {"deep": [1, 2]}},
+            },
+        )
+        loaded = load_result(save_result(result, str(tmp_path / "n")))
+        assert loaded.extra == result.extra
+        # Float precision survives the JSON round trip exactly.
+        assert loaded.extra["history"][2] == 0.40000000000000002
+
+    def test_non_json_extra_is_stringified(self, tmp_path):
+        # default=str coercion: exotic objects degrade to strings rather
+        # than failing the save.
+        result = ClusterResult(
+            labels=np.array([0]), extra={"arr": np.arange(3)}
+        )
+        loaded = load_result(save_result(result, str(tmp_path / "s")))
+        assert isinstance(loaded.extra["arr"], str)
+
+
+class TestCorruptedFiles:
+    def test_not_an_npz_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(InvalidParameterError):
+            load_saved_dataset(str(path))
+        with pytest.raises(InvalidParameterError):
+            load_result(str(path))
+
+    def test_truncated_archive(self, tmp_path):
+        ds = load_dataset("Ramps")
+        path = save_dataset(ds, str(tmp_path / "trunc"))
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(InvalidParameterError):
+            load_saved_dataset(path)
+
+    def test_wrong_archive_kind_rejected(self, tmp_path):
+        # A result archive is not a dataset archive, and vice versa: the
+        # required-array check turns the mixup into a typed error.
+        result = ClusterResult(labels=np.array([0, 1]))
+        res_path = save_result(result, str(tmp_path / "res"))
+        with pytest.raises(InvalidParameterError, match="missing arrays"):
+            load_saved_dataset(res_path)
+        ds = load_dataset("Ramps")
+        ds_path = save_dataset(ds, str(tmp_path / "ds"))
+        with pytest.raises(InvalidParameterError, match="missing arrays"):
+            load_result(ds_path)
+
+    def test_undecodable_metadata_rejected(self, tmp_path):
+        path = str(tmp_path / "badmeta.npz")
+        np.savez_compressed(
+            path,
+            X_train=np.ones((2, 4)),
+            y_train=np.zeros(2),
+            X_test=np.ones((1, 4)),
+            y_test=np.zeros(1),
+            name=np.array("bad"),
+            metadata=np.array("{not valid json"),
+        )
+        with pytest.raises(InvalidParameterError, match="metadata"):
+            load_saved_dataset(path)
+
+    def test_undecodable_extra_rejected(self, tmp_path):
+        path = str(tmp_path / "badextra.npz")
+        np.savez_compressed(
+            path,
+            labels=np.array([0, 1]),
+            centroids=np.empty((0, 0)),
+            has_centroids=np.array(False),
+            inertia=np.array(0.0),
+            n_iter=np.array(1),
+            converged=np.array(True),
+            extra=np.array("{broken"),
+        )
+        with pytest.raises(InvalidParameterError, match="extra"):
+            load_result(path)
+
+    def test_missing_file_raises_for_result_too(self):
+        with pytest.raises(InvalidParameterError):
+            load_result("/nonexistent-result.npz")

@@ -13,6 +13,7 @@ MODULE_NAMES = [
     "repro.evaluation.clustering_metrics",
     "repro.harness.cache",
     "repro.multivariate.kshape",
+    "repro.serving.maintenance",
 ]
 
 

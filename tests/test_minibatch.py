@@ -80,3 +80,52 @@ class TestMiniBatchKShape:
         a = MiniBatchKShape(2, random_state=7).fit(X).predict(X)
         b = MiniBatchKShape(2, random_state=7).fit(X).predict(X)
         assert np.array_equal(a, b)
+
+
+class TestUnifiedAssignment:
+    """result() now runs on the shared sbd_to_centroids kernel; its labels
+    and inertia must match the retired per-centroid loop."""
+
+    def _legacy_result(self, model, X):
+        """The old path: one ncc_c_max_batch pass per centroid, inertia
+        accumulated cluster by cluster."""
+        from repro.core._fft_batch import (
+            fft_len_for,
+            ncc_c_max_batch,
+            rfft_batch,
+        )
+
+        centroids = model.centroids_
+        n, m = X.shape
+        fft_len = fft_len_for(m)
+        fft_X = rfft_batch(X, fft_len)
+        norms = np.linalg.norm(X, axis=1)
+        fft_C = rfft_batch(centroids, fft_len)
+        norms_C = np.linalg.norm(centroids, axis=1)
+        dists = np.empty((n, centroids.shape[0]))
+        for j in range(centroids.shape[0]):
+            values, _ = ncc_c_max_batch(
+                fft_X, norms, fft_C[j], norms_C[j], m, fft_len
+            )
+            dists[:, j] = 1.0 - values
+        labels = np.argmin(dists, axis=1)
+        inertia = 0.0
+        for j in range(centroids.shape[0]):
+            inertia += float(np.sum(dists[labels == j, j] ** 2))
+        return labels, inertia
+
+    def test_result_matches_legacy_per_centroid_loop(self, big_two_class):
+        X, _ = big_two_class
+        model = MiniBatchKShape(2, batch_size=24, n_batches=5,
+                                random_state=0).fit(X)
+        legacy_labels, legacy_inertia = self._legacy_result(model, X)
+        result = model.result(X)
+        assert np.array_equal(result.labels, legacy_labels)
+        # Summation order differs (per-cluster vs index order), so the
+        # inertia agrees to float addition reordering, not bitwise.
+        assert np.isclose(result.inertia, legacy_inertia, rtol=1e-12)
+
+    def test_predict_matches_result_labels(self, big_two_class):
+        X, _ = big_two_class
+        model = MiniBatchKShape(2, random_state=3).fit(X)
+        assert np.array_equal(model.predict(X), model.result(X).labels)

@@ -35,13 +35,14 @@ class TestPublicAPI:
         import repro.harness
         import repro.multivariate
         import repro.preprocessing
+        import repro.serving
         import repro.stats
 
         for module in (
             repro.core, repro.distances, repro.clustering, repro.averaging,
             repro.classification, repro.evaluation, repro.stats,
             repro.datasets, repro.preprocessing, repro.harness,
-            repro.features, repro.multivariate,
+            repro.features, repro.multivariate, repro.serving,
         ):
             assert module.__all__
             for name in module.__all__:

@@ -1,0 +1,221 @@
+"""Tests for repro.serving.maintenance (centroid upkeep + drift)."""
+
+import numpy as np
+import pytest
+
+from repro import KShape, MiniBatchKShape, zscore
+from repro.exceptions import (
+    InvalidParameterError,
+    NotFittedError,
+    ShapeMismatchError,
+)
+from repro.serving import CentroidMaintainer, DriftReport, ShapePredictor
+
+
+@pytest.fixture
+def fitted(two_class_data):
+    X, _ = two_class_data
+    return X, KShape(n_clusters=2, random_state=0).fit(X)
+
+
+def _shifted_traffic(X, rng):
+    """Traffic that no longer looks like the training data."""
+    noise = rng.normal(scale=2.0, size=X.shape)
+    return zscore(X[:, ::-1] + noise)
+
+
+class TestUpdateRule:
+    def test_decay_one_matches_minibatch_partial_fit(self, two_class_data):
+        """decay=1.0 reproduces MiniBatchKShape's reservoir rule exactly."""
+        X, _ = two_class_data
+        model = MiniBatchKShape(2, random_state=0).fit(X)
+        keeper = CentroidMaintainer.from_model(model)
+
+        rng = np.random.default_rng(1)
+        stream = [
+            X[rng.choice(X.shape[0], size=6, replace=False)]
+            for _ in range(4)
+        ]
+        for batch in stream:
+            model.partial_fit(batch)
+            keeper.update(batch)
+        assert np.array_equal(keeper.centroids_, model.centroids_)
+        for ours, theirs in zip(keeper._reservoirs, model._reservoirs):
+            assert np.array_equal(ours, theirs)
+
+    def test_decay_damps_movement(self, fitted, two_class_data):
+        X, model = fitted
+        rng = np.random.default_rng(2)
+        batch = _shifted_traffic(X, rng)
+        fast = CentroidMaintainer.from_model(model, decay=1.0)
+        slow = CentroidMaintainer.from_model(model, decay=0.1)
+        fast.update(batch)
+        slow.update(batch)
+        moved_fast = np.linalg.norm(fast.centroids_ - model.centroids_)
+        moved_slow = np.linalg.norm(slow.centroids_ - model.centroids_)
+        assert moved_slow < moved_fast
+        # Damped centroids stay z-normalized.
+        assert np.allclose(slow.centroids_.mean(axis=1), 0.0, atol=1e-10)
+        assert np.allclose(slow.centroids_.std(axis=1), 1.0, atol=1e-10)
+
+    def test_update_returns_assignment_labels(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model)
+        labels = keeper.update(X)
+        assert np.array_equal(labels, model.predict(X))
+
+    def test_precomputed_labels_respected(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model)
+        forced = np.zeros(X.shape[0], dtype=int)
+        keeper.update(X, labels=forced)
+        # Every series fed cluster 0's reservoir; cluster 1 untouched.
+        assert keeper._reservoirs[0].shape[0] == min(
+            X.shape[0], keeper.reservoir_size
+        )
+        assert keeper._reservoirs[1].shape[0] == 0
+        assert np.array_equal(keeper.centroids_[1], model.centroids_[1])
+
+    def test_reservoirs_are_bounded_fifo(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model, reservoir_size=4)
+        labels = np.zeros(X.shape[0], dtype=int)
+        keeper.update(X, labels=labels)
+        assert keeper._reservoirs[0].shape[0] == 4
+        assert np.array_equal(keeper._reservoirs[0], X[-4:])
+
+    def test_label_validation(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model)
+        with pytest.raises(ShapeMismatchError):
+            keeper.update(X, labels=np.zeros(3, dtype=int))
+        with pytest.raises(InvalidParameterError):
+            keeper.update(X, labels=np.full(X.shape[0], 7))
+
+    def test_length_mismatch_raises(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model)
+        with pytest.raises(ShapeMismatchError):
+            keeper.update(X[:, :-1])
+
+    def test_observe_does_not_touch_centroids(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model)
+        labels = keeper.observe(X)
+        assert np.array_equal(labels, model.predict(X))
+        assert np.array_equal(keeper.centroids_, model.centroids_)
+        assert keeper.n_seen_ == X.shape[0]
+        assert keeper.n_updates_ == 0
+
+
+class TestDrift:
+    def test_no_drift_on_matching_traffic(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(
+            model, baseline_window=40, recent_window=20
+        )
+        for _ in range(4):
+            keeper.observe(X)
+        report = keeper.check_drift()
+        assert isinstance(report, DriftReport)
+        assert not report.drifted
+        assert report.n_baseline == 40
+        assert report.z_score < report.threshold
+
+    def test_drift_on_shifted_traffic(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(
+            model, baseline_window=40, recent_window=20
+        )
+        keeper.observe(X)
+        keeper.observe(X)  # 40 observations freeze the baseline
+        rng = np.random.default_rng(3)
+        keeper.observe(_shifted_traffic(X, rng))
+        report = keeper.check_drift()
+        assert report.drifted
+        assert report.z_score > report.threshold
+        assert report.recent_mean > report.baseline_mean
+
+    def test_not_ready_before_baseline_full(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model, baseline_window=1000)
+        keeper.observe(X)
+        report = keeper.check_drift()
+        assert not report.drifted
+        assert report.z_score == 0.0
+        assert report.n_recent == 0
+
+    def test_reset_baseline_relearns(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(
+            model, baseline_window=40, recent_window=20
+        )
+        keeper.observe(X)
+        keeper.observe(X)
+        rng = np.random.default_rng(4)
+        shifted = _shifted_traffic(X, rng)
+        keeper.observe(shifted)
+        assert keeper.check_drift().drifted
+        keeper.reset_baseline()
+        # New baseline learned from the shifted regime: no drift any more.
+        keeper.observe(shifted)
+        keeper.observe(shifted)
+        keeper.observe(shifted)
+        assert not keeper.check_drift().drifted
+
+    def test_report_as_dict(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model)
+        payload = keeper.check_drift().as_dict()
+        assert set(payload) == {
+            "drifted", "z_score", "baseline_mean", "baseline_std",
+            "recent_mean", "n_baseline", "n_recent", "threshold",
+        }
+
+
+class TestConstruction:
+    def test_from_minibatch_adopts_reservoirs(self, two_class_data):
+        X, _ = two_class_data
+        model = MiniBatchKShape(2, reservoir_size=16, random_state=0).fit(X)
+        keeper = CentroidMaintainer.from_model(model)
+        assert keeper.reservoir_size == 16
+        for ours, theirs in zip(keeper._reservoirs, model._reservoirs):
+            assert np.array_equal(ours, theirs)
+        # Adopted copies: updating the keeper leaves the model untouched.
+        keeper.update(X[:4])
+        assert model.n_seen_ == MiniBatchKShape(
+            2, reservoir_size=16, random_state=0
+        ).fit(X).n_seen_
+
+    def test_from_model_without_centroids_raises(self):
+        class Bare:
+            pass
+
+        with pytest.raises(InvalidParameterError):
+            CentroidMaintainer.from_model(Bare())
+        with pytest.raises(NotFittedError):
+            CentroidMaintainer.from_model(KShape(n_clusters=2))
+
+    def test_parameter_validation(self, fitted):
+        _, model = fitted
+        C = model.centroids_
+        with pytest.raises(InvalidParameterError):
+            CentroidMaintainer(C, decay=0.0)
+        with pytest.raises(InvalidParameterError):
+            CentroidMaintainer(C, decay=1.5)
+        with pytest.raises(InvalidParameterError):
+            CentroidMaintainer(C, drift_threshold=0.0)
+        with pytest.raises(InvalidParameterError):
+            CentroidMaintainer(C, reservoir_size=0)
+
+    def test_predictor_reflects_updated_centroids(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model)
+        rng = np.random.default_rng(5)
+        keeper.update(_shifted_traffic(X, rng))
+        predictor = keeper.predictor()
+        assert isinstance(predictor, ShapePredictor)
+        fresh = ShapePredictor(keeper.centroids_)
+        assert np.array_equal(
+            predictor.transform(X), fresh.transform(X)
+        )

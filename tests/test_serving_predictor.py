@@ -1,0 +1,199 @@
+"""Tests for repro.serving.predictor (batched online inference)."""
+
+import numpy as np
+import pytest
+
+from repro import KShape, MiniBatchKShape, TimeSeriesKMeans, zscore
+from repro.core._fft_batch import fft_len_for, rfft_batch, sbd_to_centroids
+from repro.distances.matrix import cross_distances
+from repro.exceptions import (
+    InvalidParameterError,
+    ShapeMismatchError,
+    UnknownNameError,
+)
+from repro.serving import ShapePredictor, save_model
+from repro.serving.predictor import soft_memberships
+
+
+@pytest.fixture
+def fitted(two_class_data):
+    X, _ = two_class_data
+    return X, KShape(n_clusters=2, random_state=0).fit(X)
+
+
+class TestSbdPath:
+    def test_matches_estimator_predict_bitwise(self, fitted):
+        X, model = fitted
+        predictor = ShapePredictor.from_model(model)
+        assert np.array_equal(predictor.predict(X), model.predict(X))
+
+    def test_matches_shared_kernel_bitwise(self, fitted):
+        X, model = fitted
+        predictor = ShapePredictor.from_model(model)
+        m = X.shape[1]
+        fft_len = fft_len_for(m)
+        expected, _ = sbd_to_centroids(
+            rfft_batch(X, fft_len), np.linalg.norm(X, axis=1),
+            model.centroids_, m, fft_len,
+        )
+        assert np.array_equal(predictor.transform(X), expected)
+
+    def test_batched_equals_per_series(self, fitted):
+        X, model = fitted
+        predictor = ShapePredictor.from_model(model)
+        batched = predictor.predict_full(X)
+        for i, row in enumerate(X):
+            single = predictor.predict_full(row)
+            assert single.labels[0] == batched.labels[i]
+            assert single.distances[0] == batched.distances[i]
+            assert np.array_equal(
+                single.all_distances[0], batched.all_distances[i]
+            )
+
+    def test_distances_are_nearest(self, fitted):
+        X, model = fitted
+        prediction = ShapePredictor.from_model(model).predict_full(X)
+        rows = np.arange(X.shape[0])
+        assert np.array_equal(
+            prediction.distances,
+            prediction.all_distances[rows, prediction.labels],
+        )
+        assert np.array_equal(
+            prediction.labels, np.argmin(prediction.all_distances, axis=1)
+        )
+
+
+class TestDtwPath:
+    def test_pruned_matches_dense(self, two_class_data):
+        X, _ = two_class_data
+        model = TimeSeriesKMeans(2, metric="cdtw5", random_state=0).fit(X)
+        predictor = ShapePredictor.from_model(model)
+        hard = predictor.predict_full(X)
+        dense = cross_distances(X, model.centroids_, metric="cdtw5")
+        assert np.array_equal(hard.labels, np.argmin(dense, axis=1))
+        rows = np.arange(X.shape[0])
+        assert np.allclose(hard.distances, dense[rows, hard.labels])
+        assert hard.all_distances is None  # pruned path skips the matrix
+        assert predictor.stats.candidates > 0
+
+    def test_soft_forces_full_matrix(self, two_class_data):
+        X, _ = two_class_data
+        model = TimeSeriesKMeans(2, metric="cdtw5", random_state=0).fit(X)
+        predictor = ShapePredictor.from_model(model)
+        soft = predictor.predict_full(X, soft=True)
+        assert soft.all_distances is not None
+        assert soft.memberships is not None
+        assert np.array_equal(soft.labels, predictor.predict_full(X).labels)
+
+
+class TestDenseFallback:
+    def test_euclidean_metric(self, fitted):
+        X, model = fitted
+        predictor = ShapePredictor(model.centroids_, metric="ed")
+        expected = cross_distances(X, model.centroids_, metric="ed")
+        assert np.array_equal(predictor.transform(X), expected)
+        assert np.array_equal(
+            predictor.predict(X), np.argmin(expected, axis=1)
+        )
+
+    def test_unknown_metric_raises(self, fitted):
+        _, model = fitted
+        with pytest.raises(UnknownNameError):
+            ShapePredictor(model.centroids_, metric="martian")
+
+
+class TestSoftMemberships:
+    def test_rows_sum_to_one(self, fitted):
+        X, model = fitted
+        prediction = ShapePredictor.from_model(model).predict_full(
+            X, soft=True
+        )
+        assert np.allclose(prediction.memberships.sum(axis=1), 1.0)
+        assert np.array_equal(
+            np.argmax(prediction.memberships, axis=1), prediction.labels
+        )
+
+    def test_on_centroid_query_gets_full_weight(self, fitted):
+        _, model = fitted
+        predictor = ShapePredictor.from_model(model)
+        prediction = predictor.predict_full(model.centroids_, soft=True)
+        assert np.allclose(
+            prediction.memberships, np.eye(2)[prediction.labels], atol=1e-6
+        )
+
+    def test_fuzziness_validation(self, fitted):
+        _, model = fitted
+        with pytest.raises(InvalidParameterError):
+            ShapePredictor(model.centroids_, fuzziness=1.0)
+        with pytest.raises(InvalidParameterError):
+            soft_memberships(np.ones((2, 2)), fuzziness=0.5)
+
+    def test_sharper_with_higher_fuzziness_exponent(self):
+        dists = np.array([[0.1, 0.4]])
+        crisp = soft_memberships(dists, fuzziness=1.5)
+        fuzzy = soft_memberships(dists, fuzziness=4.0)
+        assert crisp[0, 0] > fuzzy[0, 0] > 0.5
+
+
+class TestConstruction:
+    def test_from_minibatch(self, two_class_data):
+        X, _ = two_class_data
+        model = MiniBatchKShape(2, random_state=0).fit(X)
+        predictor = ShapePredictor.from_model(model)
+        assert np.array_equal(predictor.predict(X), model.predict(X))
+
+    def test_from_artifact(self, fitted, tmp_path):
+        X, model = fitted
+        path = save_model(model, str(tmp_path / "model"))
+        predictor = ShapePredictor.from_artifact(path)
+        assert np.array_equal(predictor.predict(X), model.predict(X))
+
+    def test_from_model_without_centroids_raises(self, two_class_data):
+        X, _ = two_class_data
+
+        class Bare:
+            pass
+
+        with pytest.raises(InvalidParameterError):
+            ShapePredictor.from_model(Bare())
+
+    def test_query_length_mismatch_raises(self, fitted):
+        X, model = fitted
+        predictor = ShapePredictor.from_model(model)
+        with pytest.raises(ShapeMismatchError):
+            predictor.predict(X[:, :-1])
+
+    def test_counters_accumulate(self, fitted):
+        X, model = fitted
+        predictor = ShapePredictor.from_model(model)
+        predictor.predict(X)
+        predictor.predict(X[:3])
+        assert predictor.n_queries == X.shape[0] + 3
+        assert predictor.kernel_seconds > 0
+
+
+class TestAcceptanceRoundTrip:
+    """save -> load -> serve is bit-identical to in-memory fit_predict."""
+
+    @pytest.mark.parametrize("maker", [
+        lambda: KShape(n_clusters=2, random_state=0),
+        lambda: TimeSeriesKMeans(2, metric="sbd", random_state=0),
+        lambda: TimeSeriesKMeans(2, metric="cdtw5", random_state=0),
+    ])
+    def test_end_to_end(self, two_class_data, tmp_path, maker):
+        X, _ = two_class_data
+        model = maker()
+        in_memory = model.fit_predict(X)
+        path = save_model(model, str(tmp_path / "model"))
+        served = ShapePredictor.from_artifact(path).predict(X)
+        assert np.array_equal(served, in_memory)
+
+    def test_kmedoids_end_to_end(self, two_class_data, tmp_path):
+        from repro import KMedoids
+
+        X, _ = two_class_data
+        model = KMedoids(2, metric="ed", random_state=0)
+        in_memory = model.fit_predict(X)
+        path = save_model(model, str(tmp_path / "model"))
+        served = ShapePredictor.from_artifact(path).predict(X)
+        assert np.array_equal(served, in_memory)

@@ -1,0 +1,146 @@
+"""Tests for repro.serving.queue (micro-batching request queue)."""
+
+import numpy as np
+import pytest
+
+from repro import KShape
+from repro.exceptions import InvalidParameterError
+from repro.serving import MicroBatchQueue, ServingStats, ShapePredictor
+
+
+@pytest.fixture
+def predictor(two_class_data):
+    X, _ = two_class_data
+    model = KShape(n_clusters=2, random_state=0).fit(X)
+    return ShapePredictor.from_model(model)
+
+
+class TestManualMode:
+    """autostart=False: deterministic batching driven by flush()."""
+
+    def test_flush_answers_everything(self, predictor, two_class_data):
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, max_batch=8, autostart=False)
+        futures = [queue.submit(x) for x in X]
+        assert not any(f.done() for f in futures)
+        assert queue.flush() == X.shape[0]
+        labels = np.array([f.result()[0] for f in futures])
+        dists = np.array([f.result()[1] for f in futures])
+        reference = predictor.predict_full(X)
+        assert np.array_equal(labels, reference.labels)
+        assert np.array_equal(dists, reference.distances)
+
+    def test_batches_respect_max_batch(self, predictor, two_class_data):
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, max_batch=8, autostart=False)
+        for x in X:  # 20 requests -> batches of 8, 8, 4
+            queue.submit(x)
+        queue.flush()
+        stats = queue.stats()
+        assert stats.batches == 3
+        assert stats.max_batch_size == 8
+        assert stats.batch_occupancy == X.shape[0]
+        assert stats.completed == stats.requests == X.shape[0]
+        assert stats.mean_batch_size == pytest.approx(X.shape[0] / 3)
+
+    def test_blocking_predict_flushes(self, predictor, two_class_data):
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, autostart=False)
+        label, dist = queue.predict(X[0])
+        reference = predictor.predict_full(X[:1])
+        assert label == reference.labels[0]
+        assert dist == reference.distances[0]
+
+    def test_flush_empty_queue(self, predictor):
+        queue = MicroBatchQueue(predictor, autostart=False)
+        assert queue.flush() == 0
+
+
+class TestThreadedMode:
+    def test_coalesces_and_answers(self, predictor, two_class_data):
+        X, _ = two_class_data
+        with MicroBatchQueue(
+            predictor, max_batch=4, max_latency_s=0.05
+        ) as queue:
+            futures = [queue.submit(x) for x in X]
+            labels = np.array([f.result(timeout=5)[0] for f in futures])
+        assert np.array_equal(labels, predictor.predict(X))
+        stats = queue.stats()
+        assert stats.completed == X.shape[0]
+        assert stats.batches >= int(np.ceil(X.shape[0] / 4))
+        assert stats.max_batch_size <= 4
+        assert stats.total_latency_s > 0
+        assert stats.max_latency_s >= stats.mean_latency_s
+
+    def test_latency_flush_of_partial_batch(self, predictor, two_class_data):
+        X, _ = two_class_data
+        with MicroBatchQueue(
+            predictor, max_batch=1000, max_latency_s=0.02
+        ) as queue:
+            future = queue.submit(X[0])
+            # Far fewer than max_batch requests: only the latency deadline
+            # can flush this one.
+            assert future.result(timeout=5)[0] == predictor.predict(X[:1])[0]
+
+    def test_close_drains_backlog(self, predictor, two_class_data):
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, max_batch=4, max_latency_s=10.0)
+        futures = [queue.submit(x) for x in X[:3]]  # below max_batch
+        queue.close()
+        assert all(f.done() for f in futures)
+        assert queue.stats().completed == 3
+
+    def test_submit_after_close_raises(self, predictor, two_class_data):
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor)
+        queue.close()
+        with pytest.raises(InvalidParameterError):
+            queue.submit(X[0])
+        queue.close()  # idempotent
+
+
+class TestErrorPropagation:
+    def test_invalid_series_rejected_at_submit(self, predictor):
+        queue = MicroBatchQueue(predictor, autostart=False)
+        with pytest.raises(InvalidParameterError):
+            queue.submit([np.nan, 1.0, 2.0])
+
+    def test_wrong_length_propagates_through_future(
+        self, predictor, two_class_data
+    ):
+        from repro.exceptions import ShapeMismatchError
+
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, autostart=False)
+        future = queue.submit(X[0][:-1])
+        queue.flush()
+        with pytest.raises(ShapeMismatchError):
+            future.result()
+
+
+class TestValidation:
+    def test_bad_policy_raises(self, predictor):
+        with pytest.raises(InvalidParameterError):
+            MicroBatchQueue(predictor, max_batch=0)
+        with pytest.raises(InvalidParameterError):
+            MicroBatchQueue(predictor, max_latency_s=0.0)
+
+    def test_stats_snapshot_is_detached(self, predictor, two_class_data):
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, autostart=False)
+        snapshot = queue.stats()
+        queue.submit(X[0])
+        queue.flush()
+        assert snapshot.requests == 0  # old snapshot unchanged
+        assert queue.stats().requests == 1
+        assert isinstance(snapshot, ServingStats)
+
+    def test_as_dict_has_derived_rates(self, predictor, two_class_data):
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, autostart=False)
+        queue.submit(X[0])
+        queue.flush()
+        payload = queue.stats().as_dict()
+        assert payload["mean_batch_size"] == 1.0
+        assert payload["throughput"] >= 0
+        assert set(payload) >= {"requests", "batches", "kernel_s"}
