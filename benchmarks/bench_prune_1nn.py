@@ -61,6 +61,23 @@ def make_workload(n_train: int, n_test: int, m: int, seed: int):
     return X[:n_train], y[:n_train], X[n_train:], y[n_train:]
 
 
+def _previous_pruned_times(path: Path) -> dict:
+    """Per-metric ``pruned_s`` from the committed report, if one exists.
+
+    Recording the previous run's wall-clock in the regenerated JSON keeps
+    the perf trajectory in the file itself (the wavefront-batching PR is
+    measured against the scalar-confirm engine it replaced).
+    """
+    try:
+        previous = json.loads(path.read_text())
+        return {
+            metric: float(row["pruned_s"])
+            for metric, row in previous.get("rows", {}).items()
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        return {}
+
+
 def run_benchmark(
     n_train: int = BENCH_N_TRAIN,
     n_test: int = BENCH_N_TEST,
@@ -69,6 +86,8 @@ def run_benchmark(
     output: Path | None = None,
 ) -> dict:
     X_tr, y_tr, X_te, _ = make_workload(n_train, n_test, m, seed)
+    target = OUTPUT if output is None else output
+    previous = _previous_pruned_times(target)
 
     rows = {}
     for metric, window in ROWS:
@@ -95,6 +114,11 @@ def run_benchmark(
                 for k, v in stats.as_dict().items()
             },
         }
+        if metric in previous:
+            rows[metric]["previous_pruned_s"] = round(previous[metric], 4)
+            rows[metric]["speedup_vs_previous"] = round(
+                previous[metric] / max(pruned_s, 1e-9), 3
+            )
 
     report = {
         "benchmark": "brute vs pruned (c)DTW 1-NN",
@@ -104,9 +128,7 @@ def run_benchmark(
         "seed": seed,
         "rows": rows,
     }
-    (OUTPUT if output is None else output).write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
+    target.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
 
@@ -117,7 +139,11 @@ def test_bench_prune_1nn_full():
     for metric, row in report["rows"].items():
         assert row["predictions_identical"], metric
         assert row["pruning"]["prune_rate"] > 0.5, metric
-    assert report["rows"]["cdtw5"]["speedup"] >= 3.0
+    # Both sides of the ratio now run on the batched wavefront kernels —
+    # brute confirmation collapsed from minutes to well under a second —
+    # so the engine's margin over brute force is thinner than in the
+    # scalar-kernel era. The cascade must still pay for itself.
+    assert report["rows"]["cdtw5"]["speedup"] >= 1.0
 
 
 def test_bench_prune_1nn_smoke(tmp_path, monkeypatch):

@@ -68,7 +68,10 @@ from .distances import (
     cascade,
     cdtw,
     dtw,
+    dtw_batch,
     dtw_path,
+    dtw_path_batch,
+    elastic_batch,
     euclidean,
     get_distance,
     keogh_envelope,
@@ -147,6 +150,9 @@ __all__ = [
     "dtw",
     "cdtw",
     "dtw_path",
+    "dtw_path_batch",
+    "dtw_batch",
+    "elastic_batch",
     "lb_keogh",
     "lb_kim",
     "lb_yi",

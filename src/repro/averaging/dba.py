@@ -15,7 +15,7 @@ from typing import Optional
 import numpy as np
 
 from .._validation import as_dataset, as_rng, as_series, check_positive_int
-from ..distances.dtw import dtw_path
+from ..distances.dtw import dtw_path_batch
 
 __all__ = ["dba", "dba_update"]
 
@@ -44,8 +44,10 @@ def dba_update(X, average, window=None) -> np.ndarray:
     avg = as_series(average, "average")
     sums = np.zeros(avg.shape[0])
     counts = np.zeros(avg.shape[0])
-    for i in range(data.shape[0]):
-        _, path = dtw_path(avg, data[i], window=window)
+    # All alignments against the current average in one batched wavefront
+    # sweep (paths are bit-identical to per-pair dtw_path calls).
+    alignments = dtw_path_batch(avg, data, window=window)
+    for i, (_, path) in enumerate(alignments):
         for a_idx, s_idx in path:
             sums[a_idx] += data[i, s_idx]
             counts[a_idx] += 1

@@ -7,7 +7,15 @@ from .base import (
     make_cdtw,
     register_distance,
 )
-from .dtw import cdtw, dtw, dtw_path, resolve_window, sakoe_chiba_mask
+from .batch import dtw_batch, elastic_batch
+from .dtw import (
+    cdtw,
+    dtw,
+    dtw_path,
+    dtw_path_batch,
+    resolve_window,
+    sakoe_chiba_mask,
+)
 from .elastic import edr, erp, lcss, lcss_distance, msm
 from .euclidean import euclidean, squared_euclidean
 from .ksc import ksc_align, ksc_distance, ksc_distance_with_shift
@@ -33,6 +41,9 @@ __all__ = [
     "dtw",
     "cdtw",
     "dtw_path",
+    "dtw_path_batch",
+    "dtw_batch",
+    "elastic_batch",
     "sakoe_chiba_mask",
     "resolve_window",
     "lcss",

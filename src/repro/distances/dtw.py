@@ -35,6 +35,7 @@ __all__ = [
     "dtw",
     "cdtw",
     "dtw_path",
+    "dtw_path_batch",
     "sakoe_chiba_mask",
     "resolve_window",
 ]
@@ -128,6 +129,62 @@ def _accumulate_diagonals(
     return float(prev[mx - 1])
 
 
+def _dtw_naive(x, y, window=None, cutoff=None) -> float:
+    """Plain-Python O(m^2) DTW reference; oracle for the wavefront kernels.
+
+    Evaluates the same anti-diagonal order, band clamping, and
+    two-consecutive-anti-diagonal abandon criterion as
+    :func:`_accumulate_diagonals`, but cell by cell in pure Python — no
+    vectorized slices — so the differential suite can assert the wavefront
+    (and the batched kernel built on it) is bit-identical to the textbook
+    recursion, ``cutoff=`` semantics included.
+    """
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    mx, my = xv.shape[0], yv.shape[0]
+    w = resolve_window(window, max(mx, my))
+    if w is not None:
+        w = max(w, abs(mx - my))
+    cutoff_sq = None
+    if cutoff is not None:
+        if cutoff < 0:
+            return np.inf
+        if np.isfinite(cutoff):
+            cutoff_sq = float(cutoff) ** 2
+    inf = float("inf")
+    prev = [inf] * mx
+    prev2 = [inf] * mx
+    prev_min = inf
+    for d in range(mx + my - 1):
+        i_lo = max(0, d - my + 1)
+        i_hi = min(mx - 1, d)
+        if w is not None:
+            i_lo = max(i_lo, -((w - d) // 2))
+            i_hi = min(i_hi, (d + w) // 2)
+        cur = [inf] * mx
+        if i_lo > i_hi:
+            prev2, prev = prev, cur
+            prev_min = inf
+            continue
+        for i in range(i_lo, i_hi + 1):
+            j = d - i
+            c = (float(xv[i]) - float(yv[j])) ** 2
+            if d == 0:
+                cur[i] = c
+            else:
+                left = prev[i]                       # gamma(i, j-1)
+                up = prev[i - 1] if i >= 1 else inf  # gamma(i-1, j)
+                diag = prev2[i - 1] if i >= 1 else inf
+                cur[i] = c + min(left, up, diag)
+        if cutoff_sq is not None:
+            cur_min = min(cur[i_lo : i_hi + 1])
+            if cur_min > cutoff_sq and prev_min > cutoff_sq:
+                return np.inf
+            prev_min = cur_min
+        prev2, prev = prev, cur
+    return float(np.sqrt(prev[mx - 1]))
+
+
 def dtw(x, y, window=None, cutoff=None) -> float:
     """DTW distance between two series (optionally Sakoe-Chiba constrained).
 
@@ -185,16 +242,8 @@ def sakoe_chiba_mask(mx: int, my: int, window) -> np.ndarray:
     return np.abs(i - j) <= w
 
 
-def dtw_path(x, y, window=None) -> Tuple[float, List[Tuple[int, int]]]:
-    """DTW distance plus the optimal warping path.
-
-    Returns
-    -------
-    (distance, path):
-        ``path`` is the list of ``(i, j)`` index pairs from ``(0, 0)`` to
-        ``(mx-1, my-1)`` describing the optimal alignment; used by DBA/NLAAF
-        averaging and alignment visualizations.
-    """
+def _dtw_path_naive(x, y, window=None) -> Tuple[float, List[Tuple[int, int]]]:
+    """Row-major O(m^2) path reference; oracle for the wavefront fill."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")
     mx, my = xv.shape[0], yv.shape[0]
@@ -217,6 +266,16 @@ def dtw_path(x, y, window=None) -> Tuple[float, List[Tuple[int, int]]]:
             gamma[i, j] = cost[i, j] + min(
                 gamma[i - 1, j - 1], gamma[i - 1, j], gamma[i, j - 1]
             )
+    return float(np.sqrt(gamma[mx - 1, my - 1])), _backtrack(gamma)
+
+
+def _backtrack(gamma: np.ndarray) -> List[Tuple[int, int]]:
+    """Optimal warping path from a filled accumulated-cost matrix.
+
+    Tie-breaking follows tuple order — smallest cost, then smallest ``i``,
+    then smallest ``j`` — which pins the exact path, not just its cost.
+    """
+    mx, my = gamma.shape
     path: List[Tuple[int, int]] = [(mx - 1, my - 1)]
     i, j = mx - 1, my - 1
     while (i, j) != (0, 0):
@@ -233,4 +292,102 @@ def dtw_path(x, y, window=None) -> Tuple[float, List[Tuple[int, int]]]:
             _, i, j = min(candidates)
         path.append((i, j))
     path.reverse()
-    return float(np.sqrt(gamma[mx - 1, my - 1])), path
+    return path
+
+
+def _gamma_wavefront(X: np.ndarray, Y: np.ndarray, w: Optional[int]) -> np.ndarray:
+    """Full ``(B, mx, my)`` accumulated-cost matrices, one diagonal at a time.
+
+    The recurrence and band clamping mirror :func:`_accumulate_diagonals`
+    (cells outside the Sakoe-Chiba band stay ``inf``), but every diagonal
+    is written into the dense matrix so the caller can backtrack. All
+    operations are elementwise over the batch axis, so each matrix is
+    bit-identical to the one the row-major reference fills.
+    """
+    B, mx = X.shape
+    my = Y.shape[1]
+    if w is not None:
+        w = max(w, abs(mx - my))
+    gamma = np.full((B, mx, my), np.inf)
+    for d in range(mx + my - 1):
+        i_lo = max(0, d - my + 1)
+        i_hi = min(mx - 1, d)
+        if w is not None:
+            i_lo = max(i_lo, -((w - d) // 2))
+            i_hi = min(i_hi, (d + w) // 2)
+        if i_lo > i_hi:
+            continue
+        idx = np.arange(i_lo, i_hi + 1)
+        jdx = d - idx
+        cost = (X[:, idx] - Y[:, jdx]) ** 2
+        if d == 0:
+            gamma[:, 0, 0] = cost[:, 0]
+            continue
+        c_left = np.where(jdx >= 1, gamma[:, idx, jdx - 1], np.inf)
+        c_up = np.where(idx >= 1, gamma[:, idx - 1, jdx], np.inf)
+        c_diag = np.where(
+            (idx >= 1) & (jdx >= 1), gamma[:, idx - 1, jdx - 1], np.inf
+        )
+        best = np.minimum(np.minimum(c_left, c_up), c_diag)
+        gamma[:, idx, jdx] = cost + best
+    return gamma
+
+
+def dtw_path(x, y, window=None) -> Tuple[float, List[Tuple[int, int]]]:
+    """DTW distance plus the optimal warping path.
+
+    The accumulated-cost matrix is filled anti-diagonal by anti-diagonal
+    (one vectorized numpy step per diagonal — ``O(m)`` Python iterations),
+    then backtracked; values and paths are bit-identical to the retained
+    row-major reference (:func:`_dtw_path_naive`).
+
+    Returns
+    -------
+    (distance, path):
+        ``path`` is the list of ``(i, j)`` index pairs from ``(0, 0)`` to
+        ``(mx-1, my-1)`` describing the optimal alignment; used by DBA/NLAAF
+        averaging and alignment visualizations.
+    """
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    w = resolve_window(window, max(xv.shape[0], yv.shape[0]))
+    gamma = _gamma_wavefront(xv[None, :], yv[None, :], w)[0]
+    return float(np.sqrt(gamma[-1, -1])), _backtrack(gamma)
+
+
+def dtw_path_batch(
+    x, Y, window=None, max_cells: int = 16_000_000
+) -> List[Tuple[float, List[Tuple[int, int]]]]:
+    """Warping paths from one reference series to every row of ``Y``.
+
+    One ``(B, diagonal)`` wavefront fills all ``B`` accumulated-cost
+    matrices at once (chunked so at most ``max_cells`` matrix cells are
+    live), then each pair is backtracked. This is the alignment kernel DBA
+    uses: aligning a centroid against every member of a cluster is one
+    vectorized sweep instead of a Python DP per member.
+
+    Returns
+    -------
+    list of (distance, path):
+        Element ``b`` is bit-identical to ``dtw_path(x, Y[b], window)``.
+    """
+    xv = as_series(x, "x")
+    rows = [as_series(yb, f"Y[{b}]") for b, yb in enumerate(np.asarray(Y, dtype=np.float64))] \
+        if isinstance(Y, np.ndarray) and np.asarray(Y).ndim == 2 \
+        else [as_series(yb, f"Y[{b}]") for b, yb in enumerate(Y)]
+    if not rows:
+        return []
+    my = rows[0].shape[0]
+    if any(r.shape[0] != my for r in rows):
+        # Ragged stacks fall back to per-pair sweeps (still wavefront).
+        return [dtw_path(xv, r, window=window) for r in rows]
+    w = resolve_window(window, max(xv.shape[0], my))
+    chunk = max(1, int(max_cells // max(1, xv.shape[0] * my)))
+    out: List[Tuple[float, List[Tuple[int, int]]]] = []
+    for start in range(0, len(rows), chunk):
+        block = np.stack(rows[start : start + chunk])
+        X = np.broadcast_to(xv, (block.shape[0], xv.shape[0]))
+        gamma = _gamma_wavefront(X, block, w)
+        for b in range(block.shape[0]):
+            out.append((float(np.sqrt(gamma[b, -1, -1])), _backtrack(gamma[b])))
+    return out

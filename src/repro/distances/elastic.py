@@ -21,10 +21,20 @@ substrate for that comparison, this module implements the classic four:
   operation costs the value change and whose split/merge operations cost a
   constant ``c``.
 
-These are reference implementations (O(m^2) dynamic programs with plain
-loops); they favor clarity over speed and are intended for the extended
-distance comparison bench and for downstream experimentation, not for the
-hot path — that is SBD's job.
+Implementation notes
+--------------------
+The public functions evaluate their dynamic programs **anti-diagonal by
+anti-diagonal over vectorized numpy slices** (the same wavefront layout as
+:mod:`repro.distances.dtw`): every cell on grid diagonal ``i + j = d``
+depends only on diagonals ``d-1`` and ``d-2``, so the Python-level loop is
+``O(m)`` instead of ``O(m^2)``. They are thin wrappers over the
+batch-of-one case of :mod:`repro.distances.batch`, which also exposes the
+many-pairs kernel (:func:`repro.distances.batch.elastic_batch`).
+
+The original plain-loop recursions are retained as ``_lcss_naive`` /
+``_edr_naive`` / ``_erp_naive`` / ``_msm_naive``: they are the oracle the
+differential suite (``tests/test_dtw_differential.py``) checks the
+wavefront kernels against, to exact float equality.
 """
 
 from __future__ import annotations
@@ -37,31 +47,16 @@ from ..exceptions import InvalidParameterError
 __all__ = ["lcss", "lcss_distance", "edr", "erp", "msm"]
 
 
-def lcss(x, y, epsilon: float = 0.5, delta=None) -> int:
-    """Length of the longest common subsequence under an epsilon match.
+# ---------------------------------------------------------------------------
+# Naive references (the seed implementations): plain-loop dynamic programs,
+# kept verbatim as the differential-testing oracle for the wavefronts.
+# ---------------------------------------------------------------------------
 
-    Parameters
-    ----------
-    x, y:
-        1-D series (lengths may differ).
-    epsilon:
-        Match threshold: ``x_i`` and ``y_j`` match when
-        ``|x_i - y_j| <= epsilon``.
-    delta:
-        Optional temporal constraint: only pairs with ``|i - j| <= delta``
-        may match (the Sakoe-Chiba analog for LCSS).
 
-    Returns
-    -------
-    int
-        The LCSS length, between 0 and ``min(len(x), len(y))``.
-    """
+def _lcss_naive(x, y, epsilon: float = 0.5, delta=None) -> int:
+    """Plain-loop LCSS length; oracle for the wavefront kernel."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")
-    if epsilon < 0:
-        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
-    if delta is not None and delta < 0:
-        raise InvalidParameterError(f"delta must be >= 0 or None, got {delta}")
     mx, my = xv.shape[0], yv.shape[0]
     prev = np.zeros(my + 1, dtype=np.int64)
     cur = np.zeros(my + 1, dtype=np.int64)
@@ -80,29 +75,10 @@ def lcss(x, y, epsilon: float = 0.5, delta=None) -> int:
     return int(prev[my])
 
 
-def lcss_distance(x, y, epsilon: float = 0.5, delta=None) -> float:
-    """LCSS as a dissimilarity: ``1 - LCSS / min(len(x), len(y))`` in [0, 1]."""
+def _edr_naive(x, y, epsilon: float = 0.5, normalize: bool = False) -> float:
+    """Plain-loop EDR; oracle for the wavefront kernel."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")
-    length = lcss(xv, yv, epsilon=epsilon, delta=delta)
-    return 1.0 - length / min(xv.shape[0], yv.shape[0])
-
-
-def edr(x, y, epsilon: float = 0.5, normalize: bool = False) -> float:
-    """Edit Distance on Real sequences (Chen et al. [12]).
-
-    Substitution costs 0 for matching points (``|x_i - y_j| <= epsilon``)
-    and 1 otherwise; insertions and deletions cost 1.
-
-    Parameters
-    ----------
-    normalize:
-        Divide by ``max(len(x), len(y))`` so values land in [0, 1].
-    """
-    xv = as_series(x, "x")
-    yv = as_series(y, "y")
-    if epsilon < 0:
-        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
     mx, my = xv.shape[0], yv.shape[0]
     prev = np.arange(my + 1, dtype=np.float64)
     cur = np.empty(my + 1)
@@ -117,13 +93,8 @@ def edr(x, y, epsilon: float = 0.5, normalize: bool = False) -> float:
     return result / max(mx, my) if normalize else result
 
 
-def erp(x, y, g: float = 0.0) -> float:
-    """Edit distance with Real Penalty (Chen & Ng [11]); a true metric.
-
-    Matching two points costs ``|x_i - y_j|``; leaving a point unmatched
-    (a gap) costs its distance to the reference value ``g`` — for
-    z-normalized series ``g = 0`` is the customary choice.
-    """
+def _erp_naive(x, y, g: float = 0.0) -> float:
+    """Plain-loop ERP; oracle for the wavefront kernel."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")
     mx, my = xv.shape[0], yv.shape[0]
@@ -153,18 +124,10 @@ def _msm_cost(new: float, left: float, right: float, c: float) -> float:
     return c + min(abs(new - left), abs(new - right))
 
 
-def msm(x, y, c: float = 0.5) -> float:
-    """Move-Split-Merge distance (Stefan et al. [75]); a true metric.
-
-    The move operation changes a value at cost equal to the change; split
-    and merge operations duplicate or fuse adjacent points at cost ``c``
-    (plus the distance to the nearer neighbor when the new value falls
-    outside the bracketing interval).
-    """
+def _msm_naive(x, y, c: float = 0.5) -> float:
+    """Plain-loop MSM; oracle for the wavefront kernel."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")
-    if c < 0:
-        raise InvalidParameterError(f"c must be >= 0, got {c}")
     mx, my = xv.shape[0], yv.shape[0]
     prev = np.empty(my)
     cur = np.empty(my)
@@ -181,3 +144,98 @@ def msm(x, y, c: float = 0.5) -> float:
             )
         prev, cur = cur, prev
     return float(prev[my - 1])
+
+
+# ---------------------------------------------------------------------------
+# Public wavefront implementations
+# ---------------------------------------------------------------------------
+
+
+def lcss(x, y, epsilon: float = 0.5, delta=None) -> int:
+    """Length of the longest common subsequence under an epsilon match.
+
+    Parameters
+    ----------
+    x, y:
+        1-D series (lengths may differ).
+    epsilon:
+        Match threshold: ``x_i`` and ``y_j`` match when
+        ``|x_i - y_j| <= epsilon``.
+    delta:
+        Optional temporal constraint: only pairs with ``|i - j| <= delta``
+        may match (the Sakoe-Chiba analog for LCSS).
+
+    Returns
+    -------
+    int
+        The LCSS length, between 0 and ``min(len(x), len(y))``.
+    """
+    from .batch import _lcss_batch
+
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    if epsilon < 0:
+        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+    if delta is not None and delta < 0:
+        raise InvalidParameterError(f"delta must be >= 0 or None, got {delta}")
+    return int(_lcss_batch(xv[None, :], yv[None, :], epsilon, delta)[0])
+
+
+def lcss_distance(x, y, epsilon: float = 0.5, delta=None) -> float:
+    """LCSS as a dissimilarity: ``1 - LCSS / min(len(x), len(y))`` in [0, 1]."""
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    length = lcss(xv, yv, epsilon=epsilon, delta=delta)
+    return 1.0 - length / min(xv.shape[0], yv.shape[0])
+
+
+def edr(x, y, epsilon: float = 0.5, normalize: bool = False) -> float:
+    """Edit Distance on Real sequences (Chen et al. [12]).
+
+    Substitution costs 0 for matching points (``|x_i - y_j| <= epsilon``)
+    and 1 otherwise; insertions and deletions cost 1.
+
+    Parameters
+    ----------
+    normalize:
+        Divide by ``max(len(x), len(y))`` so values land in [0, 1].
+    """
+    from .batch import _edr_batch
+
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    if epsilon < 0:
+        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+    result = float(_edr_batch(xv[None, :], yv[None, :], epsilon)[0])
+    return result / max(xv.shape[0], yv.shape[0]) if normalize else result
+
+
+def erp(x, y, g: float = 0.0) -> float:
+    """Edit distance with Real Penalty (Chen & Ng [11]); a true metric.
+
+    Matching two points costs ``|x_i - y_j|``; leaving a point unmatched
+    (a gap) costs its distance to the reference value ``g`` — for
+    z-normalized series ``g = 0`` is the customary choice.
+    """
+    from .batch import _erp_batch
+
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    return float(_erp_batch(xv[None, :], yv[None, :], g)[0])
+
+
+def msm(x, y, c: float = 0.5) -> float:
+    """Move-Split-Merge distance (Stefan et al. [75]); a true metric.
+
+    The move operation changes a value at cost equal to the change; split
+    and merge operations duplicate or fuse adjacent points at cost ``c``
+    (plus the distance to the nearer neighbor when the new value falls
+    outside the bracketing interval).
+    """
+    from .batch import _msm_batch
+
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    if c < 0:
+        raise InvalidParameterError(f"c must be >= 0, got {c}")
+    return float(_msm_batch(xv[None, :], yv[None, :], c)[0])

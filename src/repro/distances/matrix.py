@@ -12,13 +12,16 @@ runs them on a serial, thread, or shared-memory process backend.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import functools
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from .._validation import as_dataset
 from ..core._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
 from .base import DistanceFn, get_distance
+from .batch import _dtw_cost_batch, elastic_batch
+from .dtw import resolve_window
 
 __all__ = ["pairwise_distances", "cross_distances", "sbd_matrix", "euclidean_matrix"]
 
@@ -27,6 +30,67 @@ def _resolve(metric: Union[str, DistanceFn]) -> DistanceFn:
     if callable(metric):
         return metric
     return get_distance(metric)
+
+
+#: Registered elastic names -> (elastic_batch measure, fixed params). The
+#: registry binds "lcss" to the distance form and "edr" to the normalized
+#: form, so the batched route has to apply the same transforms.
+_ELASTIC_ROUTES = {
+    "lcss": ("lcss_distance", {}),
+    "edr": ("edr", {"normalize": True}),
+    "erp": ("erp", {}),
+    "msm": ("msm", {}),
+}
+
+
+def _batch_spec(metric) -> Optional[Tuple]:
+    """Batched-kernel route for a metric, or ``None`` for the per-pair loop.
+
+    Returns ``("dtw", window)`` for (c)DTW-like metrics (names, the bare
+    callables, or ``partial`` wrappers binding only ``window``) and
+    ``("elastic", measure, params)`` for the registered elastic names.
+    Results are bit-identical to per-pair calls of the metric, so routing
+    is a pure optimization.
+    """
+    if isinstance(metric, functools.partial) and set(metric.keywords) - {"window"}:
+        return None  # a bound cutoff (or other kwarg) changes the semantics
+    from .prune import dtw_window_of
+
+    is_dtw, window = dtw_window_of(metric)
+    if is_dtw:
+        return ("dtw", window)
+    if isinstance(metric, str):
+        route = _ELASTIC_ROUTES.get(metric.lower())
+        if route is not None:
+            return ("elastic",) + route
+    return None
+
+
+def _batched_pairs(
+    A: np.ndarray,
+    B: np.ndarray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    spec: Tuple,
+    chunk: int = 4096,
+) -> np.ndarray:
+    """Metric values for the pair list ``(A[ii[k]], B[jj[k]])``, batched.
+
+    Pairs are swept ``chunk`` at a time through the ``(B, diagonal)``
+    wavefront kernels, bounding the live working set while amortizing the
+    per-diagonal Python overhead over thousands of pairs.
+    """
+    out = np.empty(ii.shape[0])
+    for s in range(0, ii.shape[0], chunk):
+        Xc = A[ii[s : s + chunk]]
+        Yc = B[jj[s : s + chunk]]
+        if spec[0] == "dtw":
+            w = resolve_window(spec[1], max(Xc.shape[1], Yc.shape[1]))
+            costs, _ = _dtw_cost_batch(Xc, Yc, w)
+            out[s : s + chunk] = np.sqrt(costs)
+        else:
+            out[s : s + chunk] = elastic_batch(spec[1], Xc, Yc, **spec[2])
+    return out
 
 
 def euclidean_matrix(X, Y=None) -> np.ndarray:
@@ -111,10 +175,20 @@ def pairwise_distances(
                 return euclidean_matrix(X)
             if key == "sbd":
                 return sbd_matrix(X)
-        fn = _resolve(metric)
         data = as_dataset(X, "X")
         n = data.shape[0]
         out = np.zeros((n, n))
+        spec = _batch_spec(metric)
+        if spec is not None and n > 1:
+            ii, jj = np.triu_indices(n, 1)
+            values = _batched_pairs(data, data, ii, jj, spec)
+            out[ii, jj] = values
+            if symmetric:
+                out[jj, ii] = values
+            else:
+                out[jj, ii] = _batched_pairs(data, data, jj, ii, spec)
+            return out
+        fn = _resolve(metric)
         for i in range(n):
             start = i + 1 if symmetric else 0
             for j in range(start, n):
@@ -159,9 +233,15 @@ def cross_distances(
                 return euclidean_matrix(X, Y)
             if key == "sbd":
                 return sbd_matrix(X, Y)
-        fn = _resolve(metric)
         A = as_dataset(X, "X")
         B = as_dataset(Y, "Y")
+        spec = _batch_spec(metric)
+        if spec is not None:
+            na, nb = A.shape[0], B.shape[0]
+            ii = np.repeat(np.arange(na), nb)
+            jj = np.tile(np.arange(nb), na)
+            return _batched_pairs(A, B, ii, jj, spec).reshape(na, nb)
+        fn = _resolve(metric)
         out = np.empty((A.shape[0], B.shape[0]))
         for i in range(A.shape[0]):
             for j in range(B.shape[0]):

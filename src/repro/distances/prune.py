@@ -35,10 +35,45 @@ import numpy as np
 from .._validation import as_dataset, as_series, check_equal_length
 from ..exceptions import InvalidParameterError
 from .base import DistanceFn, get_distance
+from .batch import _dtw_cost_batch, dtw_nonempty_diagonals
 from .dtw import cdtw, dtw, resolve_window
 from .lower_bounds import keogh_envelope
 
 __all__ = ["PruningStats", "NeighborEngine", "dtw_window_of", "pruned_medoid"]
+
+
+def _replay_dtw(
+    value: float,
+    band_minima: np.ndarray,
+    nonempty: np.ndarray,
+    cutoff,
+) -> float:
+    """Replay a scalar ``dtw(..., cutoff=...)`` call from recorded band minima.
+
+    The DP values of the wavefront never depend on the cutoff — the cutoff
+    only decides *when the sweep stops*. So a batch run at a loose cutoff
+    can record every anti-diagonal's band minimum and the scalar decision
+    at any tighter ``cutoff`` can be replayed after the fact: the scalar
+    kernel abandons at the first **nonempty** diagonal whose minimum and
+    whose nonempty predecessor's minimum (``inf`` — always a hit — at the
+    start and after empty diagonals) both exceed ``cutoff**2``. Bit-exact,
+    which is what keeps :class:`PruningStats` identical under batching.
+
+    ``value`` is the completed distance (``sqrt`` of the final cost) and is
+    returned untouched when the replay does not abandon.
+    """
+    if cutoff is None or np.isinf(cutoff):
+        return value
+    if cutoff < 0:
+        return np.inf
+    cut_sq = float(cutoff) ** 2
+    hit = band_minima > cut_sq
+    prev_hit = np.empty_like(hit)
+    prev_hit[0] = True  # prev_min starts at inf in the scalar kernel
+    prev_hit[1:] = np.where(nonempty[:-1], hit[:-1], True)
+    if np.any(nonempty & hit & prev_hit):
+        return np.inf
+    return value
 
 
 @dataclass
@@ -155,6 +190,16 @@ class NeighborEngine:
         used verbatim without abandoning; the caller is then responsible
         for the bounds being admissible for it (the legacy ``lb_window``
         contract).
+    batch_full:
+        When True (default) and the confirming metric is (c)DTW, the
+        "full" tier confirms survivors in vectorized chunks through the
+        batched wavefront kernel (:mod:`repro.distances.batch`) instead of
+        one scalar DTW per pair. Results, tie-breaking, and the per-tier
+        :class:`PruningStats` are **bit-identical** to ``batch_full=False``:
+        each chunk is computed at the loosest cutoff any of its members can
+        see (the best-so-far when the chunk starts — the bound can only
+        tighten), and the scalar sequential abandon decisions are replayed
+        from the recorded per-diagonal band minima (:func:`_replay_dtw`).
 
     Notes
     -----
@@ -163,7 +208,18 @@ class NeighborEngine:
     distance.
     """
 
-    def __init__(self, candidates, window=None, metric=None):
+    #: Survivors pre-confirmed per vectorized chunk; amortizes the
+    #: per-diagonal numpy overhead ~chunk-fold while keeping the chunk-start
+    #: cutoff close to each member's sequential cutoff.
+    _BATCH_CHUNK = 64
+
+    #: Scan-order prefixes swept per cross-query wave in ``query_batch``
+    #: (see ``_precompute_batch``): the first few candidates collapse the
+    #: best-so-far, so later — much larger — waves run at near-final
+    #: cutoffs and abandon almost immediately.
+    _WAVE_EDGES = (4, 16, 64)
+
+    def __init__(self, candidates, window=None, metric=None, batch_full=True):
         C = as_dataset(candidates, "candidates")
         self._C = C
         self.n_candidates, self.m = C.shape
@@ -197,6 +253,8 @@ class NeighborEngine:
         self._last = C[:, -1]
         self._max = C.max(axis=1)
         self._min = C.min(axis=1)
+        self.batch_full = bool(batch_full)
+        self._nonempty: Optional[np.ndarray] = None
         self.stats = PruningStats()
 
     def _envelope_cells(self, window, metric) -> int:
@@ -271,6 +329,180 @@ class NeighborEngine:
             return float(self._fn(xv, self._C[index]))
         return dtw(xv, self._C[index], window=self._confirm_window, cutoff=cutoff)
 
+    def _confirm_geometry(self) -> np.ndarray:
+        """Nonempty-diagonal mask of the confirm band (cached; see replay)."""
+        if self._nonempty is None:
+            w = resolve_window(self._confirm_window, self.m)
+            self._nonempty = dtw_nonempty_diagonals(self.m, self.m, w)
+        return self._nonempty
+
+    def _batch_confirm(
+        self, xv: np.ndarray, rows: np.ndarray, cutoff: float
+    ) -> dict:
+        """Wavefront-confirm ``rows`` at ``cutoff``; map row -> (value, minima).
+
+        ``cutoff`` must be the loosest cutoff any of these rows will see
+        when the sequential scan reaches them (the best-so-far only
+        tightens), so recorded minima always cover the diagonals a scalar
+        run at the actual cutoff would have visited.
+        """
+        w = resolve_window(self._confirm_window, self.m)
+        B = rows.shape[0]
+        X = np.broadcast_to(xv, (B, self.m))
+        cut = None
+        if np.isfinite(cutoff):
+            cut = np.full(B, float(cutoff) ** 2)
+        costs, minima = _dtw_cost_batch(
+            X, self._C[rows], w, cutoff_sq=cut, record_minima=True
+        )
+        values = np.sqrt(costs)
+        return {
+            int(rows[k]): (float(values[k]), minima[k]) for k in range(B)
+        }
+
+    def _precompute_batch(
+        self, data: np.ndarray, cutoff: float
+    ) -> Tuple[list, list]:
+        """Cross-query confirmation sweeps for :meth:`query_batch`.
+
+        Replays the head of :meth:`_query` — seed selection, the seed
+        confirm, and the bound ordering — for every query at once, so the
+        two expensive wavefront launches (each query's seed, each query's
+        first confirm chunk) collapse into two *batch-of-everything*
+        sweeps instead of ``2q`` small ones. Every row is swept at exactly
+        the cutoff the sequential scan would use at that point, and the
+        recorded band minima let ``_replay_dtw`` reproduce the scalar
+        abandon decisions, so results and statistics are bit-identical.
+        """
+        q = len(data)
+        w = resolve_window(self._confirm_window, self.m)
+        nonempty = self._confirm_geometry()
+
+        # Sweep 1: every query's seed candidate at the shared external
+        # cutoff (the best-so-far when _query confirms its seed).
+        kims = [self._kim(row) for row in data]
+        pres = [np.maximum(kims[qi], self._yi(data[qi])) for qi in range(q)]
+        seeds = np.fromiter(
+            (int(np.argmin(p)) for p in pres), dtype=np.int64, count=q
+        )
+        cut = np.full(q, cutoff**2) if np.isfinite(cutoff) else None
+        costs, minima = _dtw_cost_batch(
+            np.ascontiguousarray(data),
+            self._C[seeds],
+            w,
+            cutoff_sq=cut,
+            record_minima=True,
+        )
+        seed_vals = np.sqrt(costs)
+        seed_pre = [(float(seed_vals[qi]), minima[qi]) for qi in range(q)]
+
+        # Remaining sweeps: the candidate scans, in escalating *waves*.
+        # Every query's scan visits candidates in ascending-bound order,
+        # and its best-so-far collapses after the first few confirms (the
+        # true neighbor usually sits at the front of the order). Sweeping
+        # the whole first chunk at the loose post-seed cutoff would do far
+        # more DP work per row than the sequential scan; instead the scan
+        # prefix [0:4) is swept first, its replays tighten each query's
+        # best, and each later (larger) wave is swept at those
+        # near-final cutoffs. The replay bookkeeping below mirrors
+        # _query's scan decisions exactly; any divergence would break the
+        # replay-cutoff invariant (every row swept at a cutoff at least
+        # as loose as the one the scan will replay it with).
+        confirmed = [dict() for _ in range(q)]
+        states = []
+        all_rows = np.arange(self.n_candidates)
+        for qi in range(q):
+            pre = pres[qi]
+            seed = int(seeds[qi])
+            best = cutoff
+            best_idx = -1
+            if not pre[seed] > best:  # best_idx == -1: no tie clause yet
+                d = _replay_dtw(*seed_pre[qi], nonempty, best)
+                if not np.isinf(d) and (d < best or d == best):
+                    best, best_idx = float(d), seed
+            rest = all_rows[all_rows != seed]
+            pre_prunable = (pre[rest] > best) | (
+                (pre[rest] == best) & (best_idx != -1) & (rest > best_idx)
+            )
+            survivors = rest[~pre_prunable]
+            if survivors.shape[0] == 0:
+                states.append(None)
+                continue
+            keogh = self._keogh(data[qi], survivors)
+            bound = np.maximum(pre[survivors], keogh)
+            order = np.argsort(bound, kind="stable")
+            states.append([best, best_idx, survivors, bound, order, False])
+        edges = (0,) + self._WAVE_EDGES + (self.n_candidates,)
+        for start, end in zip(edges[:-1], edges[1:]):
+            gathered_ti = []
+            gathered_q = []
+            gathered_cut = []
+            for qi in range(q):
+                st = states[qi]
+                if st is None or st[5]:  # no survivors / scan broke early
+                    continue
+                best, best_idx, survivors, bound, order = st[:5]
+                chunk = order[start:end]
+                tis = survivors[chunk]
+                bnds = bound[chunk]
+                alive = ~(
+                    (bnds > best)
+                    | ((bnds == best) & (best_idx != -1) & (tis > best_idx))
+                )
+                todo = tis[alive]
+                if todo.shape[0]:
+                    gathered_ti.append(todo)
+                    gathered_q.append(np.full(todo.shape[0], qi))
+                    gathered_cut.append(np.full(todo.shape[0], best))
+            if gathered_ti:
+                ti_all = np.concatenate(gathered_ti)
+                q_all = np.concatenate(gathered_q)
+                cut_all = np.concatenate(gathered_cut)
+                cut = (
+                    np.square(cut_all)
+                    if np.any(np.isfinite(cut_all))
+                    else None
+                )
+                costs, minima = _dtw_cost_batch(
+                    data[q_all],
+                    self._C[ti_all],
+                    w,
+                    cutoff_sq=cut,
+                    record_minima=True,
+                )
+                vals = np.sqrt(costs)
+                for k in range(ti_all.shape[0]):
+                    confirmed[int(q_all[k])][int(ti_all[k])] = (
+                        float(vals[k]),
+                        minima[k],
+                    )
+            # Advance every scan through this wave (same decisions _query
+            # will re-make, minus the statistics, which _query owns).
+            for qi in range(q):
+                st = states[qi]
+                if st is None or st[5]:
+                    continue
+                best, best_idx, survivors, bound, order = st[:5]
+                for oi in order[start:end]:
+                    ti = int(survivors[oi])
+                    b = float(bound[oi])
+                    if b > best:
+                        st[5] = True  # ascending order: scan stops here
+                        break
+                    if b == best and best_idx != -1 and ti > best_idx:
+                        continue
+                    d = _replay_dtw(
+                        *confirmed[qi][ti], nonempty, best
+                    )
+                    if np.isinf(d):
+                        continue
+                    if d < best or (
+                        d == best and (best_idx == -1 or ti < best_idx)
+                    ):
+                        best, best_idx = float(d), ti
+                st[0], st[1] = best, best_idx
+        return seed_pre, confirmed
+
     # -- queries ------------------------------------------------------------
 
     def query(self, x, cutoff: float = np.inf) -> Tuple[int, float]:
@@ -289,7 +521,11 @@ class NeighborEngine:
         return index, dist
 
     def _query(
-        self, xv: np.ndarray, cutoff: float
+        self,
+        xv: np.ndarray,
+        cutoff: float,
+        seed_precomp: Optional[Tuple[float, np.ndarray]] = None,
+        confirm_precomp: Optional[dict] = None,
     ) -> Tuple[int, float, PruningStats]:
         stats = PruningStats(candidates=self.n_candidates)
         kim = self._kim(xv)
@@ -310,7 +546,14 @@ class NeighborEngine:
         # Keogh tier and the scan start from a tight best-so-far.
         seed = int(np.argmin(pre))
         if not prunable(pre[seed], seed):
-            d = self._confirm(xv, seed, best)
+            if seed_precomp is not None:
+                # query_batch confirmed every query's seed in one wavefront
+                # sweep at this exact cutoff; replaying the recorded band
+                # minima reproduces the scalar abandon decision bit-for-bit.
+                value, minima = seed_precomp
+                d = _replay_dtw(value, minima, self._confirm_geometry(), best)
+            else:
+                d = self._confirm(xv, seed, best)
             if np.isinf(d):
                 stats.abandoned += 1
             else:
@@ -339,7 +582,33 @@ class NeighborEngine:
         keogh = self._keogh(xv, survivors)
         bound = np.maximum(pre[survivors], keogh)
         order = np.argsort(bound, kind="stable")
+        use_batch = self.batch_full and self._fn is None
+        # query_batch pre-sweeps every row this scan can possibly confirm
+        # (at cutoffs no tighter than the ones used here), so with a
+        # precomputed dict the in-loop chunk batching never fires.
+        confirmed: dict = (
+            dict(confirm_precomp) if confirm_precomp is not None else {}
+        )
+        in_loop_batch = use_batch and confirm_precomp is None
+        nonempty = self._confirm_geometry() if use_batch else None
         for pos, oi in enumerate(order):
+            if in_loop_batch and pos % self._BATCH_CHUNK == 0:
+                # Pre-confirm this chunk's not-yet-prunable rows in one
+                # wavefront at the loosest cutoff they can see (the
+                # current best; it only tightens from here). Rows that
+                # the scan later prunes keep their bound-tier
+                # attribution: the precomputation is invisible to the
+                # statistics.
+                chunk = order[pos : pos + self._BATCH_CHUNK]
+                tis = survivors[chunk]
+                bnds = bound[chunk]
+                alive = ~(
+                    (bnds > best)
+                    | ((bnds == best) & (best_idx != -1) & (tis > best_idx))
+                )
+                todo = tis[alive]
+                if todo.shape[0] > 1:
+                    confirmed.update(self._batch_confirm(xv, todo, best))
             ti = int(survivors[oi])
             b = float(bound[oi])
             if b > best:
@@ -369,7 +638,11 @@ class NeighborEngine:
                 else:
                     stats.lb_keogh += 1
                 continue
-            d = self._confirm(xv, ti, best)
+            if ti in confirmed:
+                value, minima = confirmed.pop(ti)
+                d = _replay_dtw(value, minima, nonempty, best)
+            else:
+                d = self._confirm(xv, ti, best)
             if np.isinf(d):
                 stats.abandoned += 1
                 continue
@@ -401,9 +674,22 @@ class NeighborEngine:
         check_equal_length(data, self._C)
         from ..parallel.executors import parallel_map
 
+        cutoff = float(cutoff)
+        seed_pre: Optional[list] = None
+        confirm_pre: Optional[list] = None
+        if self.batch_full and self._fn is None and cutoff >= 0 and len(data) > 1:
+            seed_pre, confirm_pre = self._precompute_batch(data, cutoff)
+
         results = parallel_map(
-            lambda row: self._query(row, float(cutoff)),
-            list(data),
+            lambda item: self._query(item[0], cutoff, item[1], item[2]),
+            [
+                (
+                    row,
+                    None if seed_pre is None else seed_pre[qi],
+                    None if confirm_pre is None else confirm_pre[qi],
+                )
+                for qi, row in enumerate(data)
+            ],
             n_jobs=n_jobs,
             backend=backend,
         )
@@ -419,6 +705,7 @@ def pruned_medoid(
     window=None,
     metric=None,
     stats: Optional[PruningStats] = None,
+    batch_full: bool = True,
 ) -> Tuple[int, float]:
     """Index of the member of ``X`` minimizing its summed distance to the rest.
 
@@ -432,6 +719,15 @@ def pruned_medoid(
 
     ``metric`` must be (c)DTW-like (see :func:`dtw_window_of`); ``None``
     confirms with ``(c)DTW`` at ``window``.
+
+    With ``batch_full`` (default), each candidate's surviving pairs are
+    confirmed in **one** batched wavefront sweep instead of a scalar DTW
+    per pair. The scan visits pairs in descending-bound order and every
+    confirmed distance is at least its (admissible) bound, so the running
+    budget never increases along the scan — the first pair's budget is a
+    valid loosest cutoff for the whole batch, and the scalar per-pair
+    abandon decisions are replayed exactly (:func:`_replay_dtw`). Results
+    and :class:`PruningStats` are bit-identical to ``batch_full=False``.
 
     Returns
     -------
@@ -459,6 +755,8 @@ def pruned_medoid(
         keogh_m[i] = engine._keogh(data[i], rows)
     lb = np.maximum.reduce([kim_m, yi_m, keogh_m])
     np.fill_diagonal(lb, 0.0)
+    w_cells = resolve_window(engine._confirm_window, data.shape[1])
+    nonempty = dtw_nonempty_diagonals(data.shape[1], data.shape[1], w_cells)
     lb_sums = lb.sum(axis=1)
     order = np.argsort(lb_sums, kind="stable")
     cache: dict = {}
@@ -487,6 +785,37 @@ def pruned_medoid(
         scan = others[np.argsort(-row_lb[others], kind="stable")]
         total = 0.0
         rest = float(row_lb[others].sum())
+        confirmed: dict = {}
+        if batch_full:
+            # The budget never increases along a descending-bound scan
+            # (each confirmed d is at least the admissible bound the scan
+            # just released), so the first pair's budget is the loosest
+            # cutoff any pair will see — batch every uncached pair that
+            # it does not already rule out, then replay per-pair.
+            b0 = best_total - (rest - float(row_lb[scan[0]]))
+            todo = [
+                int(j)
+                for j in scan
+                if ((i, int(j)) if i < int(j) else (int(j), i)) not in cache
+                and row_lb[int(j)] <= b0
+            ]
+            if len(todo) > 1:
+                todo_arr = np.asarray(todo)
+                cut = None
+                if np.isfinite(b0):
+                    cut = np.full(len(todo), float(b0) ** 2)
+                costs, minima = _dtw_cost_batch(
+                    np.broadcast_to(data[i], (len(todo), data.shape[1])),
+                    data[todo_arr],
+                    w_cells,
+                    cutoff_sq=cut,
+                    record_minima=True,
+                )
+                values = np.sqrt(costs)
+                confirmed = {
+                    j: (float(values[k]), minima[k])
+                    for k, j in enumerate(todo)
+                }
         dead = False
         for pos, j in enumerate(scan):
             j = int(j)
@@ -507,12 +836,21 @@ def pruned_medoid(
                     local.skipped += len(scan) - pos - 1
                     dead = True
                     break
-                d = dtw(
-                    data[i],
-                    data[j],
-                    window=engine._confirm_window,
-                    cutoff=budget if np.isfinite(budget) else None,
-                )
+                if j in confirmed:
+                    value, mins = confirmed.pop(j)
+                    d = _replay_dtw(
+                        value,
+                        mins,
+                        nonempty,
+                        budget if np.isfinite(budget) else None,
+                    )
+                else:
+                    d = dtw(
+                        data[i],
+                        data[j],
+                        window=engine._confirm_window,
+                        cutoff=budget if np.isfinite(budget) else None,
+                    )
                 if np.isinf(d):
                     local.abandoned += 1
                     local.skipped += len(scan) - pos - 1

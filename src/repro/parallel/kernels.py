@@ -109,11 +109,38 @@ def _sbd_tile(state: Dict[str, Any], tile: Tile) -> np.ndarray:
     return out
 
 
+def _tile_batch_spec(state: Dict[str, Any]):
+    """Batched-kernel route for this worker's metric (resolved once)."""
+    if "batch_spec" not in state:
+        from ..distances.matrix import _batch_spec
+
+        state["batch_spec"] = _batch_spec(state["spec"])
+    return state["batch_spec"]
+
+
 def _generic_tile(state: Dict[str, Any], tile: Tile) -> np.ndarray:
     A, B = state["A"], state["B"]
-    fn = _resolve_fn(state)
     skip_diagonal = state["skip_diagonal"]
     out = np.zeros((tile.i1 - tile.i0, tile.j1 - tile.j0))
+    spec = _tile_batch_spec(state)
+    if spec is not None:
+        # (c)DTW-like and elastic metrics: gather the tile's cells (same
+        # skip logic as the loop below) and sweep them through one batched
+        # wavefront — bit-identical to the per-pair calls.
+        from ..distances.matrix import _batched_pairs
+
+        cells = [
+            (li, lj, i, j)
+            for li, i in enumerate(range(tile.i0, tile.i1))
+            for lj, j in enumerate(range(tile.j0, tile.j1))
+            if not (tile.diagonal and j <= i)
+            and not (skip_diagonal and i == j)
+        ]
+        if cells:
+            lis, ljs, gis, gjs = (np.asarray(k) for k in zip(*cells))
+            out[lis, ljs] = _batched_pairs(A, B, gis, gjs, spec)
+        return out
+    fn = _resolve_fn(state)
     for li, i in enumerate(range(tile.i0, tile.i1)):
         for lj, j in enumerate(range(tile.j0, tile.j1)):
             if tile.diagonal and j <= i:

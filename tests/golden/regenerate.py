@@ -25,7 +25,7 @@ from repro.distances import pairwise_distances
 from repro.preprocessing import zscore
 
 GOLDEN_DIR = Path(__file__).resolve().parent
-GOLDEN_METRICS = ("sbd", "dtw", "cdtw5", "ksc")
+GOLDEN_METRICS = ("sbd", "dtw", "cdtw5", "ksc", "lcss", "edr", "erp", "msm")
 CBF_SEED = 7
 CBF_PER_CLASS = 4
 CBF_LENGTH = 32

@@ -1,0 +1,246 @@
+"""Differential fuzz suite: wavefront kernels vs the retained naive DPs.
+
+The wavefront rewrites in :mod:`repro.distances.dtw`,
+:mod:`repro.distances.elastic`, and :mod:`repro.distances.batch` claim
+**bit-identical** results to the plain-loop recursions they replaced —
+not "close", identical: the prune engine's statistics, the golden
+fixtures, and every cutoff decision depend on exact float equality. This
+suite drives randomized pairs (varied lengths, windows, constants,
+near-degenerate series) through both implementations and asserts
+``==``, never ``allclose``:
+
+* ``dtw``/``cdtw`` vs ``_dtw_naive`` — including ``cutoff=`` semantics
+  (below-cutoff values bit-identical, ``inf`` exactly when the naive
+  recursion early-abandons);
+* ``lcss``/``edr``/``erp``/``msm`` vs their ``_*_naive`` references;
+* ``dtw_path`` vs the row-major ``_dtw_path_naive`` — equal costs *and*
+  equal paths — plus the warping-path invariants (boundary, monotone
+  steps, cost consistency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distances.dtw import (
+    _dtw_naive,
+    _dtw_path_naive,
+    cdtw,
+    dtw,
+    dtw_path,
+)
+from repro.distances.elastic import (
+    _edr_naive,
+    _erp_naive,
+    _lcss_naive,
+    _msm_naive,
+    edr,
+    erp,
+    lcss,
+    lcss_distance,
+    msm,
+)
+
+RNG = np.random.default_rng(20260808)
+
+WINDOWS = (None, 1.0, 0.3, 0.05, 5, 1, 0)
+
+
+def random_pair(rng, max_len=48):
+    """A randomized series pair, occasionally degenerate on purpose."""
+    mx = int(rng.integers(1, max_len))
+    my = int(rng.integers(1, max_len))
+    kind = rng.integers(0, 5)
+    if kind == 0:  # constant series (ties everywhere in the DP)
+        x = np.full(mx, float(rng.normal()))
+        y = np.full(my, float(rng.normal()))
+    elif kind == 1:  # near-degenerate: y is x plus tiny noise
+        x = rng.normal(size=mx)
+        y = (x[:my] if my <= mx else np.resize(x, my)) + rng.normal(
+            scale=1e-12, size=my
+        )
+    elif kind == 2:  # integer-valued (exactly representable, exact ties)
+        x = rng.integers(-3, 4, size=mx).astype(float)
+        y = rng.integers(-3, 4, size=my).astype(float)
+    else:
+        x = rng.normal(size=mx) * float(rng.choice([1e-3, 1.0, 1e3]))
+        y = rng.normal(size=my) * float(rng.choice([1e-3, 1.0, 1e3]))
+    return x, y
+
+
+def _pairs(n, **kwargs):
+    return [random_pair(RNG, **kwargs) for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# DTW / cDTW vs the naive recursion
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+def test_dtw_wavefront_matches_naive(window):
+    for x, y in _pairs(25):
+        assert dtw(x, y, window=window) == _dtw_naive(x, y, window=window)
+
+
+def test_cdtw_matches_naive_at_its_window():
+    for x, y in _pairs(20):
+        assert cdtw(x, y) == _dtw_naive(x, y, window=0.05)
+        assert cdtw(x, y, window=0.1) == _dtw_naive(x, y, window=0.1)
+
+
+@pytest.mark.parametrize("window", (None, 0.2, 2, 0))
+def test_dtw_cutoff_semantics_match_naive(window):
+    """Both kernels abandon for the same pairs and agree bit-for-bit else."""
+    for x, y in _pairs(30):
+        full = dtw(x, y, window=window)
+        for scale in (0.25, 0.5, 0.99, 1.0, 1.01, 2.0):
+            cut = full * scale if np.isfinite(full) else scale
+            got = dtw(x, y, window=window, cutoff=cut)
+            ref = _dtw_naive(x, y, window=window, cutoff=cut)
+            assert got == ref or (np.isinf(got) and np.isinf(ref))
+            if not np.isinf(got):
+                # A survived cutoff run is bit-identical to the uncutoff one.
+                assert got == full
+
+
+def test_dtw_cutoff_edge_values():
+    x, y = random_pair(RNG)
+    full = dtw(x, y)
+    # Negative cutoff: distances are non-negative, everything abandons.
+    assert np.isinf(dtw(x, y, cutoff=-1.0))
+    assert np.isinf(_dtw_naive(x, y, cutoff=-1.0))
+    # Infinite cutoff never abandons.
+    assert dtw(x, y, cutoff=np.inf) == full
+    # Zero cutoff abandons unless the distance is exactly zero.
+    assert np.isinf(dtw(x, y, cutoff=0.0)) == (full > 0.0)
+    assert dtw(x, x, cutoff=0.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Elastic family vs the naive recursions
+# ---------------------------------------------------------------------------
+
+
+def test_lcss_matches_naive():
+    for x, y in _pairs(25):
+        for eps in (0.05, 0.5, 2.0):
+            for delta in (None, 0, 2, 10):
+                assert lcss(x, y, epsilon=eps, delta=delta) == _lcss_naive(
+                    x, y, epsilon=eps, delta=delta
+                )
+                expected = 1.0 - _lcss_naive(
+                    x, y, epsilon=eps, delta=delta
+                ) / min(x.shape[0], y.shape[0])
+                assert lcss_distance(x, y, epsilon=eps, delta=delta) == expected
+
+
+def test_edr_matches_naive():
+    for x, y in _pairs(25):
+        for eps in (0.05, 0.5, 2.0):
+            for normalize in (False, True):
+                assert edr(x, y, epsilon=eps, normalize=normalize) == _edr_naive(
+                    x, y, epsilon=eps, normalize=normalize
+                )
+
+
+def test_erp_matches_naive():
+    for x, y in _pairs(25):
+        for g in (0.0, -0.7, 1.3):
+            assert erp(x, y, g=g) == _erp_naive(x, y, g=g)
+
+
+def test_msm_matches_naive():
+    for x, y in _pairs(25):
+        for c in (0.0, 0.1, 0.5, 2.0):
+            assert msm(x, y, c=c) == _msm_naive(x, y, c=c)
+
+
+def test_elastic_length_one_edges():
+    """Length-1 series exercise every boundary branch of the grids."""
+    for mx, my in ((1, 1), (1, 7), (7, 1)):
+        x, y = RNG.normal(size=mx), RNG.normal(size=my)
+        assert lcss(x, y) == _lcss_naive(x, y)
+        assert edr(x, y) == _edr_naive(x, y)
+        assert erp(x, y) == _erp_naive(x, y)
+        assert msm(x, y) == _msm_naive(x, y)
+        assert dtw(x, y) == _dtw_naive(x, y)
+
+
+# ---------------------------------------------------------------------------
+# dtw_path: naive equality and warping-path invariants
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("window", (None, 0.3, 4))
+def test_dtw_path_matches_naive(window):
+    for x, y in _pairs(20):
+        d_new, p_new = dtw_path(x, y, window=window)
+        d_ref, p_ref = _dtw_path_naive(x, y, window=window)
+        assert d_new == d_ref
+        assert p_new == p_ref  # same path, same tie-breaking
+
+
+@pytest.mark.parametrize("window", (None, 0.2))
+def test_dtw_path_invariants(window):
+    for x, y in _pairs(20):
+        mx, my = x.shape[0], y.shape[0]
+        d, path = dtw_path(x, y, window=window)
+        # Boundary: the path spans corner to corner.
+        assert path[0] == (0, 0)
+        assert path[-1] == (mx - 1, my - 1)
+        # Monotonicity: steps are diagonal, down, or right — never backward.
+        steps = {
+            (i2 - i1, j2 - j1) for (i1, j1), (i2, j2) in zip(path, path[1:])
+        }
+        assert steps <= {(0, 1), (1, 0), (1, 1)}
+        # Optimal cost: the returned distance is the path's own cost...
+        path_cost = sum((x[i] - y[j]) ** 2 for i, j in path)
+        assert np.isclose(d**2, path_cost, rtol=1e-9, atol=1e-12)
+        # ...and matches the distance-only kernel bit for bit.
+        assert d == dtw(x, y, window=window)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: adversarial pairs the seeded corpus may miss
+# ---------------------------------------------------------------------------
+
+finite = st.floats(-50, 50, allow_nan=False, allow_infinity=False, width=64)
+
+
+def hyp_pair(max_size=24):
+    return st.tuples(
+        arrays(np.float64, st.integers(1, max_size), elements=finite),
+        arrays(np.float64, st.integers(1, max_size), elements=finite),
+    )
+
+
+@given(hyp_pair())
+@settings(max_examples=60, deadline=None)
+def test_hypothesis_dtw_matches_naive(xy):
+    x, y = xy
+    assert dtw(x, y) == _dtw_naive(x, y)
+    assert dtw(x, y, window=0.2) == _dtw_naive(x, y, window=0.2)
+
+
+@given(hyp_pair(max_size=16), st.floats(0.0, 10.0))
+@settings(max_examples=60, deadline=None)
+def test_hypothesis_dtw_cutoff_matches_naive(xy, cutoff):
+    x, y = xy
+    got = dtw(x, y, cutoff=cutoff)
+    ref = _dtw_naive(x, y, cutoff=cutoff)
+    assert got == ref or (np.isinf(got) and np.isinf(ref))
+
+
+@given(hyp_pair(max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_hypothesis_elastic_matches_naive(xy):
+    x, y = xy
+    assert erp(x, y) == _erp_naive(x, y)
+    assert msm(x, y) == _msm_naive(x, y)
+    assert lcss(x, y) == _lcss_naive(x, y)
+    assert edr(x, y) == _edr_naive(x, y)

@@ -1,0 +1,77 @@
+"""Pin the warping-window rounding rule shared across the distance stack.
+
+``resolve_window`` is the **single** normalization point for Sakoe-Chiba
+window specs: :mod:`repro.distances.dtw` (the band the DP actually
+sweeps), :mod:`repro.distances.lower_bounds` (the Keogh envelopes), and
+:mod:`repro.distances.prune` (the engine's confirm band) all call the
+same function. That sharing is what makes LB_Keogh admissible: an
+envelope computed at a *narrower* band than the DTW recursion would
+overestimate the bound and prune true nearest neighbors. These tests pin
+the exact rounding rule (floor of ``fraction * m``) and the
+admissibility consequence, so any future divergence is a loud failure
+rather than a silent wrong-answer bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import importlib
+
+from repro.distances import cdtw, lb_keogh_max
+from repro.distances.dtw import resolve_window
+
+# The package re-exports the dtw *function* under the submodule's name, so
+# the module object has to come from importlib.
+dtw_mod = importlib.import_module("repro.distances.dtw")
+from repro.exceptions import InvalidParameterError
+
+
+def test_fractional_windows_floor():
+    """The pinned rule: ``max(0, floor(window * m))`` cells."""
+    assert resolve_window(0.05, 160) == 8
+    assert resolve_window(0.05, 100) == 5
+    assert resolve_window(0.05, 19) == 0   # floors to zero, not one
+    assert resolve_window(0.10, 128) == 12
+    assert resolve_window(0.999, 100) == 99
+    assert resolve_window(1.0, 73) == 73
+
+
+def test_integer_windows_pass_through():
+    assert resolve_window(0, 50) == 0
+    assert resolve_window(7, 50) == 7
+    assert resolve_window(np.int64(3), 50) == 3
+    assert resolve_window(None, 50) is None
+
+
+def test_invalid_windows_rejected():
+    for bad in (-1, -0.5, 0.0, 1.5, True, "wide"):
+        with pytest.raises(InvalidParameterError):
+            resolve_window(bad, 50)
+
+
+def test_one_resolver_shared_by_all_layers():
+    """dtw, the envelopes, and the prune engine use the same function object."""
+    from repro.distances import lower_bounds, matrix, prune
+
+    assert lower_bounds.resolve_window is dtw_mod.resolve_window
+    assert prune.resolve_window is dtw_mod.resolve_window
+    assert matrix.resolve_window is dtw_mod.resolve_window
+
+
+@pytest.mark.parametrize("window", (0.05, 0.1, 0.5, 1, 4))
+def test_lb_keogh_admissible_at_shared_window(window):
+    """The envelope is never narrower than the band it bounds.
+
+    With one shared rounding rule, ``LB_Keogh(x, y, w) <= cDTW(x, y, w)``
+    must hold for every pair; a divergent rounding in the envelope layer
+    would violate it for windows near a rounding boundary.
+    """
+    rng = np.random.default_rng(5)
+    for m in (19, 20, 21, 39, 40, 41, 160):
+        x = rng.normal(size=m).cumsum()
+        y = rng.normal(size=m).cumsum()
+        bound = lb_keogh_max(x, y, window)
+        true = cdtw(x, y, window=window)
+        assert bound <= true + 1e-9, (m, window, bound, true)
