@@ -19,7 +19,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .._validation import as_dataset
-from ..distances.base import DistanceFn, get_distance, make_cdtw
+from ..distances.base import DistanceFn, make_cdtw
 from ..distances.dtw import dtw
 from ..distances.matrix import cross_distances
 from ..distances.prune import NeighborEngine, PruningStats

@@ -34,13 +34,14 @@ group as one uniform sub-batch.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_series
 from ..exceptions import InvalidParameterError
-from .dtw import resolve_window
+from .dtw import Window, resolve_window
 
 __all__ = ["dtw_batch", "elastic_batch"]
 
@@ -207,7 +208,7 @@ def _dtw_cost_batch(
     return costs, minima
 
 
-def _as_pair_list(X, name: str):
+def _as_pair_list(X: ArrayLike, name: str) -> List[np.ndarray]:
     """Normalize a stack or sequence of series into a list of 1-D arrays."""
     if isinstance(X, np.ndarray) and X.dtype != object:
         arr = np.asarray(X, dtype=np.float64)
@@ -221,7 +222,7 @@ def _as_pair_list(X, name: str):
     return [as_series(x, f"{name}[{b}]") for b, x in enumerate(X)]
 
 
-def _per_pair(value, B: int, name: str) -> list:
+def _per_pair(value: object, B: int, name: str) -> list:
     """Broadcast a scalar spec, or validate a length-``B`` sequence of specs."""
     if isinstance(value, (list, tuple, np.ndarray)) and not np.isscalar(value):
         seq = list(value)
@@ -233,7 +234,12 @@ def _per_pair(value, B: int, name: str) -> list:
     return [value] * B
 
 
-def dtw_batch(X, Y, window=None, cutoff=None) -> np.ndarray:
+def dtw_batch(
+    X: ArrayLike,
+    Y: ArrayLike,
+    window: Union[Window, Sequence[Window]] = None,
+    cutoff: Union[float, Sequence[Optional[float]], None] = None,
+) -> np.ndarray:
     """DTW distances for ``B`` pairs in one vectorized wavefront sweep.
 
     Parameters
@@ -313,7 +319,9 @@ def _grid_interior(d: int, mx: int, my: int) -> np.ndarray:
     return np.arange(max(1, d - my), min(mx, d - 1) + 1)
 
 
-def _lcss_batch(X: np.ndarray, Y: np.ndarray, epsilon: float, delta) -> np.ndarray:
+def _lcss_batch(
+    X: np.ndarray, Y: np.ndarray, epsilon: float, delta: Optional[float]
+) -> np.ndarray:
     """Batched LCSS lengths over a (B, diag) wavefront; exact integer DP."""
     B, mx = X.shape
     my = Y.shape[1]
@@ -395,7 +403,9 @@ def _erp_batch(X: np.ndarray, Y: np.ndarray, g: float) -> np.ndarray:
     return prev[:, mx].copy()
 
 
-def _msm_cost_batch(new, left, right, c: float):
+def _msm_cost_batch(
+    new: np.ndarray, left: np.ndarray, right: np.ndarray, c: float
+) -> np.ndarray:
     """Vectorized split/merge cost (mirrors ``elastic._msm_cost``)."""
     inside = ((left <= new) & (new <= right)) | ((right <= new) & (new <= left))
     return np.where(
@@ -474,7 +484,7 @@ _ELASTIC_DEFAULTS = {
 }
 
 
-def elastic_batch(measure: str, X, Y, **params) -> np.ndarray:
+def elastic_batch(measure: str, X: ArrayLike, Y: ArrayLike, **params: object) -> np.ndarray:
     """Batched elastic distances: one wavefront sweep for ``B`` pairs.
 
     Parameters

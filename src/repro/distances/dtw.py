@@ -24,9 +24,10 @@ warping path needed by DBA averaging and the Figure 2 visualization.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_series
 from ..exceptions import InvalidParameterError
@@ -40,8 +41,12 @@ __all__ = [
     "resolve_window",
 ]
 
+#: A warping-window spec: ``None`` (unconstrained), an absolute half-width
+#: in cells (int), or a fraction of the series length (float in (0, 1]).
+Window = Union[int, float, None]
 
-def resolve_window(window, m: int) -> Optional[int]:
+
+def resolve_window(window: Window, m: int) -> Optional[int]:
     """Normalize a warping-window spec to an absolute half-width in cells.
 
     Parameters
@@ -129,7 +134,9 @@ def _accumulate_diagonals(
     return float(prev[mx - 1])
 
 
-def _dtw_naive(x, y, window=None, cutoff=None) -> float:
+def _dtw_naive(
+    x: ArrayLike, y: ArrayLike, window: Window = None, cutoff: Optional[float] = None
+) -> float:
     """Plain-Python O(m^2) DTW reference; oracle for the wavefront kernels.
 
     Evaluates the same anti-diagonal order, band clamping, and
@@ -185,7 +192,9 @@ def _dtw_naive(x, y, window=None, cutoff=None) -> float:
     return float(np.sqrt(prev[mx - 1]))
 
 
-def dtw(x, y, window=None, cutoff=None) -> float:
+def dtw(
+    x: ArrayLike, y: ArrayLike, window: Window = None, cutoff: Optional[float] = None
+) -> float:
     """DTW distance between two series (optionally Sakoe-Chiba constrained).
 
     Parameters
@@ -221,7 +230,9 @@ def dtw(x, y, window=None, cutoff=None) -> float:
     return float(np.sqrt(_accumulate_diagonals(xv, yv, w, cutoff_sq)))
 
 
-def cdtw(x, y, window=0.05, cutoff=None) -> float:
+def cdtw(
+    x: ArrayLike, y: ArrayLike, window: Window = 0.05, cutoff: Optional[float] = None
+) -> float:
     """Constrained DTW with a Sakoe-Chiba band (default 5%, the paper's cDTW5).
 
     ``cutoff`` enables exact early abandoning exactly as in :func:`dtw`.
@@ -231,7 +242,7 @@ def cdtw(x, y, window=0.05, cutoff=None) -> float:
     return dtw(x, y, window=window, cutoff=cutoff)
 
 
-def sakoe_chiba_mask(mx: int, my: int, window) -> np.ndarray:
+def sakoe_chiba_mask(mx: int, my: int, window: Window) -> np.ndarray:
     """Boolean ``(mx, my)`` mask of cells inside the Sakoe-Chiba band (Fig. 2b)."""
     w = resolve_window(window, max(mx, my))
     i = np.arange(mx)[:, None]
@@ -242,7 +253,9 @@ def sakoe_chiba_mask(mx: int, my: int, window) -> np.ndarray:
     return np.abs(i - j) <= w
 
 
-def _dtw_path_naive(x, y, window=None) -> Tuple[float, List[Tuple[int, int]]]:
+def _dtw_path_naive(
+    x: ArrayLike, y: ArrayLike, window: Window = None
+) -> Tuple[float, List[Tuple[int, int]]]:
     """Row-major O(m^2) path reference; oracle for the wavefront fill."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")
@@ -333,7 +346,9 @@ def _gamma_wavefront(X: np.ndarray, Y: np.ndarray, w: Optional[int]) -> np.ndarr
     return gamma
 
 
-def dtw_path(x, y, window=None) -> Tuple[float, List[Tuple[int, int]]]:
+def dtw_path(
+    x: ArrayLike, y: ArrayLike, window: Window = None
+) -> Tuple[float, List[Tuple[int, int]]]:
     """DTW distance plus the optimal warping path.
 
     The accumulated-cost matrix is filled anti-diagonal by anti-diagonal
@@ -356,7 +371,7 @@ def dtw_path(x, y, window=None) -> Tuple[float, List[Tuple[int, int]]]:
 
 
 def dtw_path_batch(
-    x, Y, window=None, max_cells: int = 16_000_000
+    x: ArrayLike, Y: ArrayLike, window: Window = None, max_cells: int = 16_000_000
 ) -> List[Tuple[float, List[Tuple[int, int]]]]:
     """Warping paths from one reference series to every row of ``Y``.
 

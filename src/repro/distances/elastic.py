@@ -39,7 +39,10 @@ wavefront kernels against, to exact float equality.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_series
 from ..exceptions import InvalidParameterError
@@ -53,7 +56,9 @@ __all__ = ["lcss", "lcss_distance", "edr", "erp", "msm"]
 # ---------------------------------------------------------------------------
 
 
-def _lcss_naive(x, y, epsilon: float = 0.5, delta=None) -> int:
+def _lcss_naive(
+    x: ArrayLike, y: ArrayLike, epsilon: float = 0.5, delta: Optional[float] = None
+) -> int:
     """Plain-loop LCSS length; oracle for the wavefront kernel."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")
@@ -75,7 +80,9 @@ def _lcss_naive(x, y, epsilon: float = 0.5, delta=None) -> int:
     return int(prev[my])
 
 
-def _edr_naive(x, y, epsilon: float = 0.5, normalize: bool = False) -> float:
+def _edr_naive(
+    x: ArrayLike, y: ArrayLike, epsilon: float = 0.5, normalize: bool = False
+) -> float:
     """Plain-loop EDR; oracle for the wavefront kernel."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")
@@ -93,7 +100,7 @@ def _edr_naive(x, y, epsilon: float = 0.5, normalize: bool = False) -> float:
     return result / max(mx, my) if normalize else result
 
 
-def _erp_naive(x, y, g: float = 0.0) -> float:
+def _erp_naive(x: ArrayLike, y: ArrayLike, g: float = 0.0) -> float:
     """Plain-loop ERP; oracle for the wavefront kernel."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")
@@ -124,7 +131,7 @@ def _msm_cost(new: float, left: float, right: float, c: float) -> float:
     return c + min(abs(new - left), abs(new - right))
 
 
-def _msm_naive(x, y, c: float = 0.5) -> float:
+def _msm_naive(x: ArrayLike, y: ArrayLike, c: float = 0.5) -> float:
     """Plain-loop MSM; oracle for the wavefront kernel."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")
@@ -151,7 +158,9 @@ def _msm_naive(x, y, c: float = 0.5) -> float:
 # ---------------------------------------------------------------------------
 
 
-def lcss(x, y, epsilon: float = 0.5, delta=None) -> int:
+def lcss(
+    x: ArrayLike, y: ArrayLike, epsilon: float = 0.5, delta: Optional[float] = None
+) -> int:
     """Length of the longest common subsequence under an epsilon match.
 
     Parameters
@@ -181,7 +190,9 @@ def lcss(x, y, epsilon: float = 0.5, delta=None) -> int:
     return int(_lcss_batch(xv[None, :], yv[None, :], epsilon, delta)[0])
 
 
-def lcss_distance(x, y, epsilon: float = 0.5, delta=None) -> float:
+def lcss_distance(
+    x: ArrayLike, y: ArrayLike, epsilon: float = 0.5, delta: Optional[float] = None
+) -> float:
     """LCSS as a dissimilarity: ``1 - LCSS / min(len(x), len(y))`` in [0, 1]."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")
@@ -189,7 +200,9 @@ def lcss_distance(x, y, epsilon: float = 0.5, delta=None) -> float:
     return 1.0 - length / min(xv.shape[0], yv.shape[0])
 
 
-def edr(x, y, epsilon: float = 0.5, normalize: bool = False) -> float:
+def edr(
+    x: ArrayLike, y: ArrayLike, epsilon: float = 0.5, normalize: bool = False
+) -> float:
     """Edit Distance on Real sequences (Chen et al. [12]).
 
     Substitution costs 0 for matching points (``|x_i - y_j| <= epsilon``)
@@ -210,7 +223,7 @@ def edr(x, y, epsilon: float = 0.5, normalize: bool = False) -> float:
     return result / max(xv.shape[0], yv.shape[0]) if normalize else result
 
 
-def erp(x, y, g: float = 0.0) -> float:
+def erp(x: ArrayLike, y: ArrayLike, g: float = 0.0) -> float:
     """Edit distance with Real Penalty (Chen & Ng [11]); a true metric.
 
     Matching two points costs ``|x_i - y_j|``; leaving a point unmatched
@@ -224,7 +237,7 @@ def erp(x, y, g: float = 0.0) -> float:
     return float(_erp_batch(xv[None, :], yv[None, :], g)[0])
 
 
-def msm(x, y, c: float = 0.5) -> float:
+def msm(x: ArrayLike, y: ArrayLike, c: float = 0.5) -> float:
     """Move-Split-Merge distance (Stefan et al. [75]); a true metric.
 
     The move operation changes a value at cost equal to the change; split

@@ -8,13 +8,14 @@ sequences and no parameters.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_series, check_equal_length
 
 __all__ = ["euclidean", "squared_euclidean"]
 
 
-def euclidean(x, y) -> float:
+def euclidean(x: ArrayLike, y: ArrayLike) -> float:
     """Euclidean distance between two equal-length series.
 
     ``ED(x, y) = sqrt(sum_i (x_i - y_i)^2)``
@@ -25,7 +26,7 @@ def euclidean(x, y) -> float:
     return float(np.linalg.norm(xv - yv))
 
 
-def squared_euclidean(x, y) -> float:
+def squared_euclidean(x: ArrayLike, y: ArrayLike) -> float:
     """Squared Euclidean distance (avoids the sqrt; same ordering as ED)."""
     xv = as_series(x, "x")
     yv = as_series(y, "y")

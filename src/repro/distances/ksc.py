@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_series, check_equal_length
 from ..core.crosscorr import cross_correlation
@@ -50,7 +51,7 @@ def _shifted_norms_squared(y: np.ndarray) -> np.ndarray:
 
 
 def ksc_distance_with_shift(
-    x, y, max_shift: Optional[int] = None, eps: float = 1e-12
+    x: ArrayLike, y: ArrayLike, max_shift: Optional[int] = None, eps: float = 1e-12
 ) -> Tuple[float, int]:
     """KSC distance plus the optimal shift of ``y`` toward ``x``.
 
@@ -89,12 +90,12 @@ def ksc_distance_with_shift(
     return float(np.sqrt(dist_sq)), idx - (m - 1)
 
 
-def ksc_distance(x, y, max_shift: Optional[int] = None) -> float:
+def ksc_distance(x: ArrayLike, y: ArrayLike, max_shift: Optional[int] = None) -> float:
     """KSC scale-and-shift-invariant distance ``d_hat(x, y)`` in [0, 1]."""
     return ksc_distance_with_shift(x, y, max_shift=max_shift)[0]
 
 
-def ksc_align(x, y, max_shift: Optional[int] = None) -> np.ndarray:
+def ksc_align(x: ArrayLike, y: ArrayLike, max_shift: Optional[int] = None) -> np.ndarray:
     """Return ``y`` shifted by the KSC-optimal lag toward ``x`` (no rescale)."""
     _, shift = ksc_distance_with_shift(x, y, max_shift=max_shift)
     return shift_series(as_series(y, "y"), shift)

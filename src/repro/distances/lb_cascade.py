@@ -22,14 +22,16 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_series, check_equal_length
+from .dtw import Window
 from .lower_bounds import lb_keogh
 
 __all__ = ["lb_kim", "lb_yi", "lb_keogh_max", "cascade"]
 
 
-def lb_kim(x, y) -> float:
+def lb_kim(x: ArrayLike, y: ArrayLike) -> float:
     """Simplified constant-time LB_Kim lower bound on DTW.
 
     Any warping path couples the two first points and the two last points,
@@ -47,7 +49,7 @@ def lb_kim(x, y) -> float:
     return float(max(first, last, top, bottom))
 
 
-def lb_yi(x, y) -> float:
+def lb_yi(x: ArrayLike, y: ArrayLike) -> float:
     """LB_Yi lower bound on DTW: excursions beyond the global envelope.
 
     Every point of ``x`` above ``max(y)`` must be matched to a point of
@@ -63,7 +65,7 @@ def lb_yi(x, y) -> float:
     return float(np.sqrt(np.sum(above**2 + below**2)))
 
 
-def lb_keogh_max(x, y, window) -> float:
+def lb_keogh_max(x: ArrayLike, y: ArrayLike, window: Window) -> float:
     """Symmetrized LB_Keogh: the larger of both envelope directions.
 
     ``max(LB_Keogh(x | env(y)), LB_Keogh(y | env(x)))`` is still a valid
@@ -73,9 +75,9 @@ def lb_keogh_max(x, y, window) -> float:
 
 
 def cascade(
-    x,
-    y,
-    window,
+    x: ArrayLike,
+    y: ArrayLike,
+    window: Window,
     threshold: float,
 ) -> Tuple[bool, str, float]:
     """Run the standard bound cascade against a pruning ``threshold``.

@@ -21,15 +21,16 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 from scipy.ndimage import maximum_filter1d, minimum_filter1d
 
 from .._validation import as_dataset, as_series, check_equal_length
-from .dtw import resolve_window
+from .dtw import Window, resolve_window
 
 __all__ = ["keogh_envelope", "lb_keogh"]
 
 
-def keogh_envelope(y, window) -> Tuple[np.ndarray, np.ndarray]:
+def keogh_envelope(y: ArrayLike, window: Window) -> Tuple[np.ndarray, np.ndarray]:
     """Upper/lower envelope of ``y`` for a Sakoe-Chiba half-width ``window``.
 
     Parameters
@@ -64,7 +65,12 @@ def keogh_envelope(y, window) -> Tuple[np.ndarray, np.ndarray]:
     return upper, lower
 
 
-def lb_keogh(x, y, window, envelope: Optional[Tuple[np.ndarray, np.ndarray]] = None) -> float:
+def lb_keogh(
+    x: ArrayLike,
+    y: ArrayLike,
+    window: Window,
+    envelope: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> float:
     """LB_Keogh lower bound on ``cDTW(x, y, window)``.
 
     ``x`` is the query; the envelope is built around ``y``. Returns the

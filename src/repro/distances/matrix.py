@@ -16,6 +16,7 @@ import functools
 from typing import Optional, Tuple, Union
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_dataset
 from ..core._fft_batch import fft_len_for, ncc_c_max_batch, rfft_batch
@@ -43,7 +44,7 @@ _ELASTIC_ROUTES = {
 }
 
 
-def _batch_spec(metric) -> Optional[Tuple]:
+def _batch_spec(metric: Union[str, DistanceFn]) -> Optional[Tuple]:
     """Batched-kernel route for a metric, or ``None`` for the per-pair loop.
 
     Returns ``("dtw", window)`` for (c)DTW-like metrics (names, the bare
@@ -93,7 +94,7 @@ def _batched_pairs(
     return out
 
 
-def euclidean_matrix(X, Y=None) -> np.ndarray:
+def euclidean_matrix(X: ArrayLike, Y: Optional[ArrayLike] = None) -> np.ndarray:
     """Vectorized Euclidean distance matrix between rows of ``X`` and ``Y``."""
     A = as_dataset(X, "X")
     B = A if Y is None else as_dataset(Y, "Y")
@@ -109,7 +110,7 @@ def euclidean_matrix(X, Y=None) -> np.ndarray:
     return out
 
 
-def sbd_matrix(X, Y=None) -> np.ndarray:
+def sbd_matrix(X: ArrayLike, Y: Optional[ArrayLike] = None) -> np.ndarray:
     """Vectorized SBD distance matrix using one batched FFT per row of ``Y``."""
     A = as_dataset(X, "X")
     B = A if Y is None else as_dataset(Y, "Y")
@@ -130,7 +131,7 @@ def sbd_matrix(X, Y=None) -> np.ndarray:
 
 
 def pairwise_distances(
-    X,
+    X: ArrayLike,
     metric: Union[str, DistanceFn] = "ed",
     symmetric: bool = True,
     n_jobs: Optional[int] = None,
@@ -214,8 +215,8 @@ def pairwise_distances(
 
 
 def cross_distances(
-    X,
-    Y,
+    X: ArrayLike,
+    Y: ArrayLike,
     metric: Union[str, DistanceFn] = "ed",
     n_jobs: Optional[int] = None,
     backend: Optional[str] = None,

@@ -31,12 +31,13 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_dataset, as_series, check_equal_length
 from ..exceptions import InvalidParameterError
 from .base import DistanceFn, get_distance
 from .batch import _dtw_cost_batch, dtw_nonempty_diagonals
-from .dtw import cdtw, dtw, resolve_window
+from .dtw import Window, cdtw, dtw, resolve_window
 from .lower_bounds import keogh_envelope
 
 __all__ = ["PruningStats", "NeighborEngine", "dtw_window_of", "pruned_medoid"]
@@ -46,7 +47,7 @@ def _replay_dtw(
     value: float,
     band_minima: np.ndarray,
     nonempty: np.ndarray,
-    cutoff,
+    cutoff: Optional[float],
 ) -> float:
     """Replay a scalar ``dtw(..., cutoff=...)`` call from recorded band minima.
 
@@ -136,7 +137,7 @@ class PruningStats:
         return out
 
 
-def dtw_window_of(metric) -> Tuple[bool, object]:
+def dtw_window_of(metric: object) -> Tuple[bool, object]:
     """Classify a metric as (c)DTW and extract its Sakoe-Chiba window.
 
     Recognizes the registered names (``"dtw"``, ``"cdtw5"``, ``"cdtw10"``,
@@ -219,7 +220,13 @@ class NeighborEngine:
     #: cutoffs and abandon almost immediately.
     _WAVE_EDGES = (4, 16, 64)
 
-    def __init__(self, candidates, window=None, metric=None, batch_full=True):
+    def __init__(
+        self,
+        candidates: ArrayLike,
+        window: Window = None,
+        metric: Union[str, DistanceFn, None] = None,
+        batch_full: bool = True,
+    ) -> None:
         C = as_dataset(candidates, "candidates")
         self._C = C
         self.n_candidates, self.m = C.shape
@@ -257,7 +264,7 @@ class NeighborEngine:
         self._nonempty: Optional[np.ndarray] = None
         self.stats = PruningStats()
 
-    def _envelope_cells(self, window, metric) -> int:
+    def _envelope_cells(self, window: Window, metric: object) -> int:
         """Envelope half-width in cells: at least as wide as the confirm band."""
         cells = resolve_window(window, self.m)
         if metric is not None:
@@ -310,7 +317,7 @@ class NeighborEngine:
         )
         return np.sqrt(np.maximum(forward, reverse))
 
-    def lower_bounds(self, x) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def lower_bounds(self, x: ArrayLike) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(lb_kim, lb_yi, lb_keogh)`` arrays of ``x`` vs every candidate.
 
         The Keogh tier is the symmetric (both-direction) variant, matching
@@ -505,7 +512,7 @@ class NeighborEngine:
 
     # -- queries ------------------------------------------------------------
 
-    def query(self, x, cutoff: float = np.inf) -> Tuple[int, float]:
+    def query(self, x: ArrayLike, cutoff: float = np.inf) -> Tuple[int, float]:
         """Nearest candidate to ``x``: exact, bit-identical to brute force.
 
         Returns ``(index, distance)`` where ``index`` is the lowest
@@ -653,7 +660,7 @@ class NeighborEngine:
 
     def query_batch(
         self,
-        Q,
+        Q: ArrayLike,
         cutoff: float = np.inf,
         n_jobs: Optional[int] = None,
         backend: Optional[str] = None,
@@ -701,9 +708,9 @@ class NeighborEngine:
 
 
 def pruned_medoid(
-    X,
-    window=None,
-    metric=None,
+    X: ArrayLike,
+    window: Window = None,
+    metric: Union[str, DistanceFn, None] = None,
     stats: Optional[PruningStats] = None,
     batch_full: bool = True,
 ) -> Tuple[int, float]:

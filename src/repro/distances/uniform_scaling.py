@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Sequence, Tuple, Union
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_series
 from ..core.sbd import sbd
@@ -29,8 +30,8 @@ __all__ = ["uniform_scaling_distance", "us_ed", "us_sbd"]
 
 
 def uniform_scaling_distance(
-    x,
-    y,
+    x: ArrayLike,
+    y: ArrayLike,
     metric: Union[str, DistanceFn] = "ed",
     scales: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2),
 ) -> Tuple[float, float]:
@@ -74,11 +75,15 @@ def uniform_scaling_distance(
     return best
 
 
-def us_ed(x, y, scales: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2)) -> float:
+def us_ed(
+    x: ArrayLike, y: ArrayLike, scales: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2)
+) -> float:
     """Uniform-scaling Euclidean distance (minimum over stretch factors)."""
     return uniform_scaling_distance(x, y, metric="ed", scales=scales)[0]
 
 
-def us_sbd(x, y, scales: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2)) -> float:
+def us_sbd(
+    x: ArrayLike, y: ArrayLike, scales: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2)
+) -> float:
     """Uniform-scaling SBD: shift *and* stretch invariant."""
     return uniform_scaling_distance(x, y, metric=sbd, scales=scales)[0]

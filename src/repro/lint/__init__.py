@@ -1,0 +1,41 @@
+"""repro.lint — project-specific static analysis for the kernel invariants.
+
+The fast paths in this repository (wavefront kernels, the batched
+many-pairs engine, the prune tiers, the Gram-trick shape extraction) are
+only trustworthy because each one is pinned bit-identical to a naive
+oracle and because a handful of cross-cutting conventions hold everywhere:
+band rounding goes through :func:`repro.distances.resolve_window`, nothing
+nondeterministic feeds an artifact checksum, work handed to the process
+pool is picklable, and the exported surface matches ``docs/API.md``.
+
+Those conventions used to live in review comments.  This package turns
+them into mechanical checks: an AST-based rule registry with per-rule
+``RPR0xx`` codes, runnable as ``python -m repro.lint`` with text or JSON
+output and per-file / per-line suppression comments
+(``# repro-lint: disable=RPR002`` / ``# repro-lint: disable-file=RPR008``).
+
+>>> from repro.lint import run_lint, all_rules
+>>> sorted(rule.code for rule in all_rules())[0]
+'RPR001'
+"""
+
+from .engine import LintError, Project, SourceFile, collect_project, discover_root, run_lint
+from .rules import Rule, all_rules, get_rule, rule_codes
+from .suppress import Suppressions, scan_suppressions
+from .violations import Violation
+
+__all__ = [
+    "LintError",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "Suppressions",
+    "Violation",
+    "all_rules",
+    "collect_project",
+    "discover_root",
+    "get_rule",
+    "rule_codes",
+    "run_lint",
+    "scan_suppressions",
+]

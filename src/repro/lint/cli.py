@@ -1,0 +1,111 @@
+"""Command-line entry point: ``python -m repro.lint``.
+
+Exit status: ``0`` clean, ``1`` violations found, ``2`` bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .engine import LintError, discover_root, run_lint
+from .rules import all_rules, rule_codes
+from .violations import Violation
+
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-specific static analysis for the repro package.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: <root>/src)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root (default: nearest ancestor with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _report_json(root: Path, selected: Sequence[str], violations: List[Violation]) -> str:
+    by_code: Dict[str, int] = {}
+    for violation in violations:
+        by_code[violation.code] = by_code.get(violation.code, 0) + 1
+    payload = {
+        "tool": "repro.lint",
+        "schema_version": JSON_SCHEMA_VERSION,
+        "root": str(root),
+        "rules": list(selected),
+        "violations": [violation.as_dict() for violation in violations],
+        "summary": {
+            "violations": len(violations),
+            "by_code": dict(sorted(by_code.items())),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _report_text(violations: List[Violation]) -> str:
+    if not violations:
+        return "repro.lint: no violations"
+    lines = [violation.format_text() for violation in violations]
+    lines.append(f"repro.lint: {len(violations)} violation(s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:<22} {rule.summary}")
+        return 0
+
+    root = (args.root or discover_root()).resolve()
+    select = (
+        [code.strip().upper() for code in args.select.split(",") if code.strip()]
+        if args.select
+        else None
+    )
+    try:
+        violations = run_lint(root=root, paths=args.paths or None, select=select)
+    except LintError as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    selected = tuple(select) if select else rule_codes()
+    if args.fmt == "json":
+        print(_report_json(root, selected, violations))
+    else:
+        print(_report_text(violations))
+    return 1 if violations else 0

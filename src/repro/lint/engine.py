@@ -1,0 +1,203 @@
+"""File collection, parsing, and the ``run_lint`` entry point.
+
+The engine builds a :class:`Project` — every Python file in the lint
+scope, parsed once, with its suppression directives — and hands it to
+each registered rule.  The default scope is ``<root>/src`` (falling back
+to the root itself for fixture trees without a ``src/`` layout); the
+``tests/`` and ``docs/`` trees are exposed to rules that need them (the
+oracle rule checks that every ``_*_naive`` twin is referenced from a
+test, the export rule checks ``docs/API.md``) but are not themselves
+linted.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .suppress import Suppressions, scan_suppressions
+from .violations import Violation
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+#: Code for files the engine itself cannot process (syntax errors).
+PARSE_ERROR = "RPR000"
+
+
+class LintError(Exception):
+    """Raised for unusable invocations (bad root, unknown rule code)."""
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file inside the lint scope."""
+
+    path: Path
+    relpath: str
+    text: str
+    tree: Optional[ast.Module]
+    suppressions: Suppressions
+
+    def endswith(self, *suffixes: str) -> bool:
+        """True if the project-relative posix path ends with any suffix,
+        respecting path-component boundaries (``repro/__init__.py`` matches
+        ``src/repro/__init__.py`` but not ``src/notrepro/__init__.py``)."""
+        return any(
+            self.relpath == suffix or self.relpath.endswith("/" + suffix)
+            for suffix in suffixes
+        )
+
+
+@dataclass
+class Project:
+    """Everything a rule may inspect."""
+
+    root: Path
+    files: List[SourceFile]
+    parse_errors: List[Violation] = field(default_factory=list)
+    _test_text: Optional[str] = field(default=None, repr=False)
+    _docs_api: Optional[str] = field(default=None, repr=False)
+    _docs_api_loaded: bool = field(default=False, repr=False)
+
+    @property
+    def test_text(self) -> str:
+        """Concatenated source of ``<root>/tests/**/*.py`` (lazily read)."""
+        if self._test_text is None:
+            tests_dir = self.root / "tests"
+            chunks: List[str] = []
+            if tests_dir.is_dir():
+                for path in sorted(tests_dir.rglob("*.py")):
+                    if _skipped(path):
+                        continue
+                    chunks.append(_read(path))
+            self._test_text = "\n".join(chunks)
+        return self._test_text
+
+    @property
+    def docs_api(self) -> Optional[str]:
+        """Text of ``<root>/docs/API.md``, or ``None`` when absent."""
+        if not self._docs_api_loaded:
+            api = self.root / "docs" / "API.md"
+            self._docs_api = _read(api) if api.is_file() else None
+            self._docs_api_loaded = True
+        return self._docs_api
+
+
+def _skipped(path: Path) -> bool:
+    return any(part in _SKIP_DIRS or part.endswith(".egg-info") for part in path.parts)
+
+
+def _read(path: Path) -> str:
+    return path.read_text(encoding="utf-8")
+
+
+def discover_root(start: Optional[Path] = None) -> Path:
+    """Walk upward from ``start`` (default: cwd) to the nearest directory
+    holding a ``pyproject.toml``; fall back to ``start`` itself."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return here
+
+
+def _default_scope(root: Path) -> List[Path]:
+    src = root / "src"
+    return [src if src.is_dir() else root]
+
+
+def _iter_py_files(paths: Iterable[Path]) -> Iterable[Path]:
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            if _skipped(candidate):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield resolved
+
+
+def _load_file(path: Path, root: Path) -> SourceFile:
+    text = _read(path)
+    try:
+        relpath = path.relative_to(root).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    try:
+        tree: Optional[ast.Module] = ast.parse(text, filename=str(path))
+    except SyntaxError:
+        tree = None
+    return SourceFile(
+        path=path,
+        relpath=relpath,
+        text=text,
+        tree=tree,
+        suppressions=scan_suppressions(text),
+    )
+
+
+def collect_project(
+    root: Optional[Path] = None, paths: Optional[Sequence[Path]] = None
+) -> Project:
+    """Build the :class:`Project` for ``root`` (default: discovered from cwd)."""
+    root = (root or discover_root()).resolve()
+    if not root.is_dir():
+        raise LintError(f"lint root is not a directory: {root}")
+    scope = [Path(p) for p in paths] if paths else _default_scope(root)
+    scope = [p if p.is_absolute() else root / p for p in scope]
+    files: List[SourceFile] = []
+    parse_errors: List[Violation] = []
+    for path in _iter_py_files(scope):
+        source = _load_file(path, root)
+        files.append(source)
+        if source.tree is None:
+            parse_errors.append(
+                Violation(
+                    code=PARSE_ERROR,
+                    message="file could not be parsed (syntax error)",
+                    path=source.relpath,
+                )
+            )
+    return Project(root=root, files=files, parse_errors=parse_errors)
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    paths: Optional[Sequence[Path]] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Run every (or the selected) registered rule and return the surviving
+    violations, sorted by location.
+
+    Suppression directives are applied here, after rules run: a file-level
+    directive drops matching codes anywhere in the file, a line directive
+    drops matching codes anchored to its line.
+    """
+    from .rules import all_rules, get_rule
+
+    project = collect_project(root=root, paths=paths)
+    if select is None:
+        rules = list(all_rules())
+    else:
+        rules = [get_rule(code) for code in select]
+
+    raw: List[Violation] = list(project.parse_errors)
+    for rule in rules:
+        raw.extend(rule.check(project))
+
+    by_path: Dict[str, Suppressions] = {f.relpath: f.suppressions for f in project.files}
+    kept = [
+        v
+        for v in raw
+        if not (v.path in by_path and by_path[v.path].suppressed(v.code, v.line))
+    ]
+    return sorted(kept, key=Violation.sort_key)

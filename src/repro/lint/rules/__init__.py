@@ -1,0 +1,139 @@
+"""The rule registry and shared AST helpers.
+
+A rule is a class with a unique ``RPR0xx`` ``code``, a short ``name``, a
+one-line ``summary``, and a ``check(project)`` generator yielding
+:class:`~repro.lint.violations.Violation` records.  Registration happens
+at import time via the :func:`register` decorator; the module table at
+the bottom of this file is what pulls every rule module in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from ..engine import Project
+from ..violations import Violation
+
+__all__ = [
+    "Rule",
+    "all_rules",
+    "dotted_name",
+    "get_rule",
+    "register",
+    "rule_codes",
+]
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``name``/``summary`` and
+    implement :meth:`check`."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, message: str, relpath: str, node: Optional[ast.AST] = None
+    ) -> Violation:
+        return Violation(
+            code=self.code,
+            message=message,
+            path=relpath,
+            line=getattr(node, "lineno", 0) if node is not None else 0,
+            col=getattr(node, "col_offset", 0) if node is not None else 0,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and index the rule by its code."""
+    rule = rule_cls()
+    if not rule.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rule_codes() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Rule:
+    key = code.upper()
+    if key not in _REGISTRY:
+        from ..engine import LintError
+
+        raise LintError(f"unknown rule code {code!r}; known: {', '.join(sorted(_REGISTRY))}")
+    return _REGISTRY[key]
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_with_scope(
+    tree: ast.Module,
+) -> Iterable[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+    """Yield ``(node, enclosing_function_stack)`` over the whole module.
+
+    The stack holds the chain of FunctionDef/AsyncFunctionDef/Lambda nodes
+    the yielded node sits inside, outermost first.
+    """
+    scopes = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(node: ast.AST, stack: Tuple[ast.AST, ...]) -> Iterable[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+        yield node, stack
+        child_stack = stack + (node,) if isinstance(node, scopes) else stack
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, child_stack)
+
+    yield from visit(tree, ())
+
+
+def literal_str_elements(node: ast.AST) -> List[Tuple[str, int]]:
+    """String constants inside a list/tuple display, with line numbers.
+
+    Non-literal elements are ignored — rules that consume ``__all__``
+    only reason about the statically visible part.
+    """
+    out: List[Tuple[str, int]] = []
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                out.append((element.value, element.lineno))
+    elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        out.extend(literal_str_elements(node.left))
+        out.extend(literal_str_elements(node.right))
+    return out
+
+
+# Import the rule modules so their ``@register`` decorators run; keeping
+# the modules referenced in a tuple documents the load order.
+from . import banding, determinism, exports, hygiene, oracles, picklable  # noqa: E402
+
+_RULE_MODULES = (oracles, banding, determinism, picklable, exports, hygiene)

@@ -1,0 +1,111 @@
+"""RPR002 — band rounding goes through ``resolve_window``, nowhere else.
+
+PR 6 unified the Sakoe-Chiba band arithmetic behind
+:func:`repro.distances.resolve_window` after three modules were caught
+rounding the fractional window differently (``int(w*m)`` truncates,
+``round`` half-evens, ``floor(w*(m-1))`` is off by one cell).  A one-cell
+band disagreement silently breaks the bit-identity between the pruned
+tiers and the full recomputation, so raw rounding arithmetic over a
+window/band quantity is banned everywhere under ``distances/`` except
+inside ``resolve_window`` itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Project
+from ..violations import Violation
+from . import Rule, dotted_name, register, walk_with_scope
+
+#: the rule applies to every module under a ``distances/`` directory
+SCOPE_MARKER = "distances/"
+
+#: the one function allowed to round a window spec into cells
+ALLOWED_FUNCTION = "resolve_window"
+
+_ROUNDER_NAMES = {"int", "round"}
+_ROUNDER_DOTTED = {
+    "math.floor",
+    "math.ceil",
+    "math.trunc",
+    "np.floor",
+    "np.ceil",
+    "np.rint",
+    "np.round",
+    "np.trunc",
+    "np.floor_divide",
+    "numpy.floor",
+    "numpy.ceil",
+    "numpy.rint",
+    "numpy.round",
+    "numpy.trunc",
+    "numpy.floor_divide",
+}
+
+_BAND_WORDS = ("window", "band")
+_ARITH_OPS = (ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)
+
+
+def _is_rounder(func: ast.AST) -> bool:
+    if isinstance(func, ast.Name):
+        return func.id in _ROUNDER_NAMES
+    dotted = dotted_name(func)
+    return dotted in _ROUNDER_DOTTED if dotted else False
+
+
+def _band_identifier(node: ast.AST) -> Optional[str]:
+    """An identifier mentioning a window/band inside ``node``, if any."""
+    for sub in ast.walk(node):
+        label: Optional[str] = None
+        if isinstance(sub, ast.Name):
+            label = sub.id
+        elif isinstance(sub, ast.Attribute):
+            label = sub.attr
+        if label is not None and any(word in label.lower() for word in _BAND_WORDS):
+            return label
+    return None
+
+
+def _raw_rounding(call: ast.Call) -> Optional[str]:
+    """The offending identifier when ``call`` rounds band arithmetic."""
+    if not _is_rounder(call.func):
+        return None
+    for arg in call.args:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, _ARITH_OPS):
+                label = _band_identifier(sub)
+                if label is not None:
+                    return label
+    return None
+
+
+@register
+class BandRoundingRule(Rule):
+    code = "RPR002"
+    name = "band-rounding"
+    summary = "no raw window/band rounding arithmetic outside resolve_window"
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for source in project.files:
+            if source.tree is None or SCOPE_MARKER not in source.relpath:
+                continue
+            for node, stack in walk_with_scope(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if any(
+                    isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and fn.name == ALLOWED_FUNCTION
+                    for fn in stack
+                ):
+                    continue
+                label = _raw_rounding(node)
+                if label is not None:
+                    yield self.violation(
+                        f"raw band-rounding arithmetic over `{label}`; convert "
+                        "window specs to cells only via resolve_window() so "
+                        "every module rounds the band identically",
+                        source.relpath,
+                        node,
+                    )

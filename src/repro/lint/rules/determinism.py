@@ -1,0 +1,160 @@
+"""RPR003 — nothing nondeterministic feeds an artifact checksum.
+
+``serving/artifacts.py`` records a SHA-256 over ``payload.npz`` and the
+whole serving story rests on artifacts being reproducible: save the same
+fitted model twice, get the same bytes.  Wall-clock timestamps, global-RNG
+draws, and fresh UUIDs inside that module would silently break the
+property, so they are banned there outright.
+
+Independently, *unseeded* global-state RNG calls
+(``np.random.rand(...)``, ``random.choice(...)``, ``np.random.seed(...)``)
+are banned across the whole package: every stochastic routine takes a
+seed or a ``numpy.random.Generator`` (see CONTRIBUTING), and the global
+singletons are exactly how irreproducible results sneak in.  Method calls
+on a local ``Generator``/``RandomState`` instance are fine and are not
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Project
+from ..violations import Violation
+from . import Rule, dotted_name, register
+
+#: modules whose outputs feed artifact checksums: wall-clock & co. banned
+CHECKSUM_MODULES = ("serving/artifacts.py",)
+
+_GLOBAL_RNG_PREFIXES = ("np.random.", "numpy.random.")
+
+#: samplers/mutators on the legacy global RandomState (and ``seed`` itself)
+_GLOBAL_RNG_CALLS = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "bytes",
+    "normal",
+    "uniform",
+    "standard_normal",
+    "beta",
+    "binomial",
+    "exponential",
+    "gamma",
+    "poisson",
+    "laplace",
+    "lognormal",
+}
+
+#: stdlib ``random`` module functions (module-level = global state)
+_STDLIB_RNG_CALLS = {
+    "seed",
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "normalvariate",
+    "betavariate",
+    "expovariate",
+    "getrandbits",
+}
+
+#: wall-clock / entropy sources banned in checksum-critical modules
+_NONDETERMINISTIC = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbits",
+}
+
+
+def _imports_stdlib_random(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name == "random" for alias in node.names):
+                return True
+    return False
+
+
+def _global_rng_call(dotted: str) -> Optional[str]:
+    for prefix in _GLOBAL_RNG_PREFIXES:
+        if dotted.startswith(prefix):
+            tail = dotted[len(prefix):]
+            if tail in _GLOBAL_RNG_CALLS:
+                return dotted
+    return None
+
+
+@register
+class DeterminismRule(Rule):
+    code = "RPR003"
+    name = "determinism"
+    summary = "no unseeded global RNG anywhere; no wall-clock/entropy in checksummed modules"
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for source in project.files:
+            if source.tree is None:
+                continue
+            checksummed = source.endswith(*CHECKSUM_MODULES)
+            stdlib_random = _imports_stdlib_random(source.tree)
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                if _global_rng_call(dotted):
+                    yield self.violation(
+                        f"unseeded global-RNG call `{dotted}(...)`; take a "
+                        "seed / numpy.random.Generator parameter instead "
+                        "(see check_random_state in repro._validation)",
+                        source.relpath,
+                        node,
+                    )
+                elif stdlib_random and dotted.startswith("random.") and (
+                    dotted[len("random."):] in _STDLIB_RNG_CALLS
+                ):
+                    yield self.violation(
+                        f"stdlib global-RNG call `{dotted}(...)`; use a "
+                        "seeded numpy.random.Generator instead",
+                        source.relpath,
+                        node,
+                    )
+                elif checksummed and dotted in _NONDETERMINISTIC:
+                    yield self.violation(
+                        f"nondeterministic call `{dotted}(...)` in a module "
+                        "that feeds artifact checksums; saved artifacts must "
+                        "be byte-reproducible",
+                        source.relpath,
+                        node,
+                    )

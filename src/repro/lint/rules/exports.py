@@ -1,0 +1,154 @@
+"""RPR005/RPR006 — the exported surface is real and documented.
+
+RPR005 checks every module's ``__all__``: each listed name must actually
+be bound at module level (def, class, assignment, or import).  A stale
+``__all__`` entry turns ``from repro import *`` into an AttributeError
+and silently lies to readers about the API.
+
+RPR006 keeps the package façade in sync with the docs: every public name
+exported from ``repro`` and ``repro.distances`` must appear in
+``docs/API.md``.  The API tables are the contract users read; an export
+the docs never mention is either missing documentation or should not be
+public.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
+
+from ..engine import Project
+from ..violations import Violation
+from . import Rule, literal_str_elements, register
+
+#: module suffixes whose ``__all__`` must be covered by docs/API.md
+DOC_SYNCED_MODULES = ("repro/__init__.py", "repro/distances/__init__.py")
+
+
+def _module_bindings(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Names bound at module level, and whether a ``*`` import was seen.
+
+    Recurses into module-level ``if``/``try``/``with``/``for`` blocks
+    (``if TYPE_CHECKING:`` imports still bind) but not into function or
+    class bodies.
+    """
+    bound: Set[str] = set()
+    star = False
+
+    def visit_block(statements: Sequence[ast.stmt]) -> None:
+        nonlocal star
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".", 1)[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        star = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            bound.add(sub.id)
+            elif isinstance(stmt, (ast.If,)):
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                visit_block(stmt.body)
+                for handler in stmt.handlers:
+                    if handler.name:
+                        bound.add(handler.name)
+                    visit_block(handler.body)
+                visit_block(stmt.orelse)
+                visit_block(stmt.finalbody)
+            elif isinstance(stmt, (ast.With, ast.For)):
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                        bound.add(sub.id)
+                visit_block(stmt.body)
+    visit_block(tree.body)
+    return bound, star
+
+
+def _declared_all(tree: ast.Module) -> Dict[str, int]:
+    """``__all__`` string entries with line numbers (literal parts only)."""
+    entries: Dict[str, int] = {}
+    for stmt in tree.body:
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            value = stmt.value
+        elif (
+            isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__all__"
+        ):
+            value = stmt.value
+        if value is not None:
+            for name, lineno in literal_str_elements(value):
+                entries.setdefault(name, lineno)
+    return entries
+
+
+@register
+class AllConsistencyRule(Rule):
+    code = "RPR005"
+    name = "all-consistency"
+    summary = "every __all__ entry is bound at module level"
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for source in project.files:
+            if source.tree is None:
+                continue
+            declared = _declared_all(source.tree)
+            if not declared:
+                continue
+            bound, star = _module_bindings(source.tree)
+            if star:
+                continue  # `from x import *` makes the check unsound
+            for name, lineno in sorted(declared.items()):
+                if name not in bound:
+                    yield Violation(
+                        code=self.code,
+                        message=(
+                            f"`__all__` lists `{name}` but the module never "
+                            "binds it (missing import or stale export?)"
+                        ),
+                        path=source.relpath,
+                        line=lineno,
+                    )
+
+
+@register
+class DocSyncRule(Rule):
+    code = "RPR006"
+    name = "docs-sync"
+    summary = "public exports of repro / repro.distances appear in docs/API.md"
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        docs = project.docs_api
+        if docs is None:
+            return
+        for source in project.files:
+            if source.tree is None or not source.endswith(*DOC_SYNCED_MODULES):
+                continue
+            for name, lineno in sorted(_declared_all(source.tree).items()):
+                if name.startswith("__"):
+                    continue  # dunders (e.g. __version__) are not API-table rows
+                if re.search(rf"(?<![\w.]){re.escape(name)}(?![\w])", docs) is None:
+                    yield Violation(
+                        code=self.code,
+                        message=(
+                            f"public export `{name}` is missing from "
+                            "docs/API.md; document it or make it private"
+                        ),
+                        path=source.relpath,
+                        line=lineno,
+                    )

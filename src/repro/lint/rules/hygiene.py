@@ -1,0 +1,178 @@
+"""RPR007/RPR008/RPR009 — general hygiene the repo's invariants lean on.
+
+RPR007 (mutable defaults): a ``def f(x, cache={})`` default is shared
+across calls; in a codebase where estimators are re-fit and pickled
+across processes that is a correctness bug waiting to happen.
+
+RPR008 (unused imports): dead imports hide real dependencies and defeat
+the RPR005/RPR006 export accounting.  A name counts as used when it is
+read anywhere in the module (annotations included — they are parsed
+expressions under ``from __future__ import annotations`` too) or listed
+in ``__all__`` (the re-export idiom of the package façades).
+
+RPR009 (shadowed builtins): rebinding ``list``/``max``/``filter`` & co.
+makes later code in the same scope silently call the wrong thing.  Only
+a curated list of commonly-shadowed builtins is checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from ..engine import Project, SourceFile
+from ..violations import Violation
+from . import Rule, register
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CTORS = {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "Counter", "deque"}
+
+_SHADOWED_BUILTINS = {
+    "abs", "all", "any", "bin", "bool", "bytes", "callable", "chr", "dict",
+    "dir", "enumerate", "eval", "filter", "float", "format", "frozenset",
+    "hash", "hex", "id", "input", "int", "iter", "len", "list", "map", "max",
+    "min", "next", "object", "oct", "open", "ord", "print", "property",
+    "range", "repr", "reversed", "round", "set", "slice", "sorted", "str",
+    "sum", "super", "tuple", "type", "vars", "zip",
+}
+
+
+def _mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "RPR007"
+    name = "mutable-default"
+    summary = "no mutable default argument values"
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for source in project.files:
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _mutable_default(default):
+                        label = getattr(node, "name", "<lambda>")
+                        yield self.violation(
+                            f"mutable default argument in `{label}`; use "
+                            "None and create the object inside the function",
+                            source.relpath,
+                            default,
+                        )
+
+
+def _import_bindings(tree: ast.Module) -> List[Tuple[str, ast.AST, str]]:
+    """``(bound_name, node, display)`` for every import in the module."""
+    out: List[Tuple[str, ast.AST, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".", 1)[0]
+                out.append((bound, node, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                display = f"{'.' * node.level}{node.module or ''}.{alias.name}"
+                out.append((bound, node, display))
+    return out
+
+
+def _used_names(tree: ast.Module) -> Set[str]:
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Load, ast.Del)):
+            used.add(node.id)
+    for stmt in tree.body:
+        targets: List[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+        if any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    used.add(sub.value)
+    return used
+
+
+@register
+class UnusedImportRule(Rule):
+    code = "RPR008"
+    name = "unused-import"
+    summary = "every import is read somewhere or re-exported via __all__"
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for source in project.files:
+            if source.tree is None:
+                continue
+            used = _used_names(source.tree)
+            for bound, node, display in _import_bindings(source.tree):
+                if bound in used:
+                    continue
+                # `from x import y as y` is the explicit re-export idiom.
+                if isinstance(node, ast.ImportFrom) and any(
+                    alias.asname is not None and alias.asname == alias.name
+                    for alias in node.names
+                    if (alias.asname or alias.name) == bound
+                ):
+                    continue
+                yield self.violation(
+                    f"`{display}` imported as `{bound}` but never used; "
+                    "remove it or add it to __all__ if it is a re-export",
+                    source.relpath,
+                    node,
+                )
+
+
+def _shadow_sites(source: SourceFile) -> Iterator[Tuple[str, ast.AST]]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name in _SHADOWED_BUILTINS:
+                yield node.name, node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = node.args
+            every = args.posonlyargs + args.args + args.kwonlyargs
+            if args.vararg:
+                every.append(args.vararg)
+            if args.kwarg:
+                every.append(args.kwarg)
+            for arg in every:
+                if arg.arg in _SHADOWED_BUILTINS:
+                    yield arg.arg, arg
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id in _SHADOWED_BUILTINS:
+                yield node.id, node
+
+
+@register
+class ShadowedBuiltinRule(Rule):
+    code = "RPR009"
+    name = "shadowed-builtin"
+    summary = "no rebinding of commonly-used builtins"
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for source in project.files:
+            if source.tree is None:
+                continue
+            for name, node in _shadow_sites(source):
+                yield self.violation(
+                    f"`{name}` shadows the builtin of the same name; pick "
+                    "a different identifier",
+                    source.relpath,
+                    node,
+                )

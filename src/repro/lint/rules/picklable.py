@@ -1,0 +1,171 @@
+"""RPR004 — work handed to a process pool must be module-level picklable.
+
+The ``"processes"`` backend is the only one that parallelizes the
+pure-Python elastic metrics, and it only works when the submitted
+callable pickles under the spawn start method: a lambda, a closure
+(function defined inside another function), or a ``functools.partial``
+over either dies in the worker — today with a thread-fallback warning,
+historically with a hang.  This rule flags those callables at the
+submission site, for pools created via ``multiprocessing`` (``Pool``,
+``ctx.Pool``, ``ProcessPoolExecutor``); thread pools are exempt because
+they share the interpreter and pickle nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Set, Tuple
+
+from ..engine import Project, SourceFile
+from ..violations import Violation
+from . import Rule, dotted_name, register, walk_with_scope
+
+#: submission methods whose first positional argument is the callable
+_SUBMIT_METHODS = {
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "apply",
+    "apply_async",
+    "submit",
+}
+
+#: keyword arguments of the pool constructor that take a callable
+_CTOR_CALLABLE_KWARGS = {"initializer"}
+
+
+def _is_process_pool_ctor(call: ast.Call) -> bool:
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return False
+    leaf = dotted.rsplit(".", 1)[-1]
+    return leaf == "Pool" or leaf == "ProcessPoolExecutor"
+
+
+def _collect_problem_names(tree: ast.Module) -> Set[str]:
+    """Names bound to closures or lambdas anywhere in the module.
+
+    A def nested inside a function is a closure; ``f = lambda ...`` at any
+    depth is equally unpicklable.  Module-level defs and imported names
+    are picklable and are never collected here.
+    """
+    out: Set[str] = set()
+    for node, stack in walk_with_scope(tree):
+        inside_function = any(
+            isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef)) for s in stack
+        )
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and inside_function:
+            out.add(node.name)
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+    return out
+
+
+def _callable_problem(arg: ast.AST, problems: Set[str]) -> Optional[str]:
+    """A description of why ``arg`` is not process-pool safe, or ``None``."""
+    if isinstance(arg, ast.Lambda):
+        return "a lambda"
+    if isinstance(arg, ast.Name) and arg.id in problems:
+        return f"`{arg.id}`, which is a closure or lambda"
+    if isinstance(arg, ast.Call):
+        dotted = dotted_name(arg.func)
+        if dotted in ("functools.partial", "partial") and arg.args:
+            inner = _callable_problem(arg.args[0], problems)
+            if inner is not None:
+                return f"functools.partial over {inner}"
+    return None
+
+
+def _enclosing_function(stack: Sequence[ast.AST]) -> Optional[ast.AST]:
+    for node in reversed(stack):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None
+
+
+def _pool_bindings(tree: ast.Module) -> Set[Tuple[Optional[int], str]]:
+    """``(enclosing-function-id, name)`` pairs bound to a process pool
+    (``p = ctx.Pool(...)``, ``with mp.Pool(...) as p:``).
+
+    Keying by the enclosing function keeps a thread pool named ``pool``
+    in one method from tainting a process pool of the same name in
+    another.  Module-level bindings use ``None`` as the scope id.
+    """
+    out: Set[Tuple[Optional[int], str]] = set()
+    for node, stack in walk_with_scope(tree):
+        scope = _enclosing_function(stack)
+        scope_id = id(scope) if scope is not None else None
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _is_process_pool_ctor(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out.add((scope_id, target.id))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    isinstance(item.context_expr, ast.Call)
+                    and _is_process_pool_ctor(item.context_expr)
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    out.add((scope_id, item.optional_vars.id))
+    return out
+
+
+@register
+class PicklableSubmissionRule(Rule):
+    code = "RPR004"
+    name = "picklable-submission"
+    summary = "process-pool callables are module-level (no lambdas/closures)"
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for source in project.files:
+            if source.tree is None:
+                continue
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Violation]:
+        tree = source.tree
+        pools = _pool_bindings(tree)
+        problems = _collect_problem_names(tree)
+        for node, stack in walk_with_scope(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            scope = _enclosing_function(stack)
+            scope_id = id(scope) if scope is not None else None
+            if _is_process_pool_ctor(node):
+                for keyword in node.keywords:
+                    if keyword.arg in _CTOR_CALLABLE_KWARGS:
+                        why = _callable_problem(keyword.value, problems)
+                        if why is not None:
+                            yield self.violation(
+                                f"process-pool {keyword.arg}= is {why}; it "
+                                "must be a module-level callable to pickle "
+                                "under the spawn start method",
+                                source.relpath,
+                                node,
+                            )
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SUBMIT_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and (
+                    (scope_id, node.func.value.id) in pools
+                    or (None, node.func.value.id) in pools
+                )
+                and node.args
+            ):
+                why = _callable_problem(node.args[0], problems)
+                if why is not None:
+                    yield self.violation(
+                        f"callable handed to process pool "
+                        f"`{node.func.value.id}.{node.func.attr}` is {why}; "
+                        "process workers can only unpickle module-level "
+                        "functions",
+                        source.relpath,
+                        node,
+                    )

@@ -1,0 +1,70 @@
+"""Suppression comments.
+
+Two directives, mirroring the usual linter conventions:
+
+* ``# repro-lint: disable=RPR002`` on a line suppresses the listed codes
+  for findings anchored to that line;
+* ``# repro-lint: disable-file=RPR008`` anywhere in a file suppresses the
+  listed codes for the whole file (by convention the directive goes in the
+  first few lines, next to the module docstring).
+
+Either form accepts a comma-separated code list; omitting the ``=CODES``
+part suppresses every rule, which is reserved for generated files and
+should not appear in ``src/``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable-file|disable)\s*"
+    r"(?:=\s*(?P<codes>[A-Za-z0-9_,\s]+?))?\s*(?:#|$)"
+)
+
+# ``None`` in place of a code set means "every code".
+CodeSet = Optional[FrozenSet[str]]
+
+
+def _parse_codes(raw: Optional[str]) -> CodeSet:
+    if raw is None:
+        return None
+    codes = frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+    return codes or None
+
+
+def _matches(codes: CodeSet, code: str) -> bool:
+    return codes is None or code in codes
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives for one source file."""
+
+    file_codes: Dict[int, CodeSet] = field(default_factory=dict)
+    line_codes: Dict[int, CodeSet] = field(default_factory=dict)
+
+    def suppressed(self, code: str, line: int) -> bool:
+        code = code.upper()
+        if any(_matches(codes, code) for codes in self.file_codes.values()):
+            return True
+        if line in self.line_codes and _matches(self.line_codes[line], code):
+            return True
+        return False
+
+
+def scan_suppressions(text: str) -> Suppressions:
+    """Scan source text line-by-line for suppression directives."""
+    result = Suppressions()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _DIRECTIVE.search(line)
+        if match is None:
+            continue
+        codes = _parse_codes(match.group("codes"))
+        if match.group("kind") == "disable-file":
+            result.file_codes[lineno] = codes
+        else:
+            result.line_codes[lineno] = codes
+    return result

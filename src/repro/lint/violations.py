@@ -1,0 +1,37 @@
+"""The :class:`Violation` record every rule emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: an ``RPR0xx`` code anchored to a file location.
+
+    ``line`` is 1-based; ``0`` marks a file-level finding (e.g. a missing
+    oracle twin reported against the module rather than a statement).
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int = 0
+    col: int = 0
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def format_text(self) -> str:
+        location = f"{self.path}:{self.line}:{self.col}" if self.line else self.path
+        return f"{location}: {self.code} {self.message}"

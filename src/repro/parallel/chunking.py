@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 import os
-from typing import Iterator, NamedTuple, Optional, Union
+from typing import Iterator, NamedTuple, Optional
 
 __all__ = [
     "Tile",

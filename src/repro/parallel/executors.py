@@ -76,7 +76,15 @@ class SerialExecutor(BaseExecutor):
 
     name = "serial"
 
-    def compute_tiles(self, A, B, metric_spec, tiles, n_jobs, skip_diagonal=False):
+    def compute_tiles(
+        self,
+        A: np.ndarray,
+        B: Optional[np.ndarray],
+        metric_spec: MetricSpec,
+        tiles: Sequence[Tile],
+        n_jobs: int,
+        skip_diagonal: bool = False,
+    ) -> List[TileResult]:
         state = make_state(A, A if B is None else B, metric_spec, skip_diagonal)
         return [(tile, compute_tile(state, tile)) for tile in tiles]
 
@@ -86,7 +94,15 @@ class ThreadExecutor(BaseExecutor):
 
     name = "threads"
 
-    def compute_tiles(self, A, B, metric_spec, tiles, n_jobs, skip_diagonal=False):
+    def compute_tiles(
+        self,
+        A: np.ndarray,
+        B: Optional[np.ndarray],
+        metric_spec: MetricSpec,
+        tiles: Sequence[Tile],
+        n_jobs: int,
+        skip_diagonal: bool = False,
+    ) -> List[TileResult]:
         state = make_state(A, A if B is None else B, metric_spec, skip_diagonal)
         if isinstance(metric_spec, str) and metric_spec.lower() == "sbd":
             # Build the shared FFT plan up front so threads don't race to
@@ -112,7 +128,15 @@ class ProcessExecutor(BaseExecutor):
 
     name = "processes"
 
-    def compute_tiles(self, A, B, metric_spec, tiles, n_jobs, skip_diagonal=False):
+    def compute_tiles(
+        self,
+        A: np.ndarray,
+        B: Optional[np.ndarray],
+        metric_spec: MetricSpec,
+        tiles: Sequence[Tile],
+        n_jobs: int,
+        skip_diagonal: bool = False,
+    ) -> List[TileResult]:
         import multiprocessing as mp
 
         ctx = mp.get_context()

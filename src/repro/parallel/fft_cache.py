@@ -37,7 +37,7 @@ class SBDPlanCache:
     def __init__(self) -> None:
         self._plans: Dict[str, Tuple[np.ndarray, np.ndarray, int]] = {}
 
-    def plan_for(self, token: str, X: np.ndarray):
+    def plan_for(self, token: str, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
         """``(fft_X, norms_X, fft_len)`` for dataset ``X``, computed once."""
         plan = self._plans.get(token)
         if plan is None:

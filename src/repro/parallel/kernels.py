@@ -16,7 +16,7 @@ falls back to a per-pair loop over the tile's cells, skipping the
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -109,7 +109,7 @@ def _sbd_tile(state: Dict[str, Any], tile: Tile) -> np.ndarray:
     return out
 
 
-def _tile_batch_spec(state: Dict[str, Any]):
+def _tile_batch_spec(state: Dict[str, Any]) -> Optional[Tuple]:
     """Batched-kernel route for this worker's metric (resolved once)."""
     if "batch_spec" not in state:
         from ..distances.matrix import _batch_spec
@@ -189,7 +189,7 @@ def init_process_worker(
     )
 
 
-def process_tile(tile: Tile):
+def process_tile(tile: Tile) -> Tuple[Tile, np.ndarray]:
     """Pool task: compute one tile against the worker's attached state."""
     assert _PROCESS_STATE is not None, "worker initializer did not run"
     return tile, compute_tile(_PROCESS_STATE, tile)

@@ -31,7 +31,9 @@ class SharedArraySpec(NamedTuple):
     dtype: str
 
 
-def share_array(arr: np.ndarray):
+def share_array(
+    arr: np.ndarray,
+) -> Tuple[shared_memory.SharedMemory, SharedArraySpec]:
     """Copy ``arr`` into a new shared-memory segment.
 
     Returns
@@ -48,7 +50,9 @@ def share_array(arr: np.ndarray):
     return shm, SharedArraySpec(shm.name, arr.shape, arr.dtype.str)
 
 
-def attach_array(spec: SharedArraySpec):
+def attach_array(
+    spec: SharedArraySpec,
+) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
     """Attach to a shared segment and view it as a read-only ndarray.
 
     Returns ``(shm, array)``; the caller must keep ``shm`` referenced for

@@ -34,7 +34,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,7 +44,7 @@ from ..clustering.kmeans import TimeSeriesKMeans, _mean_centroid
 from ..clustering.kmedoids import KMedoids
 from ..core.kshape import KShape
 from ..core.minibatch import MiniBatchKShape
-from ..distances.base import make_cdtw
+from ..distances.base import DistanceFn, make_cdtw
 from ..distances.dtw import dtw as _dtw
 from ..distances.prune import dtw_window_of
 from ..exceptions import (
@@ -71,7 +71,7 @@ _PAYLOAD = "payload.npz"
 # metric (de)serialization
 
 
-def encode_metric(metric) -> dict:
+def encode_metric(metric: object) -> dict:
     """Encode a distance metric into a JSON-serializable description.
 
     Registered names pass through verbatim; the ``dtw``/``cdtw`` callables
@@ -92,7 +92,7 @@ def encode_metric(metric) -> dict:
     )
 
 
-def decode_metric(spec: dict):
+def decode_metric(spec: dict) -> Union[str, DistanceFn]:
     """Inverse of :func:`encode_metric`."""
     kind = spec.get("kind")
     if kind == "name":
@@ -109,7 +109,7 @@ def decode_metric(spec: dict):
 # ClusterResult <-> (arrays, meta)
 
 
-def _jsonable(value):
+def _jsonable(value: object) -> object:
     """Best-effort conversion of ``extra`` payloads to JSON-stable values."""
     if isinstance(value, np.ndarray):
         return value.tolist()
@@ -163,7 +163,7 @@ def _unpack_result(arrays: dict, meta: dict) -> ClusterResult:
     )
 
 
-def _require_result(model) -> ClusterResult:
+def _require_result(model: object) -> ClusterResult:
     if model.result_ is None:
         raise NotFittedError(
             f"{type(model).__name__} must be fitted before saving"
@@ -321,7 +321,7 @@ _REGISTRY: Dict[str, Tuple[type, _Exporter, _Restorer]] = {
 }
 
 
-def _model_type(model) -> str:
+def _model_type(model: object) -> str:
     # Exact-type match first, then subclass match (KDBA/KSC persist through
     # their TimeSeriesKMeans surface when their centroid rule permits).
     for name, (cls, _, _) in _REGISTRY.items():
@@ -348,7 +348,9 @@ def _sha256(path: str) -> str:
     return digest.hexdigest()
 
 
-def save_model(model, path: str, preprocessing: Optional[dict] = None) -> str:
+def save_model(
+    model: object, path: str, preprocessing: Optional[dict] = None
+) -> str:
     """Persist a fitted clusterer as a versioned, checksummed artifact.
 
     Parameters
@@ -427,7 +429,9 @@ def describe_artifact(path: str) -> dict:
     return manifest
 
 
-def load_model(path: str):
+def load_model(
+    path: str,
+) -> Union[KShape, TimeSeriesKMeans, KMedoids, MiniBatchKShape, NearestShapeCentroid]:
     """Load a model artifact written by :func:`save_model`.
 
     Validates the manifest schema version and the payload checksum before

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_dataset, check_positive_int
 from ..core._fft_batch import fft_len_for, rfft_batch, sbd_to_centroids
@@ -116,13 +117,13 @@ class CentroidMaintainer:
 
     def __init__(
         self,
-        centroids,
+        centroids: ArrayLike,
         reservoir_size: int = 128,
         decay: float = 1.0,
         baseline_window: int = 256,
         recent_window: int = 128,
         drift_threshold: float = 3.0,
-    ):
+    ) -> None:
         C = as_dataset(centroids, "centroids")
         self.centroids_ = C.copy()
         self.n_clusters, self.m = C.shape
@@ -155,7 +156,7 @@ class CentroidMaintainer:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_model(cls, model, **kwargs) -> "CentroidMaintainer":
+    def from_model(cls, model: object, **kwargs: object) -> "CentroidMaintainer":
         """Wrap a fitted estimator's centroids (and, for
         :class:`~repro.core.minibatch.MiniBatchKShape`, adopt its
         reservoirs and reservoir size as the starting state)."""
@@ -189,7 +190,7 @@ class CentroidMaintainer:
         labels = np.argmin(dists, axis=1)
         return labels, dists[np.arange(n), labels]
 
-    def observe(self, X) -> np.ndarray:
+    def observe(self, X: ArrayLike) -> np.ndarray:
         """Record a batch's SBD-to-centroid distances *without* updating
         centroids (monitoring-only deployments). Returns the labels."""
         data = self._check(X)
@@ -198,7 +199,7 @@ class CentroidMaintainer:
         self.n_seen_ += data.shape[0]
         return labels
 
-    def update(self, X, labels=None) -> np.ndarray:
+    def update(self, X: ArrayLike, labels: Optional[ArrayLike] = None) -> np.ndarray:
         """Fold one batch into the centroids; returns the labels used.
 
         Parameters
@@ -247,7 +248,7 @@ class CentroidMaintainer:
         self.n_seen_ += data.shape[0]
         return labels
 
-    def _check(self, X) -> np.ndarray:
+    def _check(self, X: ArrayLike) -> np.ndarray:
         data = as_dataset(X, "X")
         if data.shape[1] != self.m:
             raise ShapeMismatchError(
@@ -301,7 +302,7 @@ class CentroidMaintainer:
         self._baseline = []
         self._recent.clear()
 
-    def predictor(self, **kwargs) -> ShapePredictor:
+    def predictor(self, **kwargs: object) -> ShapePredictor:
         """A fresh :class:`~repro.serving.ShapePredictor` over the current
         centroids (rFFTs recomputed, since updates invalidate them)."""
         return ShapePredictor(self.centroids_, metric="sbd", **kwargs)

@@ -31,6 +31,7 @@ from time import perf_counter
 from typing import Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_dataset
 from ..core._fft_batch import fft_len_for, ncc_c_max_multi, rfft_batch
@@ -107,7 +108,9 @@ class ShapePredictor:
         engine (all-zero under other metrics).
     """
 
-    def __init__(self, centroids, metric="sbd", fuzziness: float = 2.0):
+    def __init__(
+        self, centroids: ArrayLike, metric: object = "sbd", fuzziness: float = 2.0
+    ) -> None:
         C = as_dataset(centroids, "centroids")
         self.centroids = C
         self.n_clusters, self.m = C.shape
@@ -144,7 +147,7 @@ class ShapePredictor:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_model(cls, model, **kwargs) -> "ShapePredictor":
+    def from_model(cls, model: object, **kwargs: object) -> "ShapePredictor":
         """Build a predictor from any fitted estimator exposing centroids.
 
         Picks the model's own assignment metric: SBD for
@@ -166,7 +169,7 @@ class ShapePredictor:
         return cls(centroids, metric=metric, **kwargs)
 
     @classmethod
-    def from_artifact(cls, path: str, **kwargs) -> "ShapePredictor":
+    def from_artifact(cls, path: str, **kwargs: object) -> "ShapePredictor":
         """Load a saved artifact (:func:`repro.serving.load_model`) and wrap
         it in a predictor."""
         from .artifacts import load_model
@@ -174,7 +177,7 @@ class ShapePredictor:
         return cls.from_model(load_model(path), **kwargs)
 
     # ------------------------------------------------------------------
-    def _check_batch(self, X) -> np.ndarray:
+    def _check_batch(self, X: ArrayLike) -> np.ndarray:
         data = as_dataset(X, "X")
         if data.shape[1] != self.m:
             raise ShapeMismatchError(
@@ -197,11 +200,11 @@ class ShapePredictor:
         return cross_distances(data, self.centroids, metric=self.metric)
 
     # ------------------------------------------------------------------
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: ArrayLike) -> np.ndarray:
         """Closest-centroid label for each row of ``X``."""
         return self.predict_full(X).labels
 
-    def transform(self, X) -> np.ndarray:
+    def transform(self, X: ArrayLike) -> np.ndarray:
         """``(n, k)`` distance matrix of queries to all centroids."""
         data = self._check_batch(X)
         tick = perf_counter()
@@ -217,7 +220,7 @@ class ShapePredictor:
         self.n_queries += data.shape[0]
         return dists
 
-    def predict_full(self, X, soft: bool = False) -> Prediction:
+    def predict_full(self, X: ArrayLike, soft: bool = False) -> Prediction:
         """Labels, distances, and (optionally) soft memberships for ``X``.
 
         With a pruned (c)DTW metric and ``soft=False``, only the nearest

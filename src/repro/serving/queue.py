@@ -30,9 +30,11 @@ from time import monotonic
 from typing import List, Optional, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._validation import as_series, check_positive_int
 from ..exceptions import InvalidParameterError
+from .predictor import ShapePredictor
 
 __all__ = ["ServingStats", "MicroBatchQueue"]
 
@@ -125,11 +127,11 @@ class MicroBatchQueue:
 
     def __init__(
         self,
-        predictor,
+        predictor: ShapePredictor,
         max_batch: int = 32,
         max_latency_s: float = 0.01,
         autostart: bool = True,
-    ):
+    ) -> None:
         self.predictor = predictor
         self.max_batch = check_positive_int(max_batch, "max_batch")
         if max_latency_s <= 0:
@@ -149,7 +151,7 @@ class MicroBatchQueue:
             self._thread.start()
 
     # ------------------------------------------------------------------
-    def submit(self, x) -> Future:
+    def submit(self, x: ArrayLike) -> Future:
         """Enqueue one series; the future resolves to ``(label, distance)``."""
         if self._closed:
             raise InvalidParameterError("queue is closed")
@@ -160,7 +162,7 @@ class MicroBatchQueue:
         self._inbox.put(request)
         return request.future
 
-    def predict(self, x) -> Tuple[int, float]:
+    def predict(self, x: ArrayLike) -> Tuple[int, float]:
         """Blocking single-series convenience: submit and wait.
 
         With no collector thread (``autostart=False``) the waiting batch is
@@ -274,5 +276,5 @@ class MicroBatchQueue:
     def __enter__(self) -> "MicroBatchQueue":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -10,8 +10,6 @@ multiple-dataset benchmark comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
-
 import numpy as np
 
 from .._validation import as_rng

@@ -1,0 +1,5 @@
+"""Fixture: the _dtw_naive oracle twin was deleted."""
+
+
+def dtw(x, y):
+    return 0.0

@@ -1,0 +1,5 @@
+"""Fixture: raw band rounding, the exact drift PR 6 retired."""
+
+
+def band_cells(window, m):
+    return int(window * m)

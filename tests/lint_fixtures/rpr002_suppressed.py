@@ -1,0 +1,5 @@
+"""Fixture: raw band rounding, silenced on the line."""
+
+
+def band_cells(window, m):
+    return int(window * m)  # repro-lint: disable=RPR002

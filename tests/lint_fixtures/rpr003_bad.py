@@ -1,0 +1,9 @@
+"""Fixture: wall-clock and global RNG feeding a manifest."""
+
+import time
+
+import numpy as np
+
+
+def manifest() -> dict:
+    return {"saved_at": time.time(), "nonce": np.random.rand(4).tolist()}

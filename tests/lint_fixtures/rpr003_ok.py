@@ -1,0 +1,7 @@
+"""Fixture: checksum module touching nothing nondeterministic."""
+
+import hashlib
+
+
+def digest(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,12 @@
+"""Fixture: nondeterminism, silenced per line."""
+
+import time
+
+import numpy as np
+
+
+def manifest() -> dict:
+    return {
+        "saved_at": time.time(),  # repro-lint: disable=RPR003
+        "nonce": np.random.rand(4).tolist(),  # repro-lint: disable=RPR003
+    }

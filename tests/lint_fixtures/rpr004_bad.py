@@ -1,0 +1,8 @@
+"""Fixture: a lambda handed to a process pool (unpicklable)."""
+
+import multiprocessing as mp
+
+
+def run(items):
+    with mp.Pool(2) as pool:
+        return pool.map(lambda item: item + 1, items)

@@ -1,0 +1,12 @@
+"""Fixture: a module-level function crosses the process boundary."""
+
+import multiprocessing as mp
+
+
+def work(item):
+    return item + 1
+
+
+def run(items):
+    with mp.Pool(2) as pool:
+        return pool.map(work, items)

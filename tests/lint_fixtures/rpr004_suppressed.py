@@ -1,0 +1,8 @@
+"""Fixture: unpicklable submission, silenced on the line."""
+
+import multiprocessing as mp
+
+
+def run(items):
+    with mp.Pool(2) as pool:
+        return pool.map(lambda item: item + 1, items)  # repro-lint: disable=RPR004

@@ -1,0 +1,8 @@
+"""Fixture: __all__ lists a name the module never binds."""
+
+
+def dtw(x, y):
+    return 0.0
+
+
+__all__ = ["dtw", "cdtw"]

@@ -1,0 +1,8 @@
+"""Fixture: every __all__ entry is bound."""
+
+
+def dtw(x, y):
+    return 0.0
+
+
+__all__ = ["dtw"]

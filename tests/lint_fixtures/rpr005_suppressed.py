@@ -1,0 +1,11 @@
+"""Fixture: stale __all__ entry, silenced on the line."""
+
+
+def dtw(x, y):
+    return 0.0
+
+
+__all__ = [
+    "dtw",
+    "cdtw",  # repro-lint: disable=RPR005
+]

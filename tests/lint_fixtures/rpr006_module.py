@@ -1,0 +1,12 @@
+"""Fixture: a package facade exporting two names."""
+
+
+def dtw(x, y):
+    return 0.0
+
+
+def cdtw(x, y):
+    return 0.0
+
+
+__all__ = ["dtw", "cdtw"]

@@ -1,0 +1,6 @@
+"""Fixture: the shared-list default trap."""
+
+
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc

@@ -1,0 +1,7 @@
+"""Fixture: None default, object created inside."""
+
+
+def collect(item, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(item)
+    return acc

@@ -1,0 +1,6 @@
+"""Fixture: mutable default, silenced on the line."""
+
+
+def collect(item, acc=[]):  # repro-lint: disable=RPR007
+    acc.append(item)
+    return acc

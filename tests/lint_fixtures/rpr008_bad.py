@@ -1,0 +1,8 @@
+"""Fixture: a dead import."""
+
+import os
+from math import sqrt
+
+
+def nothing():
+    return None

@@ -1,0 +1,10 @@
+"""Fixture: every import is read or re-exported."""
+
+import os
+from math import sqrt
+
+__all__ = ["sqrt"]
+
+
+def cwd():
+    return os.getcwd()

@@ -1,0 +1,9 @@
+"""Fixture: dead imports, silenced file-wide."""
+# repro-lint: disable-file=RPR008
+
+import os
+from math import sqrt
+
+
+def nothing():
+    return None

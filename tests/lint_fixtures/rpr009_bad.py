@@ -1,0 +1,9 @@
+"""Fixture: parameter and local shadow builtins."""
+
+
+def longest(list):
+    max = None
+    for value in list:
+        if max is None or len(value) > len(max):
+            max = value
+    return max

@@ -1,0 +1,9 @@
+"""Fixture: no builtin rebinding."""
+
+
+def longest(values):
+    best = None
+    for value in values:
+        if best is None or len(value) > len(best):
+            best = value
+    return best

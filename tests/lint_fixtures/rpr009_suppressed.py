@@ -1,0 +1,10 @@
+"""Fixture: shadowed builtins, silenced."""
+# repro-lint: disable-file=RPR009
+
+
+def longest(list):
+    max = None
+    for value in list:
+        if max is None or len(value) > len(max):
+            max = value
+    return max

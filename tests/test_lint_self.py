@@ -1,0 +1,34 @@
+"""The repository must pass its own static analysis.
+
+This is the CI gate in miniature: ``run_lint`` over the real tree with
+every rule enabled must come back empty, and the module runner must
+agree.  A failure here means a rule regressed or ``src/`` picked up a
+violation — fix the code (or, for a justified exception, add a
+``# repro-lint: disable=RPR0xx`` directive with a comment saying why).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_repository_is_lint_clean():
+    violations = run_lint(root=REPO_ROOT)
+    assert violations == [], "\n".join(v.format_text() for v in violations)
+
+
+def test_module_runner_exits_zero_on_repo():
+    env_src = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--root", str(REPO_ROOT)],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "no violations" in result.stdout
