@@ -1,0 +1,325 @@
+"""Micro-benchmark: indexed assignment vs. the dense distance matrix.
+
+Assignment (labeling ``n`` queries against ``k`` candidates) is the inner
+loop of k-means-style clustering and 1-NN classification. The
+:class:`repro.search.CentroidIndex` replaces the dense ``n x k`` scan
+with a three-tier route — admissible sketch bounds, a cheap proxy ranking,
+and a pair-listed exact tier — so only the pairs the bounds cannot
+discard are confirmed. This bench times both paths on workload shapes
+where the route matters:
+
+* **(c)DTW** — the expensive metric the index is built for: the PAA
+  sketch plus the vectorized LB_Keogh refine tier discard most pairs
+  before any wavefront runs;
+* **SBD (clustered)** — the honesty row: CBF classes share nearly
+  identical magnitude spectra, the spectral bound cannot separate them,
+  and the index degrades gracefully to ~dense speed via its escape
+  hatch instead of losing;
+* **SBD (diverse)** — spectrally heterogeneous traffic (mixed-frequency
+  sinusoids, random walks, noise) where the same bound does prune.
+
+Every exact row asserts ``argmins_identical`` against the dense argmin;
+approximate rows report *measured* recall at the default knobs. A final
+``one_nn`` row drives the other consumer — ``one_nn_classify`` over a
+labeled training set — through the same dense/exact/approx comparison.
+
+Timing protocol: the box this runs on shows ~2x wall-clock swings
+between back-to-back runs, so variants are interleaved round-robin
+within one process and each variant reports its **minimum** over the
+rounds — never one variant timed after another in full.
+
+Run standalone (full size, writes ``BENCH_index.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_index_assign.py
+
+scaled down (CI)::
+
+    PYTHONPATH=src python benchmarks/bench_index_assign.py --smoke
+
+or through pytest (the full-size run is marked ``slow``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_index_assign.py -m slow
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_cbf
+from repro.distances import cross_distances, sbd_matrix
+from repro.preprocessing import zscore
+from repro.search import CentroidIndex
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_index.json"
+
+#: (name, metric, workload, k, n, m, reps). Ordered by growing n*k with the
+#: (c)DTW row — the metric the index targets — as the largest config.
+FULL_CONFIGS = [
+    ("cdtw_small", "cdtw5", "cbf", 32, 300, 128, 3),
+    ("sbd_clustered", "sbd", "cbf", 32, 2000, 128, 5),
+    ("sbd_diverse", "sbd", "diverse", 64, 1000, 128, 5),
+    ("cdtw_large", "cdtw5", "cbf", 96, 800, 128, 3),
+]
+
+SMOKE_CONFIGS = [
+    ("cdtw_small", "cdtw5", "cbf", 8, 40, 48, 2),
+    ("sbd_clustered", "sbd", "cbf", 8, 60, 48, 2),
+    ("sbd_diverse", "sbd", "diverse", 8, 60, 48, 2),
+    ("cdtw_large", "cdtw5", "cbf", 12, 60, 48, 2),
+]
+
+
+def make_workload(kind: str, k: int, n: int, m: int, seed: int):
+    """``(candidates, queries)`` for one bench row."""
+    rng = np.random.default_rng(seed)
+    total = k + n
+    if kind == "cbf":
+        X, _ = make_cbf(-(-total // 3), m, rng)
+        X = X[rng.permutation(X.shape[0])[:total]]
+    else:  # spectrally diverse: sinusoids + random walks + noise
+        t = np.arange(m)
+        pool = []
+        for _ in range(total):
+            shape = rng.integers(3)
+            if shape == 0:
+                freq = rng.uniform(0.5, 20)
+                pool.append(
+                    np.sin(2 * np.pi * freq * t / m + rng.uniform(0, 6.28))
+                )
+            elif shape == 1:
+                pool.append(np.cumsum(rng.standard_normal(m)))
+            else:
+                pool.append(rng.standard_normal(m))
+        X = np.asarray(pool) + 0.05 * rng.standard_normal((total, m))
+    X = zscore(X)
+    return X[:k], X[k:]
+
+
+def interleaved_minima(
+    variants: Dict[str, Callable[[], object]], reps: int
+) -> Dict[str, float]:
+    """Best-of-``reps`` wall-clock per variant, measured round-robin.
+
+    One full round runs every variant once before any variant runs again,
+    so slow machine phases (page cache churn, frequency scaling) hit all
+    variants alike instead of biasing whichever ran last.
+    """
+    best = {name: float("inf") for name in variants}
+    for _ in range(reps):
+        for name, fn in variants.items():
+            start = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - start)
+    return best
+
+
+def run_config(
+    name: str,
+    metric: str,
+    workload: str,
+    k: int,
+    n: int,
+    m: int,
+    reps: int,
+    seed: int = 7,
+) -> dict:
+    C, Q = make_workload(workload, k, n, m, seed)
+    exact = CentroidIndex(C, metric=metric, mode="exact")
+    approx = CentroidIndex(C, metric=metric, mode="approx")
+
+    def dense() -> np.ndarray:
+        if metric == "sbd":
+            return sbd_matrix(Q, C)
+        return cross_distances(Q, C, metric=metric)
+
+    state: Dict[str, np.ndarray] = {}
+    timings = interleaved_minima(
+        {
+            "dense": lambda: state.__setitem__(
+                "ref", np.argmin(dense(), axis=1)
+            ),
+            "exact": lambda: state.__setitem__(
+                "exact", exact.query_batch(Q)[0]
+            ),
+            "approx": lambda: state.__setitem__(
+                "approx", approx.query_batch(Q)[0]
+            ),
+        },
+        reps,
+    )
+    identical = bool(np.array_equal(state["exact"], state["ref"]))
+    recall = float(np.mean(state["approx"] == state["ref"]))
+    stats = exact.stats
+    return {
+        "config": name,
+        "metric": metric,
+        "workload": workload,
+        "k": k,
+        "n_queries": n,
+        "m": m,
+        "pairs": k * n,
+        "reps": reps,
+        "dense_s": round(timings["dense"], 4),
+        "exact": {
+            "total_s": round(timings["exact"], 4),
+            "speedup_vs_dense": round(
+                timings["dense"] / max(timings["exact"], 1e-9), 3
+            ),
+            "argmins_identical": identical,
+            "sketch_prune_rate": round(stats.sketch_prune_rate, 4),
+        },
+        "approx": {
+            "total_s": round(timings["approx"], 4),
+            "speedup_vs_dense": round(
+                timings["dense"] / max(timings["approx"], 1e-9), 3
+            ),
+            "recall": round(recall, 4),
+        },
+    }
+
+
+def run_one_nn(
+    k: int, n: int, m: int, reps: int, metric: str = "cdtw5", seed: int = 11
+) -> dict:
+    """1-NN classification routed through the index vs. the dense scan.
+
+    The candidate set is a labeled *training set* here, not centroids —
+    the other consumer of the router, with the same exactness contract.
+    """
+    from repro.classification import one_nn_classify
+
+    train, queries = make_workload("cbf", k, n, m, seed)
+    y_train = np.arange(k) % 3
+    state: Dict[str, np.ndarray] = {}
+    timings = interleaved_minima(
+        {
+            "dense": lambda: state.__setitem__(
+                "ref", one_nn_classify(train, y_train, queries, metric=metric)
+            ),
+            "exact": lambda: state.__setitem__(
+                "exact",
+                one_nn_classify(
+                    train, y_train, queries, metric=metric, index="exact"
+                ),
+            ),
+            "approx": lambda: state.__setitem__(
+                "approx",
+                one_nn_classify(
+                    train, y_train, queries, metric=metric, index="approx"
+                ),
+            ),
+        },
+        reps,
+    )
+    return {
+        "config": "one_nn",
+        "metric": metric,
+        "n_train": k,
+        "n_queries": n,
+        "m": m,
+        "dense_s": round(timings["dense"], 4),
+        "exact": {
+            "total_s": round(timings["exact"], 4),
+            "speedup_vs_dense": round(
+                timings["dense"] / max(timings["exact"], 1e-9), 3
+            ),
+            "predictions_identical": bool(
+                np.array_equal(state["exact"], state["ref"])
+            ),
+        },
+        "approx": {
+            "total_s": round(timings["approx"], 4),
+            "speedup_vs_dense": round(
+                timings["dense"] / max(timings["approx"], 1e-9), 3
+            ),
+            "label_agreement": round(
+                float(np.mean(state["approx"] == state["ref"])), 4
+            ),
+        },
+    }
+
+
+def run_benchmark(
+    configs: Optional[List[tuple]] = None, output: Optional[Path] = None
+) -> dict:
+    rows = [run_config(*config) for config in (configs or FULL_CONFIGS)]
+    small = configs is not None and configs is SMOKE_CONFIGS
+    one_nn = (
+        run_one_nn(12, 40, 48, 2) if small else run_one_nn(90, 400, 128, 3)
+    )
+    largest = max(rows, key=lambda r: r["pairs"])
+    report = {
+        "benchmark": "indexed assignment vs dense distance matrix",
+        "timing": "interleaved round-robin, min over reps per variant",
+        "configs": rows,
+        "one_nn": one_nn,
+        "largest_config": largest["config"],
+        "largest_config_exact_speedup": largest["exact"]["speedup_vs_dense"],
+        "all_exact_argmins_identical": all(
+            r["exact"]["argmins_identical"] for r in rows
+        ),
+        # The recall guarantee is scoped to clustered traffic — the
+        # workload approximate routing exists for. The diverse row's
+        # recall is reported raw: near-neighbor ranking among pure-noise
+        # rows survives no coarsening, and hiding that would oversell
+        # the approximate mode (use exact mode for unstructured data).
+        "min_approx_recall_clustered": min(
+            r["approx"]["recall"] for r in rows if r["workload"] == "cbf"
+        ),
+        "approx_recall_diverse": min(
+            (r["approx"]["recall"] for r in rows if r["workload"] != "cbf"),
+            default=None,
+        ),
+    }
+    (OUTPUT if output is None else output).write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    return report
+
+
+@pytest.mark.slow
+def test_bench_index_full():
+    """Full-size benchmark; writes BENCH_index.json at the repo root."""
+    report = run_benchmark()
+    assert report["all_exact_argmins_identical"]
+    # The headline: the largest workload is (c)DTW and the index must
+    # beat the dense scan clearly there.
+    assert report["largest_config"].startswith("cdtw")
+    assert report["largest_config_exact_speedup"] >= 3.0
+    assert report["min_approx_recall_clustered"] >= 0.99
+    assert report["one_nn"]["exact"]["predictions_identical"]
+
+
+def test_bench_index_smoke(tmp_path):
+    """Scaled-down correctness pass of the benchmark harness itself."""
+    report = run_benchmark(SMOKE_CONFIGS, output=tmp_path / "BENCH_index.json")
+    assert report["all_exact_argmins_identical"]
+    assert report["largest_config"].startswith("cdtw")
+    # Exactness holds at any size; speedups are only asserted full-size.
+    for row in report["configs"]:
+        assert row["exact"]["argmins_identical"]
+        assert 0.0 <= row["approx"]["recall"] <= 1.0
+    assert report["one_nn"]["exact"]["predictions_identical"]
+    assert (tmp_path / "BENCH_index.json").exists()
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        # CI-sized pass; keep the committed full-size JSON untouched.
+        import tempfile
+
+        tmp = Path(tempfile.mkdtemp())
+        print(json.dumps(
+            run_benchmark(SMOKE_CONFIGS, output=tmp / "BENCH_index.json"),
+            indent=2,
+        ))
+    else:
+        print(json.dumps(run_benchmark(), indent=2))

@@ -168,6 +168,10 @@ def run_benchmark(
             "batches": stats.batches,
             "mean_batch_size": round(stats.mean_batch_size, 2),
             "kernel_s": round(stats.kernel_s, 4),
+            "p50_latency_ms": round(1e3 * stats.p50_latency_s, 4),
+            "p99_latency_ms": round(1e3 * stats.p99_latency_s, 4),
+            "max_queue_depth": stats.max_queue_depth,
+            "queue_depth_after_drain": stats.queue_depth,
         },
         "labels_identical": True,
     }
@@ -200,6 +204,9 @@ def test_bench_serving_smoke(tmp_path, monkeypatch):
     queue = report["micro_batch_queue"]
     assert queue["batches"] == 5
     assert queue["mean_batch_size"] == 8.0
+    assert queue["p99_latency_ms"] >= queue["p50_latency_ms"] > 0.0
+    assert queue["max_queue_depth"] == 40
+    assert queue["queue_depth_after_drain"] == 0
     assert (tmp_path / "BENCH_serving.json").exists()
 
 

@@ -79,6 +79,7 @@ from .distances import (
     lb_keogh,
     lb_keogh_max,
     lb_kim,
+    lb_paa,
     lb_yi,
     list_distances,
     pairwise_distances,
@@ -110,6 +111,7 @@ from .parallel import (
     register_executor,
 )
 from .preprocessing import minmax_scale, zscore
+from .search import CentroidIndex, IndexStats
 from .serving import (
     CentroidMaintainer,
     DriftReport,
@@ -157,11 +159,15 @@ __all__ = [
     "lb_kim",
     "lb_yi",
     "lb_keogh_max",
+    "lb_paa",
     "cascade",
     "keogh_envelope",
     "NeighborEngine",
     "PruningStats",
     "pruned_medoid",
+    # candidate routing
+    "CentroidIndex",
+    "IndexStats",
     "ksc_distance",
     "get_distance",
     "list_distances",

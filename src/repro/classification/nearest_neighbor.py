@@ -51,6 +51,7 @@ def one_nn_classify(
     stats: Optional[PruningStats] = None,
     n_jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    index: Optional[str] = None,
 ) -> np.ndarray:
     """Predict a label for each test series from its nearest training series.
 
@@ -78,6 +79,13 @@ def one_nn_classify(
         Parallel execution of the pruned queries (see
         :mod:`repro.parallel`); each query prunes independently, so results
         are deterministic in the worker count. Ignored on the brute path.
+    index:
+        ``None`` (default), ``"exact"``, or ``"approx"`` — route the 1-NN
+        search through a :class:`~repro.search.CentroidIndex` built over
+        the training set. Requires an SBD or (c)DTW metric; combine with
+        ``lb_window`` to widen the (c)DTW refine envelope. Exact routing
+        returns bit-identical predictions; router counters merge into
+        ``stats`` when it is an :class:`~repro.search.IndexStats`.
 
     Returns
     -------
@@ -91,6 +99,18 @@ def one_nn_classify(
         raise ShapeMismatchError(
             "train and test series must have equal length"
         )
+    if index is not None:
+        from ..search.index import CentroidIndex, IndexStats
+
+        router = CentroidIndex(
+            train, metric=metric, mode=index, window=lb_window
+        )
+        nearest, _ = router.query_batch(test)
+        if isinstance(stats, IndexStats):
+            stats.merge(router.stats)
+        elif stats is not None:
+            stats.merge(router.stats.pruning)
+        return labels[nearest]
     if lb_window is None:
         dists = cross_distances(test, train, metric=metric)
         nearest = np.argmin(dists, axis=1)
@@ -112,13 +132,14 @@ def one_nn_accuracy(
     stats: Optional[PruningStats] = None,
     n_jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    index: Optional[str] = None,
 ) -> float:
     """Fraction of test series whose 1-NN label matches the true label."""
     test = as_dataset(X_test, "X_test")
     truth = _check_labels(test, y_test, "test")
     predicted = one_nn_classify(
         X_train, y_train, X_test, metric=metric, lb_window=lb_window,
-        stats=stats, n_jobs=n_jobs, backend=backend,
+        stats=stats, n_jobs=n_jobs, backend=backend, index=index,
     )
     return float(np.mean(predicted == truth))
 

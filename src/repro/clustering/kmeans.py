@@ -79,6 +79,15 @@ class TimeSeriesKMeans(BaseClusterer):
         whenever ``metric`` is (c)DTW-like; ``True``/``False`` force it.
         Exact: labels and inertia are bit-identical either way. Per-tier
         counters accumulate in ``result_.extra["pruning_stats"]``.
+    index:
+        ``None`` (default), ``"exact"``, or ``"approx"`` — route the
+        assignment step through a :class:`~repro.search.CentroidIndex`
+        rebuilt over each iteration's centroids. Requires an SBD or
+        (c)DTW metric and takes precedence over ``prune``. Exact routing
+        keeps labels and inertia bit-identical to the dense/pruned
+        paths; approximate routing may alter assignments (bounded by the
+        beam's measured recall). Router counters accumulate in
+        ``result_.extra["index_stats"]``.
 
     Notes
     -----
@@ -98,6 +107,7 @@ class TimeSeriesKMeans(BaseClusterer):
         n_jobs: Optional[int] = None,
         backend: Optional[str] = None,
         prune: Optional[bool] = None,
+        index: Optional[str] = None,
     ):
         super().__init__(n_clusters, random_state)
         self.metric = metric
@@ -107,6 +117,11 @@ class TimeSeriesKMeans(BaseClusterer):
         self.n_jobs = n_jobs
         self.backend = backend
         self.prune = prune
+        if index not in (None, "exact", "approx"):
+            raise InvalidParameterError(
+                f"index must be None, 'exact', or 'approx', got {index!r}"
+            )
+        self.index = index
 
     def _metric_fn(self) -> Union[str, DistanceFn]:
         """Value handed to cross_distances (names keep vectorized paths)."""
@@ -143,12 +158,29 @@ class TimeSeriesKMeans(BaseClusterer):
             )
         return is_dtw
 
+    def _use_index(self, metric) -> bool:
+        """Whether the assignment step routes through the centroid index."""
+        if self.index is None:
+            return False
+        is_sbd = isinstance(metric, str) and metric.lower() == "sbd"
+        is_dtw, _ = dtw_window_of(metric)
+        if not (is_sbd or is_dtw):
+            raise InvalidParameterError(
+                "index routing requires metric='sbd' or a (c)DTW metric; "
+                f"the sketch bounds are not admissible for {self.metric!r}"
+            )
+        return True
+
     def _single_run(self, X: np.ndarray, rng: np.random.Generator) -> ClusterResult:
+        from ..search.index import CentroidIndex, IndexStats
+
         n, m = X.shape
         k = self.n_clusters
         metric = self._metric_fn()
-        pruned = self._use_prune(metric)
+        indexed = self._use_index(metric)
+        pruned = not indexed and self._use_prune(metric)
         pruning = PruningStats()
+        index_stats = IndexStats()
         labels = random_assignment(n, k, rng)
         centroids = np.zeros((k, m))
         converged = False
@@ -158,7 +190,20 @@ class TimeSeriesKMeans(BaseClusterer):
         for n_iter in range(1, self.max_iter + 1):
             previous = labels
             self._refine_centroids(X, labels, centroids)
-            if pruned:
+            if indexed:
+                router = CentroidIndex(centroids, metric=metric, mode=self.index)
+                assigned, best = router.query_batch(X)
+                index_stats.merge(router.stats)
+                labels = repair_empty_clusters(assigned, k, rng)
+                repaired = np.flatnonzero(labels != assigned)
+                for i in repaired:
+                    # Same kernels as the exhaustive baselines, so the
+                    # inertia stays bit-identical to the unrouted paths.
+                    best[i] = float(
+                        router.exact_distances(X[i : i + 1], [labels[i]])[0, 0]
+                    )
+                point_dists = best
+            elif pruned:
                 engine = NeighborEngine(centroids, metric=metric)
                 assigned, best = engine.query_batch(
                     X, n_jobs=self.n_jobs, backend=self.backend
@@ -191,11 +236,15 @@ class TimeSeriesKMeans(BaseClusterer):
                 ConvergenceWarning,
                 stacklevel=2,
             )
-        if pruned:
+        if indexed or pruned:
             inertia = float(np.sum(point_dists**2))
         else:
             inertia = float(np.sum(dists[np.arange(n), labels] ** 2))
-        extra = {"pruning_stats": pruning} if pruned else {}
+        extra: dict = {}
+        if pruned:
+            extra["pruning_stats"] = pruning
+        if indexed:
+            extra["index_stats"] = index_stats
         return ClusterResult(
             labels=labels,
             centroids=centroids.copy(),
@@ -230,6 +279,12 @@ class TimeSeriesKMeans(BaseClusterer):
         data = self._predict_data(X)
         centroids = self._check_fitted().centroids
         metric = self._metric_fn()
+        if self._use_index(metric):
+            from ..search.index import CentroidIndex
+
+            router = CentroidIndex(centroids, metric=metric, mode=self.index)
+            labels, _ = router.query_batch(data)
+            return labels
         if self._use_prune(metric):
             engine = NeighborEngine(centroids, metric=metric)
             labels, _ = engine.query_batch(

@@ -122,6 +122,14 @@ class KMedoids(BaseClusterer):
         dense path. Pruning is exact — labels, medoids, and inertia are
         bit-identical either way — and its per-tier counters land in
         ``result_.extra["pruning_stats"]``.
+    index:
+        Only meaningful with ``method="alternate"`` and an SBD or (c)DTW
+        metric: ``"exact"`` or ``"approx"`` routes the nearest-medoid
+        assignment through a :class:`~repro.search.CentroidIndex` built
+        over the current medoids (takes precedence over ``prune``; the
+        in-cluster medoid updates are unchanged). Exact routing keeps
+        labels, medoids, and inertia bit-identical; router counters land
+        in ``result_.extra["index_stats"]``.
     n_jobs, backend:
         Parallel execution of the dissimilarity matrix — forwarded to
         :func:`repro.distances.pairwise_distances` (see
@@ -146,6 +154,7 @@ class KMedoids(BaseClusterer):
         backend: Optional[str] = None,
         method: str = "pam",
         prune: Optional[bool] = None,
+        index: Optional[str] = None,
     ):
         super().__init__(n_clusters, random_state)
         self.metric = metric
@@ -158,6 +167,11 @@ class KMedoids(BaseClusterer):
             )
         self.method = method
         self.prune = prune
+        if index not in (None, "exact", "approx"):
+            raise InvalidParameterError(
+                f"index must be None, 'exact', or 'approx', got {index!r}"
+            )
+        self.index = index
 
     def _use_prune(self) -> bool:
         if self.prune is False:
@@ -170,11 +184,30 @@ class KMedoids(BaseClusterer):
             )
         return is_dtw
 
+    def _use_index(self) -> bool:
+        if self.index is None:
+            return False
+        is_sbd = isinstance(self.metric, str) and self.metric.lower() == "sbd"
+        is_dtw, _ = dtw_window_of(self.metric)
+        if not (is_sbd or is_dtw):
+            raise InvalidParameterError(
+                "index routing requires metric='sbd' or a (c)DTW metric; "
+                f"the sketch bounds are not admissible for {self.metric!r}"
+            )
+        return True
+
     def _assign(
         self, X: np.ndarray, medoids: np.ndarray, pruned: bool,
-        pruning: PruningStats,
+        pruning: PruningStats, index_stats=None,
     ) -> tuple:
         """Labels and nearest-medoid distances for every series."""
+        if index_stats is not None:
+            from ..search.index import CentroidIndex
+
+            router = CentroidIndex(X[medoids], metric=self.metric, mode=self.index)
+            labels, dists = router.query_batch(X)
+            index_stats.merge(router.stats)
+            return labels, dists
         if pruned:
             engine = NeighborEngine(X[medoids], metric=self.metric)
             labels, dists = engine.query_batch(
@@ -192,17 +225,21 @@ class KMedoids(BaseClusterer):
     def _fit_alternate(
         self, X: np.ndarray, rng: np.random.Generator
     ) -> ClusterResult:
+        from ..search.index import IndexStats
+
         n = X.shape[0]
         k = self.n_clusters
-        pruned = self._use_prune()
+        indexed = self._use_index()
+        pruned = not indexed and self._use_prune()
         pruning = PruningStats()
+        index_stats = IndexStats() if indexed else None
         medoids = rng.choice(n, size=k, replace=False)
         converged = False
         n_iter = 0
         labels = np.zeros(n, dtype=np.int64)
         dists = np.zeros(n)
         def assign_repaired(medoids):
-            labels, dists = self._assign(X, medoids, pruned, pruning)
+            labels, dists = self._assign(X, medoids, pruned, pruning, index_stats)
             # Every medoid anchors its own cluster; forcing one back may
             # empty another cluster, so sweep until no cluster is empty.
             for _ in range(k):
@@ -214,12 +251,15 @@ class KMedoids(BaseClusterer):
                     dists[medoids[j]] = 0.0
             return labels, dists
 
+        # Indexed assignment replaces the engine only for the assignment
+        # step; the in-cluster medoid updates still prune under (c)DTW.
+        prune_updates = pruned or (indexed and dtw_window_of(self.metric)[0])
         for n_iter in range(1, self.max_iter + 1):
             labels, dists = assign_repaired(medoids)
             new_medoids = medoids.copy()
             for j in range(k):
                 members = np.flatnonzero(labels == j)
-                if pruned:
+                if prune_updates:
                     local, _ = pruned_medoid(
                         X[members], metric=self.metric, stats=pruning
                     )
@@ -244,8 +284,10 @@ class KMedoids(BaseClusterer):
             labels, dists = assign_repaired(medoids)
         inertia = float(np.sum(dists**2))
         extra = {"medoid_indices": medoids}
-        if pruned:
+        if pruned or prune_updates:
             extra["pruning_stats"] = pruning
+        if indexed:
+            extra["index_stats"] = index_stats
         return ClusterResult(
             labels=labels,
             centroids=X[medoids].copy(),
@@ -315,6 +357,14 @@ class KMedoids(BaseClusterer):
                 "medoid sequences needed for predict are unavailable"
             )
         data = self._predict_data(X)
+        if self._use_index():
+            from ..search.index import CentroidIndex
+
+            router = CentroidIndex(
+                result.centroids, metric=self.metric, mode=self.index
+            )
+            labels, _ = router.query_batch(data)
+            return labels
         if self._use_prune():
             engine = NeighborEngine(result.centroids, metric=self.metric)
             labels, _ = engine.query_batch(

@@ -13,6 +13,11 @@ bounds so most candidates are discarded by the cheapest ones:
   must pay at least their excursion beyond that global envelope.
 * **LB_Keogh reversed** — LB_Keogh with roles swapped; the maximum of both
   directions is still a lower bound and is tighter than either alone.
+* **LB_PAA** — LB_Keogh coarsened to PAA resolution (Keogh's exact-indexing
+  bound): segment means of the query against the segment-wise extremes of
+  the envelope. Cheaper than LB_Keogh (``S`` terms instead of ``m``) and
+  never tighter; it is the sketch tier of the coarse-to-fine candidate
+  router (:class:`repro.search.CentroidIndex`).
 * :func:`cascade` — evaluates bounds cheapest-first and returns the first
   one exceeding a pruning threshold.
 """
@@ -24,11 +29,11 @@ from typing import Tuple
 import numpy as np
 from numpy.typing import ArrayLike
 
-from .._validation import as_series, check_equal_length
+from .._validation import as_series, check_equal_length, check_positive_int
 from .dtw import Window
-from .lower_bounds import lb_keogh
+from .lower_bounds import keogh_envelope, lb_keogh
 
-__all__ = ["lb_kim", "lb_yi", "lb_keogh_max", "cascade"]
+__all__ = ["lb_kim", "lb_yi", "lb_keogh_max", "lb_paa", "cascade"]
 
 
 def lb_kim(x: ArrayLike, y: ArrayLike) -> float:
@@ -72,6 +77,48 @@ def lb_keogh_max(x: ArrayLike, y: ArrayLike, window: Window) -> float:
     cDTW lower bound and is tighter than either single direction.
     """
     return max(lb_keogh(x, y, window), lb_keogh(y, x, window))
+
+
+def lb_paa(
+    x: ArrayLike, y: ArrayLike, window: Window, n_segments: int
+) -> float:
+    """PAA-resolution LB_Keogh lower bound on ``cDTW(x, y, window)``.
+
+    Splits the axis into ``n_segments`` whole-sample segments
+    (:func:`repro.preprocessing.paa_edges`) and charges the query's segment
+    *mean* only for its excursion beyond the segment-wise **extremes** of
+    the candidate's Keogh envelope — ``max(U)`` above, ``min(L)`` below —
+    scaled by the segment length.
+
+    Admissibility chains through LB_Keogh: within a segment the envelope
+    extremes are looser than the pointwise envelope, and by the
+    Cauchy-Schwarz inequality the summed squared pointwise excursions are
+    at least ``n_s`` times the squared excursion of the mean. So
+    ``lb_paa <= lb_keogh <= cDTW`` always, at any segment count.
+
+    This scalar form is the reference oracle for the vectorized sketch
+    tier in :mod:`repro.search.sketch`; both compute the same bound.
+    """
+    from ..preprocessing.reduction import paa_edges
+
+    xv = as_series(x, "x")
+    yv = as_series(y, "y")
+    check_equal_length(xv, yv)
+    m = xv.shape[0]
+    n_segments = check_positive_int(n_segments, "n_segments")
+    upper, lower = keogh_envelope(yv, window)
+    edges = paa_edges(m, min(n_segments, m))
+    total = 0.0
+    for s in range(edges.shape[0] - 1):
+        lo, hi = int(edges[s]), int(edges[s + 1])
+        n_s = hi - lo
+        x_bar = float(xv[lo:hi].mean())
+        u_hat = float(upper[lo:hi].max())
+        l_hat = float(lower[lo:hi].min())
+        above = max(x_bar - u_hat, 0.0)
+        below = max(l_hat - x_bar, 0.0)
+        total += n_s * (above * above + below * below)
+    return float(np.sqrt(total))
 
 
 def cascade(

@@ -85,6 +85,10 @@ class PruningStats:
     ----------
     candidates:
         Total (query, candidate) pairs considered.
+    lb_paa:
+        Pairs discarded by the PAA-sketch tier of the coarse-to-fine
+        candidate router (:class:`repro.search.CentroidIndex`) before they
+        ever reached the engine. Always 0 for plain engine searches.
     lb_kim / lb_yi / lb_keogh:
         Pairs discarded by that bound tier (cheapest sufficient tier wins
         the attribution).
@@ -96,13 +100,15 @@ class PruningStats:
         Pairs answered from a symmetric-distance cache (medoid search).
     skipped:
         Pairs never examined because their candidate was already ruled out
-        (medoid search: the candidate's running total went over budget).
+        (medoid search: the candidate's running total went over budget;
+        approximate index routing: candidates beyond the beam).
 
-    The tiers partition the work: ``candidates == lb_kim + lb_yi + lb_keogh
-    + abandoned + full + cached + skipped``.
+    The tiers partition the work: ``candidates == lb_paa + lb_kim + lb_yi
+    + lb_keogh + abandoned + full + cached + skipped``.
     """
 
     candidates: int = 0
+    lb_paa: int = 0
     lb_kim: int = 0
     lb_yi: int = 0
     lb_keogh: int = 0
@@ -132,7 +138,7 @@ class PruningStats:
         out = {name: getattr(self, name) for name in self.__dataclass_fields__}
         out["prune_rate"] = self.prune_rate
         total = max(self.candidates, 1)
-        for tier in ("lb_kim", "lb_yi", "lb_keogh", "abandoned"):
+        for tier in ("lb_paa", "lb_kim", "lb_yi", "lb_keogh", "abandoned"):
             out[f"{tier}_rate"] = getattr(self, tier) / total
         return out
 
@@ -276,17 +282,22 @@ class NeighborEngine:
 
     # -- bound tiers --------------------------------------------------------
 
-    def _kim(self, xv: np.ndarray) -> np.ndarray:
-        """LB_Kim for ``xv`` against every candidate, vectorized."""
+    def _kim(self, xv: np.ndarray, rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """LB_Kim for ``xv`` against every candidate (or ``rows``), vectorized."""
+        first, last = self._first, self._last
+        top, bottom = self._max, self._min
+        if rows is not None:
+            first, last = first[rows], last[rows]
+            top, bottom = top[rows], bottom[rows]
         return np.maximum.reduce([
-            np.abs(xv[0] - self._first),
-            np.abs(xv[-1] - self._last),
-            np.abs(xv.max() - self._max),
-            np.abs(xv.min() - self._min),
+            np.abs(xv[0] - first),
+            np.abs(xv[-1] - last),
+            np.abs(xv.max() - top),
+            np.abs(xv.min() - bottom),
         ])
 
-    def _yi(self, xv: np.ndarray) -> np.ndarray:
-        """LB_Yi for ``xv`` against every candidate, vectorized.
+    def _yi(self, xv: np.ndarray, rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """LB_Yi for ``xv`` against every candidate (or ``rows``), vectorized.
 
         The excursions are formed directly (not through expanded prefix-sum
         algebra) so the result carries only relative rounding error — an
@@ -294,8 +305,10 @@ class NeighborEngine:
         cancellation noise that overshoots a near-zero true bound and would
         break exact pruning on near-duplicate candidates.
         """
-        above = np.maximum(xv[None, :] - self._max[:, None], 0.0)
-        below = np.maximum(self._min[:, None] - xv[None, :], 0.0)
+        top = self._max if rows is None else self._max[rows]
+        bottom = self._min if rows is None else self._min[rows]
+        above = np.maximum(xv[None, :] - top[:, None], 0.0)
+        below = np.maximum(bottom[:, None] - xv[None, :], 0.0)
         return np.sqrt(
             np.einsum("ij,ij->i", above, above)
             + np.einsum("ij,ij->i", below, below)
@@ -512,7 +525,12 @@ class NeighborEngine:
 
     # -- queries ------------------------------------------------------------
 
-    def query(self, x: ArrayLike, cutoff: float = np.inf) -> Tuple[int, float]:
+    def query(
+        self,
+        x: ArrayLike,
+        cutoff: float = np.inf,
+        subset: Optional[ArrayLike] = None,
+    ) -> Tuple[int, float]:
         """Nearest candidate to ``x``: exact, bit-identical to brute force.
 
         Returns ``(index, distance)`` where ``index`` is the lowest
@@ -520,10 +538,23 @@ class NeighborEngine:
         semantics). With a finite ``cutoff`` (a shared upper bound from
         another tile of the search), candidates farther than ``cutoff`` are
         ignored and ``(-1, inf)`` is returned when none qualifies.
+
+        ``subset`` restricts the search to those candidate indices (the
+        coarse-to-fine router hands the engine only the survivors of its
+        sketch tier). The answer is the exact nearest neighbor *within the
+        subset*; indices returned are still global candidate indices, and
+        ``stats.candidates`` counts only the subset.
         """
         xv = as_series(x, "x")
         check_equal_length(xv, self._C)
-        index, dist, stats = self._query(xv, float(cutoff))
+        rows = None
+        if subset is not None:
+            rows = np.unique(np.asarray(subset, dtype=np.int64))
+            if rows.shape[0] and (rows[0] < 0 or rows[-1] >= self.n_candidates):
+                raise InvalidParameterError(
+                    "subset contains out-of-range candidate indices"
+                )
+        index, dist, stats = self._query(xv, float(cutoff), subset=rows)
         self.stats.merge(stats)
         return index, dist
 
@@ -533,10 +564,22 @@ class NeighborEngine:
         cutoff: float,
         seed_precomp: Optional[Tuple[float, np.ndarray]] = None,
         confirm_precomp: Optional[dict] = None,
+        subset: Optional[np.ndarray] = None,
     ) -> Tuple[int, float, PruningStats]:
-        stats = PruningStats(candidates=self.n_candidates)
-        kim = self._kim(xv)
-        yi = self._yi(xv)
+        # ``cand`` maps scan positions to global candidate ids: the scan's
+        # bookkeeping arrays (kim/yi/pre/bound) are position-indexed, while
+        # all tie-breaking compares global ids — with subset=None the two
+        # coincide and every decision below is bit-identical to the
+        # pre-subset implementation.
+        if subset is None:
+            cand = np.arange(self.n_candidates)
+        else:
+            cand = subset
+        stats = PruningStats(candidates=cand.shape[0])
+        if cand.shape[0] == 0:
+            return -1, np.inf, stats
+        kim = self._kim(xv, None if subset is None else cand)
+        yi = self._yi(xv, None if subset is None else cand)
         pre = np.maximum(kim, yi)
         best = cutoff
         best_idx = -1
@@ -551,8 +594,9 @@ class NeighborEngine:
 
         # Seed the upper bound with the cheapest-looking candidate so the
         # Keogh tier and the scan start from a tight best-so-far.
-        seed = int(np.argmin(pre))
-        if not prunable(pre[seed], seed):
+        seed_pos = int(np.argmin(pre))
+        seed = int(cand[seed_pos])
+        if not prunable(pre[seed_pos], seed):
             if seed_precomp is not None:
                 # query_batch confirmed every query's seed in one wavefront
                 # sweep at this exact cutoff; replaying the recorded band
@@ -568,17 +612,19 @@ class NeighborEngine:
                 if d < best or (d == best and (best_idx == -1 or seed < best_idx)):
                     best, best_idx = d, seed
         else:  # the external cutoff already rules it out
-            stats.lb_kim += 1 if prunable(kim[seed], seed) else 0
-            stats.lb_yi += 0 if prunable(kim[seed], seed) else 1
+            stats.lb_kim += 1 if prunable(kim[seed_pos], seed) else 0
+            stats.lb_yi += 0 if prunable(kim[seed_pos], seed) else 1
 
-        rows = np.arange(self.n_candidates)
-        rest = rows[rows != seed]
+        positions = np.arange(cand.shape[0])
+        rest = positions[positions != seed_pos]
+        rest_ids = cand[rest]
         pre_prunable = (pre[rest] > best) | (
-            (pre[rest] == best) & (best_idx != -1) & (rest > best_idx)
+            (pre[rest] == best) & (best_idx != -1) & (rest_ids > best_idx)
         )
         cheap_killed = rest[pre_prunable]
+        cheap_ids = cand[cheap_killed]
         kim_killed = (kim[cheap_killed] > best) | (
-            (kim[cheap_killed] == best) & (best_idx != -1) & (cheap_killed > best_idx)
+            (kim[cheap_killed] == best) & (best_idx != -1) & (cheap_ids > best_idx)
         )
         stats.lb_kim += int(np.count_nonzero(kim_killed))
         stats.lb_yi += int(cheap_killed.shape[0] - np.count_nonzero(kim_killed))
@@ -586,7 +632,8 @@ class NeighborEngine:
         survivors = rest[~pre_prunable]
         if survivors.shape[0] == 0:
             return best_idx, (best if best_idx != -1 else np.inf), stats
-        keogh = self._keogh(xv, survivors)
+        surv_ids = cand[survivors]
+        keogh = self._keogh(xv, surv_ids)
         bound = np.maximum(pre[survivors], keogh)
         order = np.argsort(bound, kind="stable")
         use_batch = self.batch_full and self._fn is None
@@ -607,7 +654,7 @@ class NeighborEngine:
                 # attribution: the precomputation is invisible to the
                 # statistics.
                 chunk = order[pos : pos + self._BATCH_CHUNK]
-                tis = survivors[chunk]
+                tis = surv_ids[chunk]
                 bnds = bound[chunk]
                 alive = ~(
                     (bnds > best)
@@ -616,20 +663,22 @@ class NeighborEngine:
                 todo = tis[alive]
                 if todo.shape[0] > 1:
                     confirmed.update(self._batch_confirm(xv, todo, best))
-            ti = int(survivors[oi])
+            ti = int(surv_ids[oi])
+            ti_pos = int(survivors[oi])
             b = float(bound[oi])
             if b > best:
                 # Sorted ascending: every remaining candidate is pruned too.
                 remaining = survivors[order[pos:]]
+                remaining_ids = cand[remaining]
                 rem_kim = (kim[remaining] > best) | (
                     (kim[remaining] == best)
                     & (best_idx != -1)
-                    & (remaining > best_idx)
+                    & (remaining_ids > best_idx)
                 )
                 rem_pre = (pre[remaining] > best) | (
                     (pre[remaining] == best)
                     & (best_idx != -1)
-                    & (remaining > best_idx)
+                    & (remaining_ids > best_idx)
                 )
                 n_kim = int(np.count_nonzero(rem_kim))
                 n_yi = int(np.count_nonzero(rem_pre & ~rem_kim))
@@ -638,9 +687,9 @@ class NeighborEngine:
                 stats.lb_keogh += int(remaining.shape[0] - n_kim - n_yi)
                 break
             if prunable(b, ti):
-                if prunable(float(kim[ti]), ti):
+                if prunable(float(kim[ti_pos]), ti):
                     stats.lb_kim += 1
-                elif prunable(float(pre[ti]), ti):
+                elif prunable(float(pre[ti_pos]), ti):
                     stats.lb_yi += 1
                 else:
                     stats.lb_keogh += 1

@@ -1,6 +1,6 @@
 """Preprocessing: normalizations and sequence utilities (paper Section 2.2)."""
 
-from .reduction import downsample, paa
+from .reduction import downsample, paa, paa_edges
 from .smoothing import (
     detrend,
     difference,
@@ -37,6 +37,7 @@ __all__ = [
     "resample_linear",
     "sliding_windows",
     "paa",
+    "paa_edges",
     "downsample",
     "moving_average",
     "exponential_smoothing",

@@ -7,6 +7,8 @@ sufficiently reduce the length of the sequences [10, 49]". This module
 supplies the standard reductions:
 
 * :func:`paa` — Piecewise Aggregate Approximation (segment means);
+* :func:`paa_edges` — the integer segment boundaries the candidate index
+  (:mod:`repro.search.sketch`) aggregates over;
 * :func:`downsample` — plain strided decimation;
 * plus :func:`repro.preprocessing.utils.resample_linear` for interpolation
   and :func:`repro.preprocessing.utils.sliding_windows` for segmentation.
@@ -19,16 +21,54 @@ import numpy as np
 from .._validation import as_dataset, as_series, check_positive_int
 from ..exceptions import InvalidParameterError
 
-__all__ = ["paa", "downsample"]
+__all__ = ["paa", "paa_edges", "downsample"]
+
+
+def _check_n_segments(n_segments: int, m: int) -> int:
+    """Validate ``1 <= n_segments <= m`` (shared by :func:`paa` and
+    :func:`paa_edges`)."""
+    n_segments = check_positive_int(n_segments, "n_segments")
+    if n_segments > m:
+        raise InvalidParameterError(
+            f"n_segments={n_segments} exceeds series length {m}"
+        )
+    return n_segments
+
+
+def paa_edges(m: int, n_segments: int) -> np.ndarray:
+    """Integer boundaries splitting ``[0, m)`` into near-equal segments.
+
+    Returns an ``(n_segments + 1,)`` strictly increasing integer array
+    ``e`` with ``e[0] == 0`` and ``e[-1] == m``; segment ``s`` covers
+    samples ``e[s]:e[s+1]`` and every segment holds ``floor(m/S)`` or
+    ``ceil(m/S)`` samples. This is the whole-sample segmentation the
+    candidate-routing sketches (:mod:`repro.search.sketch`) aggregate
+    over — unlike :func:`paa`'s fractional scheme, no sample is split
+    across segments, which is what makes the segment-wise lower bounds
+    admissible.
+    """
+    m = check_positive_int(m, "m")
+    n_segments = _check_n_segments(n_segments, m)
+    edges = np.floor(np.linspace(0.0, m, n_segments + 1) + 0.5).astype(np.int64)
+    edges[0], edges[-1] = 0, m
+    return edges
 
 
 def paa(x, n_segments: int) -> np.ndarray:
     """Piecewise Aggregate Approximation of a series (or each row).
 
     Splits the series into ``n_segments`` near-equal pieces and represents
-    each by its mean. Handles lengths not divisible by ``n_segments`` with
-    the fractional-weight scheme (each sample contributes to the segment(s)
-    covering it proportionally).
+    each by its mean. ``n_segments`` must satisfy ``1 <= n_segments <= m``
+    (0 and oversized counts are rejected).
+
+    When ``m % n_segments != 0`` the **fractional-weight scheme** is used:
+    the axis is rescaled so each segment covers exactly ``m / n_segments``
+    samples, and sample ``j`` (the interval ``[j, j+1)``) contributes to
+    segment ``s`` (the interval ``[s*m/S, (s+1)*m/S)``) with weight equal
+    to the length of the overlap of the two intervals. Each segment's
+    weights therefore sum to exactly ``m / n_segments`` (boundary samples
+    are split between the two segments covering them), and the segment
+    value is the overlap-weighted mean.
 
     Parameters
     ----------
@@ -41,24 +81,22 @@ def paa(x, n_segments: int) -> np.ndarray:
     single = arr.ndim == 1
     data = as_dataset(arr, "x")
     m = data.shape[1]
-    n_segments = check_positive_int(n_segments, "n_segments")
-    if n_segments > m:
-        raise InvalidParameterError(
-            f"n_segments={n_segments} exceeds series length {m}"
-        )
+    n_segments = _check_n_segments(n_segments, m)
     if m % n_segments == 0:
         out = data.reshape(data.shape[0], n_segments, m // n_segments).mean(axis=2)
     else:
-        # Fractional scheme: sample j spreads uniformly over [j, j+1) in a
-        # rescaled axis of length n_segments.
+        # Fractional scheme: segment s covers [lo, hi) = [s*m/S, (s+1)*m/S)
+        # on the sample axis; sample j's weight is |[j, j+1) ∩ [lo, hi)|.
         edges = np.linspace(0, m, n_segments + 1)
         out = np.empty((data.shape[0], n_segments))
         for s in range(n_segments):
             lo, hi = edges[s], edges[s + 1]
             first, last = int(np.floor(lo)), int(np.ceil(hi))
-            weights = np.ones(last - first)
-            weights[0] -= lo - first
-            weights[-1] -= last - hi
+            samples = np.arange(first, last, dtype=np.float64)
+            # overlap of [j, j+1) with [lo, hi): full weight 1 for interior
+            # samples, trimmed at both ends (a sample straddling a boundary
+            # splits its unit mass between the adjacent segments).
+            weights = np.minimum(samples + 1.0, hi) - np.maximum(samples, lo)
             out[:, s] = data[:, first:last] @ weights / weights.sum()
     return out[0] if single else out
 

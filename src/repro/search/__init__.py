@@ -1,7 +1,16 @@
-"""Subsequence search and anomaly discovery (the paper's intro tasks)."""
+"""Subsequence search, anomaly discovery, and candidate routing."""
 
 from .discord import find_discords, matrix_profile
+from .index import CentroidIndex, IndexStats
+from .sketch import (
+    paa_envelope_sketch,
+    paa_lower_bound,
+    paa_query_means,
+    spectral_lower_bound,
+    spectral_sketch,
+)
 from .subsequence import best_match, mass, sbd_profile, top_k_matches
+from .tree import SketchTree, build_sketch_tree
 
 __all__ = [
     "mass",
@@ -10,4 +19,13 @@ __all__ = [
     "sbd_profile",
     "matrix_profile",
     "find_discords",
+    "CentroidIndex",
+    "IndexStats",
+    "SketchTree",
+    "build_sketch_tree",
+    "spectral_sketch",
+    "spectral_lower_bound",
+    "paa_envelope_sketch",
+    "paa_query_means",
+    "paa_lower_bound",
 ]

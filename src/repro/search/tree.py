@@ -1,0 +1,144 @@
+"""Deterministic cluster tree over centroid spectral sketches.
+
+The SBD routing tier of :class:`repro.search.CentroidIndex` descends a
+binary tree whose nodes summarize a *subset* of the centroid sketches
+(:func:`repro.search.sketch.spectral_sketch`). Because sketches are
+entrywise nonnegative, the elementwise **max** of the member heads (plus
+the max member tail) yields an NCC cap valid for *every* member — any
+query's inner product against a member is at most its inner product
+against the node summary — so ``1 - cap`` lower-bounds the SBD to the
+whole subtree and a node whose bound exceeds the best-so-far discards all
+its members at once.
+
+Construction is fully deterministic (RPR003: no randomness anywhere):
+nodes split their members at the median of the sketch dimension with the
+largest spread, ties on spread resolved to the lowest dimension and the
+median split resolved with a stable argsort, so the same centroids always
+produce the same tree and exact-mode routing is reproducible bit-for-bit.
+
+Nodes are stored as flat parallel arrays, which lets the index evaluate
+the bounds of *all* nodes for a whole query batch with a single GEMM
+before any per-query descent starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .._validation import check_positive_int
+
+__all__ = ["SketchTree", "build_sketch_tree"]
+
+
+@dataclass
+class SketchTree:
+    """Flattened binary tree over sketch rows (node 0 is the root).
+
+    Attributes
+    ----------
+    node_head:
+        ``(n_nodes, F)`` elementwise max of the member head sketches.
+    node_tail:
+        ``(n_nodes,)`` max of the member tail masses.
+    node_min:
+        ``(n_nodes,)`` smallest member index — the tie-break key of
+        best-first descent (a node that can only *tie* the incumbent is
+        prunable unless it could supply a smaller argmin index).
+    node_size:
+        ``(n_nodes,)`` member counts.
+    left, right:
+        ``(n_nodes,)`` child node ids, ``-1`` on leaves (both or neither).
+    members:
+        Per-node sorted member index arrays (leaves are what the index
+        confirms; internal entries serve introspection and tests).
+    """
+
+    node_head: np.ndarray
+    node_tail: np.ndarray
+    node_min: np.ndarray
+    node_size: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    members: List[np.ndarray]
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.node_tail.shape[0])
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.count_nonzero(self.left < 0))
+
+    def is_leaf(self, node: int) -> bool:
+        return bool(self.left[node] < 0)
+
+
+def _split_members(head: np.ndarray, members: np.ndarray) -> tuple:
+    """Median split of ``members`` on the widest sketch dimension.
+
+    Stable and index-deterministic: the split dimension is the lowest one
+    achieving the max spread, the order is a stable argsort of that
+    dimension's values, and each half is re-sorted by member index.
+    Degenerate nodes (all sketches identical, e.g. duplicate centroids)
+    fall back to an index split, which keeps the tree balanced.
+    """
+    sub = head[members]
+    spread = sub.max(axis=0) - sub.min(axis=0)
+    dim = int(np.argmax(spread))
+    order = (
+        np.argsort(sub[:, dim], kind="stable")
+        if spread[dim] > 0.0
+        else np.arange(members.shape[0])
+    )
+    half = members.shape[0] // 2
+    left = np.sort(members[order[:half]])
+    right = np.sort(members[order[half:]])
+    return left, right
+
+
+def build_sketch_tree(
+    head: np.ndarray, tail: np.ndarray, leaf_size: int = 8
+) -> SketchTree:
+    """Build the routing tree over ``(n, F)`` sketch heads and ``(n,)`` tails.
+
+    ``leaf_size`` caps leaf member counts; splitting stops there (a node
+    with a single member is always a leaf, so ``n == 1`` works).
+    """
+    leaf_size = check_positive_int(leaf_size, "leaf_size")
+    n = head.shape[0]
+    heads: List[np.ndarray] = []
+    tails: List[float] = []
+    mins: List[int] = []
+    sizes: List[int] = []
+    lefts: List[int] = []
+    rights: List[int] = []
+    members: List[np.ndarray] = []
+
+    def add_node(idx: np.ndarray) -> int:
+        node = len(members)
+        heads.append(head[idx].max(axis=0))
+        tails.append(float(tail[idx].max()))
+        mins.append(int(idx[0]))  # idx is sorted ascending
+        sizes.append(int(idx.shape[0]))
+        lefts.append(-1)
+        rights.append(-1)
+        members.append(idx)
+        if idx.shape[0] > leaf_size:
+            li, ri = _split_members(head, idx)
+            lefts[node] = add_node(li)
+            rights[node] = add_node(ri)
+        return node
+
+    add_node(np.arange(n, dtype=np.int64))
+    return SketchTree(
+        node_head=np.asarray(heads),
+        node_tail=np.asarray(tails),
+        node_min=np.asarray(mins, dtype=np.int64),
+        node_size=np.asarray(sizes, dtype=np.int64),
+        left=np.asarray(lefts, dtype=np.int64),
+        right=np.asarray(rights, dtype=np.int64),
+        members=members,
+    )

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 from numpy.typing import ArrayLike
@@ -37,6 +37,9 @@ from .._validation import as_dataset
 from ..core._fft_batch import fft_len_for, ncc_c_max_multi, rfft_batch
 from ..distances.prune import NeighborEngine, PruningStats, dtw_window_of
 from ..exceptions import InvalidParameterError, ShapeMismatchError
+
+if TYPE_CHECKING:
+    from ..search.index import CentroidIndex, IndexStats
 
 __all__ = ["Prediction", "ShapePredictor"]
 
@@ -53,8 +56,9 @@ class Prediction:
         ``(n,)`` distance of each query to its assigned centroid.
     all_distances:
         ``(n, k)`` full distance matrix, when the query path computed one
-        (always under SBD and dense metrics; under pruned (c)DTW only when
-        soft memberships were requested).
+        (under SBD and dense metrics unless indexed routing answered the
+        query; under pruned (c)DTW only when soft memberships were
+        requested).
     memberships:
         ``(n, k)`` soft memberships (rows sum to 1), when requested.
     """
@@ -96,6 +100,15 @@ class ShapePredictor:
         distance name (dense fallback).
     fuzziness:
         Fuzzifier used when soft memberships are requested.
+    index:
+        ``None`` (default, exhaustive kernels), ``"exact"``, or
+        ``"approx"`` — route hard assignments through a
+        :class:`~repro.search.CentroidIndex` built once over the
+        centroids. Exact routing returns bit-identical labels and
+        distances; approximate routing trades a measured recall
+        (``index_stats.recall`` after :meth:`evaluate_recall`) for less
+        refine work. Only valid under SBD and (c)DTW metrics. Soft
+        memberships and :meth:`transform` still use the full matrix.
 
     Attributes
     ----------
@@ -106,10 +119,17 @@ class ShapePredictor:
     stats:
         Cumulative :class:`~repro.distances.PruningStats` of the (c)DTW
         engine (all-zero under other metrics).
+    index_stats:
+        Cumulative :class:`~repro.search.IndexStats` of the router
+        (``None`` when ``index`` is off).
     """
 
     def __init__(
-        self, centroids: ArrayLike, metric: object = "sbd", fuzziness: float = 2.0
+        self,
+        centroids: ArrayLike,
+        metric: object = "sbd",
+        fuzziness: float = 2.0,
+        index: Optional[str] = None,
     ) -> None:
         C = as_dataset(centroids, "centroids")
         self.centroids = C
@@ -141,6 +161,24 @@ class ShapePredictor:
                 raise InvalidParameterError(
                     f"metric must be a distance name or callable, got {metric!r}"
                 )
+        self._index: Optional["CentroidIndex"] = None
+        if index is not None:
+            if index not in ("exact", "approx"):
+                raise InvalidParameterError(
+                    f"index must be None, 'exact', or 'approx', got {index!r}"
+                )
+            if not (self._is_sbd or self._is_dtw):
+                raise InvalidParameterError(
+                    "index routing requires metric='sbd' or a (c)DTW metric"
+                )
+            from ..search.index import CentroidIndex
+
+            # clamp_negative=False: the predictor's exhaustive SBD matrix
+            # is unclamped, and exact routing must match it bit-for-bit.
+            self._index = CentroidIndex(
+                C, metric=metric, mode=index, clamp_negative=False
+            )
+        self.index = index
         self.stats = PruningStats()
         self.kernel_seconds = 0.0
         self.n_queries = 0
@@ -227,10 +265,19 @@ class ShapePredictor:
         distance per query is computed (the lower-bound cascade skips the
         rest); ``soft=True`` forces the full matrix since memberships need
         every column. Labels are identical either way — the engine is
-        exact.
+        exact. With ``index`` enabled and ``soft=False``, assignments
+        route through the centroid index instead (no ``all_distances``);
+        exact routing keeps labels and distances bit-identical.
         """
         data = self._check_batch(X)
         tick = perf_counter()
+        if self._index is not None and not soft:
+            labels, best = self._index.query_batch(data)
+            if self._is_dtw:
+                self.stats = self._index.stats.pruning
+            self.kernel_seconds += perf_counter() - tick
+            self.n_queries += data.shape[0]
+            return Prediction(labels=labels, distances=best)
         if self._is_dtw and not soft:
             labels, best = self._engine.query_batch(data)
             self.stats = self._engine.stats
@@ -254,3 +301,22 @@ class ShapePredictor:
             all_distances=dists,
             memberships=memberships,
         )
+
+    # ------------------------------------------------------------------
+    @property
+    def index_stats(self) -> Optional[IndexStats]:
+        """Cumulative router statistics (``None`` when ``index`` is off)."""
+        return None if self._index is None else self._index.stats
+
+    def evaluate_recall(self, X: ArrayLike) -> float:
+        """Measured argmin recall of the router on ``X``.
+
+        Requires ``index`` to be enabled; exact mode returns 1.0 by
+        construction, approximate mode reports what the beam cost. The
+        result also accumulates into ``index_stats.recall``.
+        """
+        if self._index is None:
+            raise InvalidParameterError(
+                "evaluate_recall requires index='exact' or 'approx'"
+            )
+        return self._index.evaluate_recall(self._check_batch(X))

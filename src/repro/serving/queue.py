@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import queue as _queue
 import threading
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from time import monotonic
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 from numpy.typing import ArrayLike
@@ -37,6 +38,11 @@ from ..exceptions import InvalidParameterError
 from .predictor import ShapePredictor
 
 __all__ = ["ServingStats", "MicroBatchQueue"]
+
+#: Rolling reservoir size the latency percentiles are computed over. Large
+#: enough that p99 rests on ~40 samples, small enough that a snapshot copy
+#: is cheap under the queue's lock.
+LATENCY_RESERVOIR = 4096
 
 
 @dataclass
@@ -60,6 +66,14 @@ class ServingStats:
         Submit-to-resolve wall-clock, summed / worst-case.
     kernel_s:
         Time spent inside the batched predictor calls.
+    queue_depth:
+        Requests submitted but not yet resolved (gauge, not cumulative).
+    max_queue_depth:
+        High-water mark of ``queue_depth``.
+    recent_latencies:
+        Rolling reservoir of the last :data:`LATENCY_RESERVOIR`
+        per-request latencies; ``p50_latency_s`` / ``p99_latency_s``
+        derive from it.
     """
 
     requests: int = 0
@@ -70,6 +84,13 @@ class ServingStats:
     total_latency_s: float = 0.0
     max_latency_s: float = 0.0
     kernel_s: float = 0.0
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    recent_latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_RESERVOIR),
+        repr=False,
+        compare=False,
+    )
 
     @property
     def mean_batch_size(self) -> float:
@@ -84,11 +105,35 @@ class ServingStats:
         """Completed series per second of kernel time."""
         return self.completed / self.kernel_s if self.kernel_s > 0 else 0.0
 
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile (``0 <= q <= 100``) over the rolling reservoir."""
+        if not self.recent_latencies:
+            return 0.0
+        samples = np.fromiter(self.recent_latencies, dtype=np.float64)
+        return float(np.percentile(samples, q))
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(99.0)
+
     def as_dict(self) -> dict:
-        """Counters plus derived rates, ready for JSON reports."""
-        out = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        """Counters plus derived rates, ready for JSON reports.
+
+        The raw latency reservoir is summarized (p50/p99), not emitted.
+        """
+        out = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "recent_latencies"
+        }
         out["mean_batch_size"] = self.mean_batch_size
         out["mean_latency_s"] = self.mean_latency_s
+        out["p50_latency_s"] = self.p50_latency_s
+        out["p99_latency_s"] = self.p99_latency_s
         out["throughput"] = self.throughput
         return out
 
@@ -159,6 +204,10 @@ class MicroBatchQueue:
         request = _Request(series=series, future=Future())
         with self._lock:
             self._stats.requests += 1
+            self._stats.queue_depth += 1
+            self._stats.max_queue_depth = max(
+                self._stats.max_queue_depth, self._stats.queue_depth
+            )
         self._inbox.put(request)
         return request.future
 
@@ -176,10 +225,15 @@ class MicroBatchQueue:
     def stats(self) -> ServingStats:
         """A consistent snapshot of the cumulative counters."""
         with self._lock:
-            return ServingStats(**{
+            values = {
                 name: getattr(self._stats, name)
                 for name in ServingStats.__dataclass_fields__
-            })
+            }
+            # The reservoir is mutable — snapshot a copy, not the live deque.
+            values["recent_latencies"] = deque(
+                self._stats.recent_latencies, maxlen=LATENCY_RESERVOIR
+            )
+            return ServingStats(**values)
 
     # ------------------------------------------------------------------
     def _drain_waiting(self, limit: int) -> List[_Request]:
@@ -216,6 +270,9 @@ class MicroBatchQueue:
         except Exception as exc:  # resolve, don't wedge the callers
             for request in batch:
                 request.future.set_exception(exc)
+            with self._lock:
+                # Failed requests still leave the queue.
+                self._stats.queue_depth -= len(batch)
             return
         kernel = getattr(self.predictor, "kernel_seconds", 0.0) - before
         now = monotonic()
@@ -225,11 +282,13 @@ class MicroBatchQueue:
             stats.batch_occupancy += len(batch)
             stats.max_batch_size = max(stats.max_batch_size, len(batch))
             stats.kernel_s += kernel
+            stats.queue_depth -= len(batch)
             for request in batch:
                 latency = now - request.submitted
                 stats.completed += 1
                 stats.total_latency_s += latency
                 stats.max_latency_s = max(stats.max_latency_s, latency)
+                stats.recent_latencies.append(latency)
         for i, request in enumerate(batch):
             request.future.set_result(
                 (int(prediction.labels[i]), float(prediction.distances[i]))

@@ -1,0 +1,298 @@
+"""Exactness, recall, and accounting tests for the centroid index.
+
+The router's contract has three parts, each pinned here:
+
+* **exact mode is invisible** — argmins (and best distances) are
+  bit-identical to the exhaustive baselines for every supported metric,
+  including degenerate inputs (one candidate, duplicate candidates,
+  constant rows) and both SBD clamp conventions;
+* **approximate mode is honest** — recall at the default knobs stays
+  high on clustered data and is *measured*, not assumed;
+* **the accounting balances** — every (query, candidate) pair lands in
+  exactly one of the sketch-pruned / routed-out / confirmed tiers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_cbf
+from repro.distances import cross_distances, sbd_matrix
+from repro.distances.prune import PruningStats
+from repro.exceptions import InvalidParameterError
+from repro.preprocessing import zscore
+from repro.search import CentroidIndex, IndexStats
+
+METRICS = ["sbd", "dtw", "cdtw5"]
+
+
+def clustered_workload(rng, n_queries=24, k=9, m=48):
+    """A CBF split: candidate set plus a held-out query stream."""
+    total = n_queries + k
+    X, _ = make_cbf(-(-total // 3), m, rng)
+    X = zscore(X[rng.permutation(X.shape[0])[:total]])
+    return X[:k], X[k:]
+
+
+def exhaustive(queries, centroids, metric):
+    """The baseline the exact router must reproduce bit-for-bit."""
+    if metric == "sbd":
+        D = sbd_matrix(queries, centroids)
+    else:
+        D = cross_distances(queries, centroids, metric=metric)
+    idx = np.argmin(D, axis=1)
+    return idx, D[np.arange(D.shape[0]), idx]
+
+
+class TestExactMode:
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_batch_matches_exhaustive(self, rng, metric):
+        C, Q = clustered_workload(rng)
+        router = CentroidIndex(C, metric=metric, mode="exact")
+        labels, dists = router.query_batch(Q)
+        ref_labels, ref_dists = exhaustive(Q, C, metric)
+        assert np.array_equal(labels, ref_labels)
+        assert np.array_equal(dists, ref_dists)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_single_query_matches_batch(self, rng, metric):
+        C, Q = clustered_workload(rng, n_queries=6)
+        router = CentroidIndex(C, metric=metric, mode="exact")
+        batch_labels, batch_dists = router.query_batch(Q)
+        for i, q in enumerate(Q):
+            label, dist = router.query(q)
+            assert label == batch_labels[i]
+            assert dist == batch_dists[i]
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_property_random_workloads(self, metric, seed):
+        """Seeded sweep over mixed shapes: sines, walks, pure noise."""
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(24, 72))
+        k = int(rng.integers(2, 20))
+        t = np.linspace(0.0, 1.0, m)
+        pool = [np.sin(2 * np.pi * (rng.uniform(1, 6) * t + rng.uniform()))
+                for _ in range(k)]
+        pool += [np.cumsum(rng.normal(size=m)) for _ in range(8)]
+        pool += [rng.normal(size=m) for _ in range(8)]
+        X = zscore(np.asarray(pool))
+        C, Q = X[:k], X[k:]
+        router = CentroidIndex(C, metric=metric, mode="exact")
+        labels, dists = router.query_batch(Q)
+        ref_labels, ref_dists = exhaustive(Q, C, metric)
+        assert np.array_equal(labels, ref_labels)
+        assert np.array_equal(dists, ref_dists)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_duplicate_candidates_tie_to_lowest_index(self, rng, metric):
+        C, Q = clustered_workload(rng, n_queries=10, k=5)
+        C = np.vstack([C, C[1], C[3]])  # plant exact duplicates
+        router = CentroidIndex(C, metric=metric, mode="exact")
+        labels, dists = router.query_batch(Q)
+        ref_labels, ref_dists = exhaustive(Q, C, metric)
+        assert np.array_equal(labels, ref_labels)
+        assert np.array_equal(dists, ref_dists)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_constant_rows(self, rng, metric):
+        C, Q = clustered_workload(rng, n_queries=8, k=4)
+        C = np.vstack([C, np.zeros(C.shape[1]), np.full(C.shape[1], 2.5)])
+        Q = np.vstack([Q, np.zeros(Q.shape[1])])
+        router = CentroidIndex(C, metric=metric, mode="exact")
+        labels, dists = router.query_batch(Q)
+        ref_labels, ref_dists = exhaustive(Q, C, metric)
+        assert np.array_equal(labels, ref_labels)
+        assert np.array_equal(dists, ref_dists)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_single_candidate(self, rng, metric):
+        C, Q = clustered_workload(rng, n_queries=6, k=3)
+        router = CentroidIndex(C[:1], metric=metric, mode="exact")
+        labels, dists = router.query_batch(Q)
+        assert np.array_equal(labels, np.zeros(Q.shape[0], dtype=labels.dtype))
+        _, ref_dists = exhaustive(Q, C[:1], metric)
+        assert np.array_equal(dists, ref_dists)
+
+    def test_sbd_clamp_conventions(self, rng):
+        """Both norm/clamp conventions reproduce their own baseline."""
+        C, Q = clustered_workload(rng)
+        Q = np.vstack([Q, C[2]])  # an exact match exercises the 0-boundary
+        clamped = CentroidIndex(C, metric="sbd", clamp_negative=True)
+        labels, dists = clamped.query_batch(Q)
+        D = sbd_matrix(Q, C)
+        assert np.array_equal(labels, np.argmin(D, axis=1))
+        assert np.array_equal(dists, D[np.arange(D.shape[0]), labels])
+
+        raw = CentroidIndex(C, metric="sbd", clamp_negative=False)
+        labels2, dists2 = raw.query_batch(Q)
+        from repro.core._fft_batch import (
+            fft_len_for, ncc_c_max_multi, rfft_batch,
+        )
+        fft_len = fft_len_for(Q.shape[1])
+        values, _ = ncc_c_max_multi(
+            rfft_batch(Q, fft_len), np.linalg.norm(Q, axis=1),
+            rfft_batch(C, fft_len), np.linalg.norm(C, axis=1),
+            Q.shape[1], fft_len,
+        )
+        D2 = 1.0 - values.T
+        assert np.array_equal(labels2, np.argmin(D2, axis=1))
+        assert np.array_equal(dists2, D2[np.arange(D2.shape[0]), labels2])
+
+    def test_cdtw_extra_window_widens_envelope_not_results(self, rng):
+        C, Q = clustered_workload(rng)
+        router = CentroidIndex(C, metric="cdtw5", mode="exact", window=0.1)
+        labels, dists = router.query_batch(Q)
+        ref_labels, ref_dists = exhaustive(Q, C, "cdtw5")
+        assert np.array_equal(labels, ref_labels)
+        assert np.array_equal(dists, ref_dists)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_exact_distances_subset(self, rng, metric):
+        C, Q = clustered_workload(rng, n_queries=5)
+        router = CentroidIndex(C, metric=metric)
+        cells = router.exact_distances(Q, [0, 3, 7])
+        if metric == "sbd":
+            full = sbd_matrix(Q, C)
+        else:
+            full = cross_distances(Q, C, metric=metric)
+        assert np.array_equal(cells, full[:, [0, 3, 7]])
+
+    def test_make_cdtw_window_object(self, rng):
+        from repro.distances import make_cdtw
+
+        C, Q = clustered_workload(rng)
+        metric = make_cdtw(0.08)
+        router = CentroidIndex(C, metric=metric, mode="exact")
+        labels, dists = router.query_batch(Q)
+        ref_labels, ref_dists = exhaustive(Q, C, metric)
+        assert np.array_equal(labels, ref_labels)
+        assert np.array_equal(dists, ref_dists)
+
+
+class TestApproximateMode:
+    @pytest.mark.parametrize("metric", ["sbd", "cdtw5"])
+    def test_default_recall_on_clustered_data(self, rng, metric):
+        C, Q = clustered_workload(rng, n_queries=60, k=12, m=64)
+        router = CentroidIndex(C, metric=metric, mode="approx")
+        recall = router.evaluate_recall(Q)
+        assert recall >= 0.95
+        assert router.stats.recall == recall
+        assert router.stats.recall_checked == Q.shape[0]
+
+    def test_beam_one_is_the_proxy_argmin(self, rng):
+        """beam_width=1 still answers every query (seed + one survivor)."""
+        C, Q = clustered_workload(rng)
+        router = CentroidIndex(C, metric="sbd", mode="approx", beam_width=1)
+        labels, dists = router.query_batch(Q)
+        assert labels.shape == (Q.shape[0],)
+        assert np.all(np.isfinite(dists))
+        D = sbd_matrix(Q, C)
+        # Approximate answers are real distances to real candidates.
+        assert np.allclose(dists, D[np.arange(D.shape[0]), labels])
+
+    def test_full_beam_recovers_exact(self, rng):
+        """A beam as wide as the candidate set cannot lose the argmin."""
+        C, Q = clustered_workload(rng)
+        router = CentroidIndex(
+            C, metric="cdtw5", mode="approx", beam_width=C.shape[0]
+        )
+        labels, _ = router.query_batch(Q)
+        ref_labels, _ = exhaustive(Q, C, "cdtw5")
+        assert np.array_equal(labels, ref_labels)
+
+    def test_single_query_path(self, rng):
+        C, Q = clustered_workload(rng, n_queries=4)
+        router = CentroidIndex(C, metric="sbd", mode="approx")
+        for q in Q:
+            label, dist = router.query(q)
+            assert 0 <= label < C.shape[0]
+            assert np.isfinite(dist)
+
+
+class TestStatsAccounting:
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_partition_invariant(self, rng, metric):
+        C, Q = clustered_workload(rng)
+        router = CentroidIndex(C, metric=metric, mode="exact")
+        router.query_batch(Q)
+        s = router.stats
+        assert s.queries == Q.shape[0]
+        assert s.candidates == Q.shape[0] * C.shape[0]
+        assert s.candidates == s.sketch_pruned + s.routed_out + s.confirmed
+        assert s.routed_out == 0  # exact mode never skips without a proof
+        assert 0.0 <= s.sketch_prune_rate <= 1.0
+
+    def test_approx_partition_invariant(self, rng):
+        C, Q = clustered_workload(rng, n_queries=40, k=12, m=64)
+        router = CentroidIndex(C, metric="cdtw5", mode="approx")
+        router.query_batch(Q)
+        s = router.stats
+        assert s.candidates == s.sketch_pruned + s.routed_out + s.confirmed
+
+    def test_merge_and_as_dict(self, rng):
+        C, Q = clustered_workload(rng, n_queries=10)
+        router = CentroidIndex(C, metric="cdtw5")
+        router.query_batch(Q)
+        total = IndexStats()
+        total.merge(router.stats).merge(router.stats)
+        assert total.queries == 2 * router.stats.queries
+        assert total.confirmed == 2 * router.stats.confirmed
+        assert isinstance(total.pruning, PruningStats)
+        d = total.as_dict()
+        assert d["queries"] == total.queries
+        assert "sketch_prune_rate" in d
+
+    def test_recall_is_none_before_evaluation(self, rng):
+        C, _ = clustered_workload(rng)
+        assert CentroidIndex(C).stats.recall is None
+
+
+class TestValidation:
+    def test_rejects_unknown_mode(self, rng):
+        C, _ = clustered_workload(rng)
+        with pytest.raises(InvalidParameterError):
+            CentroidIndex(C, mode="fuzzy")
+
+    def test_rejects_window_under_sbd(self, rng):
+        C, _ = clustered_workload(rng)
+        with pytest.raises(InvalidParameterError):
+            CentroidIndex(C, metric="sbd", window=0.1)
+
+    def test_rejects_unsupported_metric(self, rng):
+        C, _ = clustered_workload(rng)
+        with pytest.raises(InvalidParameterError):
+            CentroidIndex(C, metric="ed")
+
+    def test_rejects_length_mismatch(self, rng):
+        C, Q = clustered_workload(rng)
+        router = CentroidIndex(C)
+        with pytest.raises(Exception):
+            router.query_batch(Q[:, :-3])
+
+
+class TestGoldenArgmins:
+    """Routing pinned against the golden fixtures: the committed matrices
+    say which candidate each row is closest to, and the router must keep
+    agreeing with them after any rewrite."""
+
+    @pytest.mark.parametrize("metric", ["sbd", "dtw", "cdtw5"])
+    def test_golden_routing(self, metric):
+        from pathlib import Path
+
+        fixture = (
+            Path(__file__).parent / "golden" / f"golden_{metric}.npz"
+        )
+        data = np.load(fixture)
+        X, D = data["X"], data["D"]
+        ref = np.argmin(D + np.eye(D.shape[0]) * 1e6, axis=1)
+        router = CentroidIndex(X, metric=metric, mode="exact")
+        labels = np.empty_like(ref)
+        for i in range(X.shape[0]):
+            others = np.delete(np.arange(X.shape[0]), i)
+            sub = CentroidIndex(X[others], metric=metric, mode="exact")
+            j, _ = sub.query(X[i])
+            labels[i] = others[j]
+        assert np.array_equal(labels, ref)
+        # Self-queries hit distance ~0 at the right index too.
+        self_labels, _ = router.query_batch(X)
+        assert np.array_equal(self_labels, np.arange(X.shape[0]))

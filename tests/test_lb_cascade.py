@@ -91,3 +91,52 @@ class TestCascade:
             pruned, _, _ = cascade(x, y, 3, threshold=threshold)
             if pruned:
                 assert cdtw(x, y, window=3) >= threshold - 1e-9
+
+
+class TestLBPaa:
+    def test_admissibility_chain(self, rng):
+        """lb_paa <= lb_keogh <= cDTW at every segment count."""
+        from repro.distances import lb_keogh, lb_paa
+
+        for _ in range(20):
+            m = int(rng.integers(10, 40))
+            x = rng.normal(0, 1, m)
+            y = rng.normal(0, 1, m)
+            w = int(rng.integers(1, max(2, m // 4)))
+            keogh = lb_keogh(x, y, w)
+            true = cdtw(x, y, window=w)
+            assert keogh <= true + 1e-9
+            for S in (1, 2, m // 2 or 1, m):
+                assert lb_paa(x, y, w, S) <= keogh + 1e-9
+
+    def test_full_resolution_matches_keogh(self, rng):
+        """With one sample per segment the PAA bound IS LB_Keogh."""
+        from repro.distances import lb_keogh, lb_paa
+
+        x = rng.normal(0, 1, 24)
+        y = rng.normal(0, 1, 24)
+        assert lb_paa(x, y, 3, 24) == pytest.approx(lb_keogh(x, y, 3))
+
+    def test_vectorized_tier_matches_scalar_oracle(self, rng):
+        """The batched sketch-tier bound equals the scalar lb_paa cell by
+        cell (modulo the float-safety shrink it applies)."""
+        from repro.distances import keogh_envelope, lb_paa
+        from repro.preprocessing import paa_edges
+        from repro.search import (
+            paa_envelope_sketch, paa_lower_bound, paa_query_means,
+        )
+
+        m, S, w = 32, 7, 4
+        Q = rng.normal(0, 1, (6, m))
+        C = rng.normal(0, 1, (5, m))
+        edges = paa_edges(m, S)
+        upper, lower = keogh_envelope(C, w)
+        u_hat, l_hat = paa_envelope_sketch(upper, lower, edges)
+        q_means = paa_query_means(Q, edges)
+        counts = np.diff(edges).astype(np.float64)
+        bounds = paa_lower_bound(q_means, u_hat, l_hat, counts, safety=False)
+        for i in range(Q.shape[0]):
+            for j in range(C.shape[0]):
+                assert bounds[i, j] == pytest.approx(
+                    lb_paa(Q[i], C[j], w, S), abs=1e-12
+                )

@@ -4,7 +4,24 @@ import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError
-from repro.preprocessing import downsample, paa
+from repro.preprocessing import downsample, paa, paa_edges
+
+
+def paa_oracle(x, n_segments):
+    """Literal fractional-weight PAA: integrate x (as a step function)
+    over each segment of length m / n_segments and divide by the length."""
+    m = x.shape[0]
+    width = m / n_segments
+    out = np.empty(n_segments)
+    for s in range(n_segments):
+        lo, hi = s * width, (s + 1) * width
+        total = 0.0
+        for j in range(m):
+            overlap = min(j + 1.0, hi) - max(float(j), lo)
+            if overlap > 0:
+                total += overlap * x[j]
+        out[s] = total / width
+    return out
 
 
 class TestPAA:
@@ -45,6 +62,58 @@ class TestPAA:
     def test_smooths_noise(self, rng):
         x = np.sin(np.linspace(0, 6.28, 128)) + rng.normal(0, 0.5, 128)
         assert paa(x, 16).std() < x.std()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_property_matches_fractional_oracle(self, seed):
+        """Every (m, S) pair agrees with the literal overlap integral —
+        including the ragged cases where samples straddle boundaries."""
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 40))
+        x = rng.normal(0, 1, m)
+        for S in range(1, m + 1):
+            assert np.allclose(paa(x, S), paa_oracle(x, S), atol=1e-12), (
+                f"m={m} S={S}"
+            )
+
+    def test_constant_series_invariant(self):
+        """A constant series must map to the same constant at any S —
+        the edge case a naive truncating scheme gets wrong."""
+        x = np.full(11, 3.7)
+        for S in (1, 2, 3, 5, 7, 10, 11):
+            assert np.allclose(paa(x, S), 3.7)
+
+    def test_mass_conservation_any_count(self, rng):
+        """Segment means weighted by equal widths reproduce the global
+        mean exactly, for dividing and non-dividing counts alike."""
+        x = rng.normal(0, 1, 17)
+        for S in (2, 4, 5, 8, 13, 17):
+            assert paa(x, S).mean() == pytest.approx(x.mean(), abs=1e-9)
+
+
+class TestPAAEdges:
+    def test_endpoints_and_monotonicity(self):
+        for m in (1, 2, 5, 17, 64, 100):
+            for S in range(1, m + 1):
+                e = paa_edges(m, S)
+                assert e.shape == (S + 1,)
+                assert e[0] == 0 and e[-1] == m
+                assert np.all(np.diff(e) >= 1)
+
+    def test_segments_near_equal(self):
+        """Every segment holds floor(m/S) or ceil(m/S) samples."""
+        for m in (7, 48, 101):
+            for S in range(1, m + 1):
+                sizes = np.diff(paa_edges(m, S))
+                assert set(sizes.tolist()) <= {m // S, -(-m // S)}
+
+    def test_exact_division_is_uniform(self):
+        assert np.array_equal(paa_edges(12, 4), [0, 3, 6, 9, 12])
+
+    def test_oversized_count_raises(self):
+        with pytest.raises(InvalidParameterError):
+            paa_edges(4, 5)
+        with pytest.raises(InvalidParameterError):
+            paa_edges(4, 0)
 
 
 class TestDownsample:

@@ -144,3 +144,65 @@ class TestValidation:
         assert payload["mean_batch_size"] == 1.0
         assert payload["throughput"] >= 0
         assert set(payload) >= {"requests", "batches", "kernel_s"}
+
+
+class TestLatencyAndDepthGauges:
+    def test_queue_depth_tracks_backlog(self, predictor, two_class_data):
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, max_batch=4, autostart=False)
+        for row in X[:6]:
+            queue.submit(row)
+        assert queue.stats().queue_depth == 6
+        assert queue.stats().max_queue_depth == 6
+        queue.flush()
+        stats = queue.stats()
+        assert stats.queue_depth == 0  # gauge drains with the backlog
+        assert stats.max_queue_depth == 6  # high-water mark persists
+
+    def test_depth_released_on_failure(self, predictor, two_class_data):
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, autostart=False)
+        future = queue.submit(X[0][:-5])  # wrong length fails in the kernel
+        queue.flush()
+        with pytest.raises(Exception):
+            future.result(timeout=1)
+        assert queue.stats().queue_depth == 0
+
+    def test_percentiles_from_reservoir(self, predictor, two_class_data):
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, max_batch=4, autostart=False)
+        for row in X[:12]:
+            queue.submit(row)
+        queue.flush()
+        stats = queue.stats()
+        assert len(stats.recent_latencies) == 12
+        assert 0.0 < stats.p50_latency_s <= stats.p99_latency_s
+        assert stats.p99_latency_s <= stats.max_latency_s + 1e-12
+        assert stats.latency_percentile(0.0) <= stats.latency_percentile(100.0)
+
+    def test_percentiles_empty_reservoir(self):
+        stats = ServingStats()
+        assert stats.p50_latency_s == 0.0
+        assert stats.p99_latency_s == 0.0
+
+    def test_percentile_math_matches_numpy(self):
+        stats = ServingStats()
+        samples = [0.001 * i for i in range(1, 101)]
+        stats.recent_latencies.extend(samples)
+        assert stats.p50_latency_s == pytest.approx(
+            float(np.percentile(samples, 50))
+        )
+        assert stats.latency_percentile(90) == pytest.approx(
+            float(np.percentile(samples, 90))
+        )
+
+    def test_as_dict_excludes_raw_reservoir(self, predictor, two_class_data):
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, autostart=False)
+        queue.submit(X[0])
+        queue.flush()
+        payload = queue.stats().as_dict()
+        assert "recent_latencies" not in payload
+        assert payload["p50_latency_s"] > 0.0
+        assert payload["p99_latency_s"] >= payload["p50_latency_s"]
+        assert payload["max_queue_depth"] == 1
