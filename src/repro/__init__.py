@@ -99,6 +99,9 @@ from .exceptions import (
     EmptyInputError,
     InvalidParameterError,
     NotFittedError,
+    ProfileChecksumError,
+    ProfileError,
+    ProfileSchemaError,
     ReproError,
     SchemaVersionError,
     ShapeMismatchError,
@@ -123,6 +126,7 @@ from .serving import (
     load_model,
     save_model,
 )
+from .tuning import HardwareProfile
 from .stats import (
     compare_to_baseline,
     friedman_test,
@@ -178,6 +182,8 @@ __all__ = [
     "list_executors",
     "parallel_map",
     "register_executor",
+    # hardware tuning
+    "HardwareProfile",
     # clustering
     "TimeSeriesKMeans",
     "k_avg_ed",
@@ -241,4 +247,7 @@ __all__ = [
     "ArtifactError",
     "SchemaVersionError",
     "ChecksumError",
+    "ProfileError",
+    "ProfileSchemaError",
+    "ProfileChecksumError",
 ]

@@ -45,3 +45,15 @@ class SchemaVersionError(ArtifactError):
 
 class ChecksumError(ArtifactError):
     """An artifact's payload does not match its recorded checksum."""
+
+
+class ProfileError(ReproError, ValueError):
+    """A hardware profile could not be written, read, or validated."""
+
+
+class ProfileSchemaError(ProfileError):
+    """A hardware profile declares an unsupported schema version."""
+
+
+class ProfileChecksumError(ProfileError):
+    """A hardware profile's body does not match its recorded checksum."""

@@ -134,6 +134,22 @@ def literal_str_elements(node: ast.AST) -> List[Tuple[str, int]]:
 
 # Import the rule modules so their ``@register`` decorators run; keeping
 # the modules referenced in a tuple documents the load order.
-from . import banding, determinism, exports, hygiene, oracles, picklable  # noqa: E402
+from . import (  # noqa: E402
+    banding,
+    costconst,
+    determinism,
+    exports,
+    hygiene,
+    oracles,
+    picklable,
+)
 
-_RULE_MODULES = (oracles, banding, determinism, picklable, exports, hygiene)
+_RULE_MODULES = (
+    oracles,
+    banding,
+    determinism,
+    picklable,
+    exports,
+    hygiene,
+    costconst,
+)

@@ -1,0 +1,133 @@
+"""RPR010 — no undeclared hard-coded cost constants under ``parallel/``.
+
+The hardware autotuner (:mod:`repro.tuning`) exists because the
+scheduler's numeric guesses — pool-spawn thresholds, per-pair kernel
+costs, tile-size heuristics — were calibrated on one development box and
+turned parallelism into a slowdown elsewhere. The remaining static
+numbers in :mod:`repro.parallel` are *documented fallbacks*, enumerated
+in a module-level ``_STATIC_FALLBACK_CONSTANTS`` tuple so the measured
+profile knows exactly what it replaces.
+
+This rule keeps that contract honest: a module-level ALL-CAPS constant
+under ``parallel/`` whose name smells like a cost/overhead/threshold
+quantity and whose value contains a numeric literal must either be listed
+in its module's ``_STATIC_FALLBACK_CONSTANTS`` declaration or carry a
+``# repro-lint: disable`` directive. New tuning knobs belong in the
+measured :class:`repro.tuning.HardwareProfile`, not in fresh magic
+numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..engine import Project
+from ..violations import Violation
+from . import Rule, literal_str_elements, register
+
+#: the rule applies to every module under a ``parallel/`` directory
+SCOPE_MARKER = "parallel/"
+
+#: the declaration tuple naming a module's sanctioned fallback constants
+DECLARATION_NAME = "_STATIC_FALLBACK_CONSTANTS"
+
+#: name fragments marking a constant as a scheduling-cost quantity
+_COST_TOKENS = (
+    "COST",
+    "OVERHEAD",
+    "SPAWN",
+    "LATENCY",
+    "BATCH",
+    "TILE",
+    "THRESHOLD",
+    "DISPATCH",
+)
+
+#: unit suffixes marking a constant as a measured duration
+_UNIT_SUFFIXES = ("_S", "_US", "_MS", "_NS")
+
+
+def _target_name(node: ast.stmt) -> Optional[str]:
+    """The single Name target of a module-level (Ann)Assign, if any."""
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target = node.targets[0]
+    elif isinstance(node, ast.AnnAssign):
+        target = node.target
+    else:
+        return None
+    return target.id if isinstance(target, ast.Name) else None
+
+
+def _is_cost_name(name: str) -> bool:
+    bare = name.lstrip("_")
+    if not bare or bare.upper() != bare:
+        return False
+    return any(token in bare for token in _COST_TOKENS) or bare.endswith(
+        _UNIT_SUFFIXES
+    )
+
+
+def _has_numeric_literal(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Constant)
+            and isinstance(sub.value, (int, float))
+            and not isinstance(sub.value, bool)
+        ):
+            return True
+    return False
+
+
+def _declared_fallbacks(tree: ast.Module) -> Set[str]:
+    declared: Set[str] = set()
+    for node in tree.body:
+        if _target_name(node) != DECLARATION_NAME:
+            continue
+        value = node.value if isinstance(node, (ast.Assign, ast.AnnAssign)) else None
+        if value is not None:
+            declared.update(name for name, _ in literal_str_elements(value))
+    return declared
+
+
+@register
+class CostConstantRule(Rule):
+    code = "RPR010"
+    name = "cost-constants"
+    summary = (
+        "parallel/ cost constants must be declared fallbacks, not fresh "
+        "magic numbers"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for source in project.files:
+            if source.tree is None or SCOPE_MARKER not in source.relpath:
+                continue
+            declared = _declared_fallbacks(source.tree)
+            suspects: List[ast.stmt] = [
+                node
+                for node in source.tree.body
+                if isinstance(node, (ast.Assign, ast.AnnAssign))
+            ]
+            for node in suspects:
+                name = _target_name(node)
+                if (
+                    name is None
+                    or name == DECLARATION_NAME
+                    or name in declared
+                    or not _is_cost_name(name)
+                ):
+                    continue
+                value = node.value
+                if not _has_numeric_literal(value):
+                    continue
+                yield self.violation(
+                    f"hard-coded cost constant `{name}`; measured values "
+                    "belong in the HardwareProfile (repro.tuning) — if this "
+                    "truly is a static fallback, list it in "
+                    f"{DECLARATION_NAME} next to the others",
+                    source.relpath,
+                    node,
+                )

@@ -7,18 +7,32 @@ by square *diagonal* tiles (within which only ``j > i`` cells are computed)
 and rectangular *off-diagonal* tiles that are mirrored on assembly, halving
 the work exactly as the serial implementation does.
 
-The cost model below is deliberately coarse — its only job is to keep tiny
-inputs on the serial path (a process pool costs tens of milliseconds to
-spawn, which dwarfs a 20x20 ED matrix) and to pick a tile size that gives
-each worker a handful of tiles to balance load without drowning the pool
-in scheduling overhead.
+Two cost models coexist here:
+
+* the **static fallback** — the coarse formulas and thresholds below,
+  calibrated once on a development box; its only job is to keep tiny
+  inputs on the serial path and give each worker a sane number of tiles;
+* the **measured model** — when a :class:`repro.tuning.HardwareProfile`
+  is active (see :func:`repro.tuning.get_active_profile`), per-pair costs
+  and pool-spawn thresholds come from measurements taken on *this*
+  machine, which is what stops the scheduler from spawning a process pool
+  on a 1-core box and losing to serial.
+
+Every scheduling function takes ``profile="auto"`` (consult the active
+profile), an explicit :class:`~repro.tuning.HardwareProfile`, or ``None``
+(force the static fallback). Profiles influence scheduling only — the
+numeric contents of a distance matrix are identical either way.
 """
 
 from __future__ import annotations
 
 import math
 import os
-from typing import Iterator, NamedTuple, Optional
+import warnings
+from typing import TYPE_CHECKING, Iterator, NamedTuple, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..tuning.profile import HardwareProfile
 
 __all__ = [
     "Tile",
@@ -32,9 +46,28 @@ __all__ = [
     "choose_backend",
     "MIN_PROCESS_COST_S",
     "MIN_THREAD_COST_S",
+    "ProfileSpec",
 ]
 
+#: ``"auto"`` = consult :func:`repro.tuning.get_active_profile`; ``None``
+#: = force the static fallback constants; or an explicit profile object.
+ProfileSpec = Union[None, "HardwareProfile", str]
+
+#: Static fallback constants the measured model replaces. Names listed
+#: here are the *documented* fallback table; the repro.lint RPR010 rule
+#: rejects new hard-coded cost constants in this package that are not
+#: declared in such a table.
+_STATIC_FALLBACK_CONSTANTS = (
+    "MIN_PROCESS_COST_S",
+    "MIN_THREAD_COST_S",
+    "_TILES_PER_WORKER",
+    "_MIN_TILE",
+    "_MAX_TILE",
+    "_MIN_TILE_DISPATCH_RATIO",
+)
+
 # Estimated serial cost (seconds) below which spawning a pool is a loss.
+# Fallbacks for when no hardware profile is active (see module docstring).
 MIN_PROCESS_COST_S = 0.25
 MIN_THREAD_COST_S = 0.02
 
@@ -44,6 +77,26 @@ _TILES_PER_WORKER = 4
 
 _MIN_TILE = 1
 _MAX_TILE = 512
+
+#: With a measured profile, grow tiles until per-tile kernel work is at
+#: least this multiple of the measured per-tile dispatch overhead.
+_MIN_TILE_DISPATCH_RATIO = 50.0
+
+
+def _resolve_profile(profile: ProfileSpec) -> Optional[HardwareProfile]:
+    """Resolve a ``profile`` argument to a profile object or ``None``."""
+    if profile is None:
+        return None
+    if isinstance(profile, str):
+        if profile != "auto":
+            raise ValueError(
+                f"profile must be 'auto', None, or a HardwareProfile; "
+                f"got {profile!r}"
+            )
+        from ..tuning.profile import get_active_profile
+
+        return get_active_profile()
+    return profile
 
 
 class Tile(NamedTuple):
@@ -85,36 +138,62 @@ def n_pairs(n: int, symmetric: bool) -> int:
     return n * (n - 1) // 2 if symmetric else n * n
 
 
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def effective_n_jobs(n_jobs: Optional[int]) -> int:
     """Resolve an ``n_jobs`` spec to a concrete worker count.
 
     ``None`` and ``1`` mean serial; ``-1`` means one worker per available
     CPU (respecting the process's affinity mask when the platform exposes
     it); other negatives follow the scikit-learn convention
-    ``cpus + 1 + n_jobs``.
+    ``cpus + 1 + n_jobs``. Positive requests are clamped to the available
+    CPU count — oversubscribing a machine never helps these kernels and
+    on a 1-core box it used to trick the cost model into spawning pools
+    that lose to serial.
     """
     if n_jobs is None:
         return 1
     n_jobs = int(n_jobs)
-    try:
-        cpus = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        cpus = os.cpu_count() or 1
+    cpus = _available_cpus()
     if n_jobs < 0:
         return max(1, cpus + 1 + n_jobs)
-    return max(1, n_jobs)
+    n_jobs = max(1, n_jobs)
+    if n_jobs > cpus:
+        warnings.warn(
+            f"n_jobs={n_jobs} exceeds the {cpus} available CPU(s); "
+            f"clamping to {cpus}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return cpus
+    return n_jobs
 
 
-def estimate_pair_cost_us(m: int, metric_key: Optional[str]) -> float:
-    """Rough cost in microseconds of one distance evaluation.
+def estimate_pair_cost_us(
+    m: int, metric_key: Optional[str], profile: ProfileSpec = "auto"
+) -> float:
+    """Cost in microseconds of one distance evaluation.
 
-    Calibrated against this package's pure-numpy kernels: DTW's
-    anti-diagonal recurrence costs ~0.2us per cell, the elastic measures
-    (python double loops) several times that, ED/SBD are vectorized.
-    Unknown callables are assumed DTW-like so that user metrics still
-    benefit from parallelism.
+    With an active :class:`~repro.tuning.HardwareProfile` this is the
+    *measured* per-pair cost of this package's kernels on this machine
+    (log-log interpolated between calibrated length buckets). Otherwise
+    the static formulas below apply — calibrated once against the
+    pure-numpy kernels: DTW's anti-diagonal recurrence ~0.2us per cell,
+    the elastic measures (python double loops) several times that, ED/SBD
+    vectorized. Unknown callables are assumed DTW-like so that user
+    metrics still benefit from parallelism.
     """
     m = max(int(m), 1)
+    resolved = _resolve_profile(profile)
+    if resolved is not None:
+        measured = resolved.pair_cost_for(m, metric_key)
+        if measured is not None:
+            return measured
     key = (metric_key or "").lower()
     if key in ("ed", "sqed"):
         return 0.01 * m + 2.0
@@ -137,10 +216,19 @@ def estimate_pair_cost_us(m: int, metric_key: Optional[str]) -> float:
 
 
 def estimate_matrix_cost_s(
-    n: int, m: int, metric_key: Optional[str], symmetric: bool = True
+    n: int,
+    m: int,
+    metric_key: Optional[str],
+    symmetric: bool = True,
+    profile: ProfileSpec = "auto",
 ) -> float:
     """Estimated serial wall-clock (seconds) of a full distance matrix."""
-    return n_pairs(n, symmetric) * estimate_pair_cost_us(m, metric_key) * 1e-6
+    resolved = _resolve_profile(profile)
+    return (
+        n_pairs(n, symmetric)
+        * estimate_pair_cost_us(m, metric_key, profile=resolved)
+        * 1e-6
+    )
 
 
 def choose_backend(
@@ -149,20 +237,31 @@ def choose_backend(
     metric_key: Optional[str],
     n_jobs: int,
     symmetric: bool = True,
+    profile: ProfileSpec = "auto",
 ) -> str:
     """Pick an executor when the caller gave ``n_jobs`` but no ``backend``.
 
     Tiny problems stay serial regardless of ``n_jobs`` — pool-spawn
     overhead would dominate. Mid-size problems use threads (cheap to
     start; numpy kernels release the GIL). Only genuinely expensive
-    matrices pay for a process pool.
+    matrices pay for a process pool. With an active hardware profile the
+    spawn thresholds are the *measured* pool costs of this machine; and a
+    single effective worker always means serial — there is no parallelism
+    to buy with any overhead.
     """
     if n_jobs <= 1:
         return "serial"
-    cost = estimate_matrix_cost_s(n, m, metric_key, symmetric)
-    if cost < MIN_THREAD_COST_S:
+    resolved = _resolve_profile(profile)
+    cost = estimate_matrix_cost_s(n, m, metric_key, symmetric, profile=resolved)
+    if resolved is not None:
+        min_thread = resolved.min_thread_cost_s
+        min_process = resolved.min_process_cost_s
+    else:
+        min_thread = MIN_THREAD_COST_S
+        min_process = MIN_PROCESS_COST_S
+    if cost < min_thread:
         return "serial"
-    if cost < MIN_PROCESS_COST_S:
+    if cost < min_process:
         return "threads"
     key = (metric_key or "").lower()
     # Vectorized numpy kernels release the GIL; threads avoid the copy
@@ -177,8 +276,17 @@ def choose_tile_size(
     n_cols: int,
     n_jobs: int,
     tile_size: Optional[int] = None,
+    m: Optional[int] = None,
+    metric_key: Optional[str] = None,
+    profile: ProfileSpec = "auto",
 ) -> int:
-    """Tile edge length giving each worker ~``_TILES_PER_WORKER`` tiles."""
+    """Tile edge length giving each worker ~``_TILES_PER_WORKER`` tiles.
+
+    With an active hardware profile (and the series length ``m``), the
+    edge is additionally grown until one tile's kernel work is at least
+    ``_MIN_TILE_DISPATCH_RATIO`` times the *measured* per-tile dispatch
+    overhead, so a fast metric never drowns in tile bookkeeping.
+    """
     if tile_size is not None:
         tile_size = int(tile_size)
         if tile_size < 1:
@@ -187,4 +295,11 @@ def choose_tile_size(
     target_tiles = max(n_jobs * _TILES_PER_WORKER, 1)
     area = max(n_rows, 1) * max(n_cols, 1)
     edge = int(math.sqrt(area / target_tiles)) or 1
+    resolved = _resolve_profile(profile)
+    if resolved is not None and m is not None:
+        pair_us = estimate_pair_cost_us(m, metric_key, profile=resolved)
+        min_tile_work_us = _MIN_TILE_DISPATCH_RATIO * resolved.tile_dispatch_us
+        if pair_us > 0.0:
+            min_edge = int(math.ceil(math.sqrt(min_tile_work_us / pair_us)))
+            edge = max(edge, min_edge)
     return min(max(edge, _MIN_TILE), _MAX_TILE)

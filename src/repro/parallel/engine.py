@@ -6,16 +6,22 @@ result — mirroring off-diagonal tiles and the strict-upper half of
 diagonal tiles into the lower triangle. When the caller gives ``n_jobs``
 but no explicit ``backend``, the cost model in
 :mod:`repro.parallel.chunking` decides whether the job is even worth a
-pool: tiny matrices always run serially.
+pool: tiny matrices always run serially, and when a measured
+:class:`repro.tuning.HardwareProfile` is active its per-pair costs and
+pool-spawn thresholds replace the static fallback constants. Profiles
+change only *which executor runs the tiles* — the assembled matrix is
+bit-identical either way.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .chunking import (
+    ProfileSpec,
+    _resolve_profile,
     choose_backend,
     choose_tile_size,
     cross_tiles,
@@ -36,12 +42,16 @@ def resolve_backend(
     n_jobs: Optional[int],
     backend: Optional[str],
     symmetric: bool,
-) -> tuple:
+    profile: ProfileSpec = "auto",
+) -> Tuple[str, int]:
     """``(backend_name, n_jobs)`` for a matrix job.
 
     An explicit ``backend`` is always honored (tests force specific
     backends on tiny inputs); with ``backend=None`` the cost model picks,
-    and may override ``n_jobs > 1`` down to serial for tiny jobs.
+    and may override ``n_jobs > 1`` down to serial for tiny jobs. The
+    ``n_jobs`` request is clamped to the available CPUs, so on a 1-core
+    machine the auto path always resolves to serial — no pool can win
+    without a second core to run on.
     """
     jobs = effective_n_jobs(n_jobs)
     if backend is not None:
@@ -50,7 +60,8 @@ def resolve_backend(
         return name, max(jobs, 2) if name != "serial" else 1
     key = metric.lower() if isinstance(metric, str) else None
     n_equiv = int(round((n_rows * n_cols) ** 0.5))
-    name = choose_backend(n_equiv, m, key, jobs, symmetric)
+    resolved = _resolve_profile(profile)
+    name = choose_backend(n_equiv, m, key, jobs, symmetric, profile=resolved)
     return name, jobs if name != "serial" else 1
 
 
@@ -61,12 +72,19 @@ def pairwise_matrix(
     n_jobs: Optional[int] = None,
     backend: Optional[str] = None,
     tile_size: Optional[int] = None,
+    profile: ProfileSpec = "auto",
 ) -> np.ndarray:
     """``(n, n)`` dissimilarity matrix of ``A`` via tiled execution."""
     A = np.ascontiguousarray(np.asarray(A, dtype=np.float64))
     n, m = A.shape
-    name, jobs = resolve_backend(n, n, m, metric, n_jobs, backend, symmetric)
-    tile = choose_tile_size(n, n, jobs, tile_size)
+    resolved = _resolve_profile(profile)
+    name, jobs = resolve_backend(
+        n, n, m, metric, n_jobs, backend, symmetric, profile=resolved
+    )
+    key = metric.lower() if isinstance(metric, str) else None
+    tile = choose_tile_size(
+        n, n, jobs, tile_size, m=m, metric_key=key, profile=resolved
+    )
     tiles = list(
         symmetric_tiles(n, tile) if symmetric else cross_tiles(n, n, tile)
     )
@@ -94,14 +112,21 @@ def cross_matrix(
     n_jobs: Optional[int] = None,
     backend: Optional[str] = None,
     tile_size: Optional[int] = None,
+    profile: ProfileSpec = "auto",
 ) -> np.ndarray:
     """``(n_x, n_y)`` cross-distance matrix via tiled execution."""
     A = np.ascontiguousarray(np.asarray(A, dtype=np.float64))
     B = np.ascontiguousarray(np.asarray(B, dtype=np.float64))
     n_x, m = A.shape
     n_y = B.shape[0]
-    name, jobs = resolve_backend(n_x, n_y, m, metric, n_jobs, backend, False)
-    tile = choose_tile_size(n_x, n_y, jobs, tile_size)
+    resolved = _resolve_profile(profile)
+    name, jobs = resolve_backend(
+        n_x, n_y, m, metric, n_jobs, backend, False, profile=resolved
+    )
+    key = metric.lower() if isinstance(metric, str) else None
+    tile = choose_tile_size(
+        n_x, n_y, jobs, tile_size, m=m, metric_key=key, profile=resolved
+    )
     tiles = list(cross_tiles(n_x, n_y, tile))
     results = get_executor(name).compute_tiles(
         A, B, metric, tiles, jobs, skip_diagonal=False

@@ -37,12 +37,25 @@ from .._validation import as_series, check_positive_int
 from ..exceptions import InvalidParameterError
 from .predictor import ShapePredictor
 
-__all__ = ["ServingStats", "MicroBatchQueue"]
+__all__ = [
+    "ServingStats",
+    "MicroBatchQueue",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_LATENCY_S",
+]
 
 #: Rolling reservoir size the latency percentiles are computed over. Large
 #: enough that p99 rests on ~40 samples, small enough that a snapshot copy
 #: is cheap under the queue's lock.
 LATENCY_RESERVOIR = 4096
+
+#: Static fallback batching policy, used when no measured
+#: :class:`repro.tuning.HardwareProfile` is active. A calibrated profile
+#: replaces these with values derived from this machine's batched-kernel
+#: cost curve (``max_batch`` never below, ``max_latency_s`` never above,
+#: these defaults — calibration can only tighten the policy).
+DEFAULT_MAX_BATCH = 32
+DEFAULT_MAX_LATENCY_S = 0.01
 
 
 @dataclass
@@ -154,10 +167,14 @@ class MicroBatchQueue:
         A :class:`~repro.serving.ShapePredictor` (or anything exposing
         ``predict_full(X) -> Prediction`` and an ``m`` attribute).
     max_batch:
-        Flush as soon as this many requests are waiting.
+        Flush as soon as this many requests are waiting. ``None`` (the
+        default) takes the active hardware profile's measured value, or
+        :data:`DEFAULT_MAX_BATCH` when no profile is active.
     max_latency_s:
         Flush once the oldest waiting request has aged this long, even if
-        the batch is not full.
+        the batch is not full. ``None`` (the default) takes the active
+        hardware profile's measured value, or
+        :data:`DEFAULT_MAX_LATENCY_S` when no profile is active.
     autostart:
         Start the collector thread immediately. ``False`` leaves the queue
         passive: requests buffer until an explicit :meth:`flush` — the
@@ -173,10 +190,26 @@ class MicroBatchQueue:
     def __init__(
         self,
         predictor: ShapePredictor,
-        max_batch: int = 32,
-        max_latency_s: float = 0.01,
+        max_batch: Optional[int] = None,
+        max_latency_s: Optional[float] = None,
         autostart: bool = True,
     ) -> None:
+        if max_batch is None or max_latency_s is None:
+            from ..tuning.profile import get_active_profile
+
+            profile = get_active_profile()
+            if max_batch is None:
+                max_batch = (
+                    profile.serving_max_batch
+                    if profile is not None
+                    else DEFAULT_MAX_BATCH
+                )
+            if max_latency_s is None:
+                max_latency_s = (
+                    profile.serving_max_latency_s
+                    if profile is not None
+                    else DEFAULT_MAX_LATENCY_S
+                )
         self.predictor = predictor
         self.max_batch = check_positive_int(max_batch, "max_batch")
         if max_latency_s <= 0:

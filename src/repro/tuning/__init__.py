@@ -1,0 +1,54 @@
+"""Measured hardware autotuning for scheduling decisions.
+
+The parallel engine and the serving queue ship with static cost constants
+that are documented *fallbacks*, not truths: BENCH_parallel caught them
+choosing a process pool on a 1-core box and losing to serial. This
+subsystem replaces guessing with measurement:
+
+* :func:`calibrate` times the package's own kernels, executor spawn/IPC
+  overhead, shared-memory hand-off, FFT-cache warm-up, and the serving
+  batch-cost curve on the current machine (seeded, fixed-repetition —
+  see :class:`CalibrationOptions`);
+* the result is a versioned, checksummed :class:`HardwareProfile`
+  persisted as JSON (:func:`save_profile` / :func:`load_profile`,
+  default location under the user cache dir, ``REPRO_HARDWARE_PROFILE``
+  overrides);
+* :func:`get_active_profile` is what
+  :func:`repro.parallel.choose_backend` / ``choose_tile_size`` /
+  ``resolve_backend`` and :class:`repro.serving.MicroBatchQueue` consult
+  for their defaults — profiles steer *scheduling only*; numeric outputs
+  are bit-identical either way.
+
+CLI: ``python -m repro.tuning calibrate [--quick]``, ``show``, ``path``.
+"""
+
+from .calibrate import CalibrationOptions, calibrate
+from .profile import (
+    ENV_PROFILE_PATH,
+    PROFILE_KIND,
+    PROFILE_SCHEMA_VERSION,
+    HardwareProfile,
+    clear_active_profile,
+    default_profile_path,
+    get_active_profile,
+    load_profile,
+    save_profile,
+    set_active_profile,
+    use_profile,
+)
+
+__all__ = [
+    "HardwareProfile",
+    "CalibrationOptions",
+    "calibrate",
+    "save_profile",
+    "load_profile",
+    "default_profile_path",
+    "get_active_profile",
+    "set_active_profile",
+    "clear_active_profile",
+    "use_profile",
+    "PROFILE_SCHEMA_VERSION",
+    "PROFILE_KIND",
+    "ENV_PROFILE_PATH",
+]

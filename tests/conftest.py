@@ -4,6 +4,19 @@ import numpy as np
 import pytest
 
 from repro.preprocessing import zscore
+from repro.tuning import use_profile
+
+
+@pytest.fixture(autouse=True)
+def _no_hardware_profile():
+    """Pin every test to the static cost model.
+
+    Whatever hardware profile the host machine has cached must not leak
+    into scheduling decisions under test; tests that exercise profiles
+    opt in explicitly with ``use_profile(...)``.
+    """
+    with use_profile(None):
+        yield
 
 
 @pytest.fixture

@@ -1,0 +1,4 @@
+"""Fixture: fresh magic cost numbers outside any fallback table."""
+
+MIN_POOL_COST_S = 0.25
+SPAWN_OVERHEAD_US = 1200.0

@@ -1,0 +1,13 @@
+"""Fixture: cost constants declared in the fallback table."""
+
+_STATIC_FALLBACK_CONSTANTS = (
+    "MIN_POOL_COST_S",
+    "_QUEUE_BATCH_LIMIT",
+)
+
+MIN_POOL_COST_S = 0.25
+_QUEUE_BATCH_LIMIT = 64
+
+# Not a cost quantity: no token, no unit suffix.
+DEFAULT_METRIC = "sbd"
+MAX_ITER = 100

@@ -1,0 +1,3 @@
+"""Fixture: an undeclared cost constant, silenced on the line."""
+
+MIN_POOL_COST_S = 0.25  # repro-lint: disable=RPR010

@@ -276,6 +276,36 @@ def test_rpr008_reexport_alias_is_exempt(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# RPR010 — cost constants under parallel/ must be declared fallbacks
+
+
+@pytest.mark.parametrize(
+    "fixture, expected",
+    [
+        ("rpr010_ok.py", []),
+        ("rpr010_bad.py", ["RPR010", "RPR010"]),
+        ("rpr010_suppressed.py", []),
+    ],
+)
+def test_rpr010_fixtures(tmp_path, fixture, expected):
+    root = build_tree(tmp_path, {"src/repro/parallel/costs.py": fixture})
+    assert lint_codes(root) == expected
+
+
+def test_rpr010_out_of_scope_module_not_flagged(tmp_path):
+    # The same constants outside parallel/ are not scheduling knobs.
+    root = build_tree(tmp_path, {"src/repro/serving/costs.py": "rpr010_bad.py"})
+    assert lint_codes(root) == []
+
+
+def test_rpr010_message_points_at_fallback_table(tmp_path):
+    root = build_tree(tmp_path, {"src/repro/parallel/costs.py": "rpr010_bad.py"})
+    violations = run_lint(root=root)
+    assert all("_STATIC_FALLBACK_CONSTANTS" in v.message for v in violations)
+    assert all("HardwareProfile" in v.message for v in violations)
+
+
+# ---------------------------------------------------------------------------
 # RPR000 — parse errors, and engine plumbing
 
 

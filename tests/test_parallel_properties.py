@@ -15,6 +15,7 @@ Invariants every backend must satisfy on arbitrary inputs:
 from __future__ import annotations
 
 import threading
+import warnings
 
 import numpy as np
 import pytest
@@ -169,8 +170,19 @@ def test_cross_tiles_cover_rectangle_once():
 def test_effective_n_jobs():
     assert effective_n_jobs(None) == 1
     assert effective_n_jobs(1) == 1
-    assert effective_n_jobs(3) == 3
     assert effective_n_jobs(-1) >= 1
+    cpus = effective_n_jobs(-1)
+    # Positive requests resolve exactly when they fit the machine...
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert effective_n_jobs(min(3, cpus)) == min(3, cpus)
+
+
+def test_effective_n_jobs_clamps_to_available_cpus():
+    cpus = effective_n_jobs(-1)
+    # ...and oversubscribed requests clamp to the CPU count with a warning.
+    with pytest.warns(RuntimeWarning, match="clamping"):
+        assert effective_n_jobs(cpus + 7) == cpus
 
 
 def test_cost_model_keeps_tiny_inputs_serial():
