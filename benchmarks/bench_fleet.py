@@ -1,0 +1,276 @@
+"""Micro-benchmark: sharded fleet serving, hot swap, and the drift loop.
+
+The fleet subsystem (:mod:`repro.serving.fleet`) shards a keyed query
+stream across several :class:`~repro.serving.ShapePredictor` +
+:class:`~repro.serving.MicroBatchQueue` pairs behind a consistent-hash
+:class:`~repro.serving.ShardRouter`, hot-swaps model versions from a
+:class:`~repro.serving.ModelRegistry` without dropping requests, and
+closes the loop on drift with a background refit plus staged canary
+promotion. This bench exercises all three on a CBF workload whose
+baseline drifts over the request sequence:
+
+* **serving** — a keyed stream routed and answered shard-by-shard;
+  per-shard p50/p99 latency and queue occupancy from
+  :meth:`~repro.serving.ShapeFleet.stats`;
+* **hot swap** — repeated version flips with requests pending, timing
+  the per-shard drain-and-switch pause (max and p99);
+* **drift loop** — a drifting stream observed until the detector fires,
+  then one :meth:`~repro.serving.ShapeFleet.run_drift_cycle` turn:
+  warm-started refit, registry publish, canary promotion verdict.
+
+The report lands in ``BENCH_fleet.json`` at the repo root.
+
+Run standalone (full size)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+
+scaled down (CI)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke
+
+or through pytest (the full-size run is marked ``slow``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py -m slow
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import KShape
+from repro.datasets import make_cbf
+from repro.preprocessing import zscore
+from repro.serving import ModelRegistry, ShapeFleet
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_fleet.json"
+
+BENCH_N_FIT = int(os.environ.get("REPRO_BENCH_FLEET_NFIT", "90"))
+BENCH_N_QUERIES = int(os.environ.get("REPRO_BENCH_FLEET_NQUERIES", "600"))
+BENCH_M = int(os.environ.get("REPRO_BENCH_FLEET_M", "256"))
+BENCH_K = int(os.environ.get("REPRO_BENCH_FLEET_K", "3"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_FLEET_SEED", "13"))
+BENCH_SHARDS = int(os.environ.get("REPRO_BENCH_FLEET_SHARDS", "4"))
+BENCH_SWAPS = int(os.environ.get("REPRO_BENCH_FLEET_SWAPS", "10"))
+
+
+def make_workload(n_fit: int, n_queries: int, m: int, seed: int):
+    """A stable fit set plus a query stream whose regime drifts.
+
+    The fit set and the first half of the stream share the undrifted CBF
+    distribution; over the second half each row blends into a sine family
+    the model never saw, with the blend weight ramping from 0 to 1 — the
+    drift detector's baseline freezes on clean traffic and the recent
+    window walks off it.
+    """
+    rng = np.random.default_rng(seed)
+    total = n_fit + n_queries
+    X, _ = make_cbf(-(-total // 3), m, rng)  # ceil division per class
+    X = zscore(X[rng.permutation(X.shape[0])[:total]])
+    fit, stream = X[:n_fit], X[n_fit:].copy()
+    t = np.linspace(0.0, 1.0, m)
+    half = n_queries // 2
+    weight = np.linspace(0.0, 1.0, half)
+    for i in range(half):
+        alien = np.sin(2 * np.pi * (3.3 * t + rng.uniform()))
+        row = n_queries - half + i
+        stream[row] = (1.0 - weight[i]) * stream[row] + weight[i] * alien
+    return fit, zscore(stream)
+
+
+def run_benchmark(
+    n_fit: int = BENCH_N_FIT,
+    n_queries: int = BENCH_N_QUERIES,
+    m: int = BENCH_M,
+    k: int = BENCH_K,
+    seed: int = BENCH_SEED,
+    n_shards: int = BENCH_SHARDS,
+    n_swaps: int = BENCH_SWAPS,
+    output: Path | None = None,
+    registry_dir: Path | None = None,
+) -> dict:
+    X_fit, stream = make_workload(n_fit, n_queries, m, seed)
+    keys = [f"series-{i % max(n_queries // 2, 1):04d}"
+            for i in range(n_queries)]
+    stable = stream[: n_queries // 2]
+    drifted = stream[n_queries // 2:]
+
+    if registry_dir is None:
+        import tempfile
+
+        registry_dir = Path(tempfile.mkdtemp()) / "registry"
+    registry = ModelRegistry(str(registry_dir))
+    v1 = registry.publish(KShape(n_clusters=k, random_state=seed).fit(X_fit))
+    v2 = registry.publish(
+        KShape(n_clusters=k, random_state=seed + 1).fit(zscore(drifted))
+    )
+
+    fleet = ShapeFleet(
+        registry,
+        n_shards=n_shards,
+        version=v1,
+        autostart=False,
+        maintainer={"baseline_window": stable.shape[0], "recent_window": 64},
+    )
+
+    # --- serving: route the stable half, flushing shard queues per wave.
+    start = time.perf_counter()
+    futures = [fleet.submit(key, x) for key, x in zip(keys, stable)]
+    fleet.flush()
+    labels = np.array([f.result()[0] for f in futures])
+    serve_s = time.perf_counter() - start
+    # Snapshot now: swaps retire the live queues, so the per-shard view
+    # of the serving phase only exists before the first flip.
+    serve_stats = fleet.stats()
+
+    # --- hot swap: flip versions with requests pending on every shard.
+    swap_reports = []
+    for i in range(n_swaps):
+        pending = [
+            fleet.submit(key, x)
+            for key, x in zip(keys[: 2 * n_shards], stable[: 2 * n_shards])
+        ]
+        report = fleet.swap_to(v2 if i % 2 == 0 else v1)
+        assert report.outcome == "swapped", report.reason
+        # The drain answers the backlog from the incumbent version.
+        assert all(f.done() for f in pending)
+        swap_reports.append(report)
+    if n_swaps % 2:  # land back on v1 so the drift loop starts stale
+        fleet.swap_to(v1)
+
+    # --- drift loop: freeze the baseline on clean traffic, then observe
+    # the drifted tail until the detector fires and run one cycle.
+    fleet.observe(keys[: stable.shape[0]], stable)
+    fleet.observe(keys[stable.shape[0]:], drifted)
+    drift = fleet.check_drift()
+    start = time.perf_counter()
+    cycle = fleet.run_drift_cycle(keys[stable.shape[0]:], drifted)
+    cycle_s = time.perf_counter() - start
+
+    stats = fleet.stats()
+    per_shard = {
+        name: {
+            "completed": shard.completed,
+            "batches": shard.batches,
+            "p50_latency_ms": round(1e3 * shard.p50_latency_s, 4),
+            "p99_latency_ms": round(1e3 * shard.p99_latency_s, 4),
+            "max_queue_depth": shard.max_queue_depth,
+        }
+        for name, shard in sorted(serve_stats.per_shard.items())
+    }
+    pauses_ms = [1e3 * r.max_pause_s for r in swap_reports]
+    fleet.close()
+
+    report = {
+        "benchmark": "fleet serving, hot swap, and drift loop",
+        "n_fit": n_fit,
+        "n_queries": n_queries,
+        "m": m,
+        "k": k,
+        "seed": seed,
+        "n_shards": n_shards,
+        "serving": {
+            "total_s": round(serve_s, 4),
+            "queries_per_s": round(stable.shape[0] / max(serve_s, 1e-9), 1),
+            "fleet_p50_latency_ms": round(1e3 * serve_stats.p50_latency_s, 4),
+            "fleet_p99_latency_ms": round(1e3 * serve_stats.p99_latency_s, 4),
+            "label_range_ok": bool(
+                labels.min() >= 0 and labels.max() < k
+            ),
+            "per_shard": per_shard,
+        },
+        "hot_swap": {
+            "n_swaps": len(swap_reports),
+            "pause_p50_ms": round(float(np.percentile(pauses_ms, 50)), 4),
+            "pause_p99_ms": round(float(np.percentile(pauses_ms, 99)), 4),
+            "pause_max_ms": round(max(pauses_ms), 4),
+            "drained_total": int(
+                sum(sum(r.drained.values()) for r in swap_reports)
+            ),
+        },
+        "drift_loop": {
+            "drift_z_score": round(drift.z_score, 3),
+            "drifted": bool(drift.drifted),
+            "refit_version": cycle.refit_version,
+            "cycle_s": round(cycle_s, 4),
+            "outcome": (
+                cycle.promotion.outcome if cycle.promotion else "no_drift"
+            ),
+            "distance_ratio": (
+                round(cycle.promotion.distance_ratio, 4)
+                if cycle.promotion and cycle.promotion.distance_ratio
+                is not None
+                else None
+            ),
+            "serving_version_after": stats.version,
+        },
+        "requests_lost": int(stats.requests - stats.completed
+                             - stats.rejected),
+    }
+    (OUTPUT if output is None else output).write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    return report
+
+
+@pytest.mark.slow
+def test_bench_fleet_full():
+    """Full-size benchmark; writes BENCH_fleet.json at the repo root."""
+    report = run_benchmark()
+    assert report["requests_lost"] == 0
+    assert report["serving"]["label_range_ok"]
+    # Every shard served traffic and measured real latencies.
+    for shard in report["serving"]["per_shard"].values():
+        assert shard["completed"] > 0
+        assert shard["p99_latency_ms"] >= shard["p50_latency_ms"] > 0.0
+    # Swap pauses are measured, bounded, and never dropped a request.
+    assert report["hot_swap"]["pause_p99_ms"] >= \
+        report["hot_swap"]["pause_p50_ms"] > 0.0
+    assert report["hot_swap"]["drained_total"] > 0
+    # The drifting tail must trip the detector and promote the refit.
+    assert report["drift_loop"]["drifted"]
+    assert report["drift_loop"]["outcome"] == "promoted"
+    # The refit lands after the two seeded versions and takes over.
+    assert report["drift_loop"]["serving_version_after"] == \
+        report["drift_loop"]["refit_version"] == "v0003"
+
+
+def test_bench_fleet_smoke(tmp_path, monkeypatch):
+    """Scaled-down correctness pass of the benchmark harness itself."""
+    monkeypatch.setattr(
+        sys.modules[__name__], "OUTPUT", tmp_path / "BENCH_fleet.json"
+    )
+    report = run_benchmark(
+        n_fit=24, n_queries=80, m=64, k=2, seed=3, n_shards=2, n_swaps=3,
+        registry_dir=tmp_path / "registry",
+    )
+    assert report["requests_lost"] == 0
+    assert report["hot_swap"]["n_swaps"] == 3
+    assert report["hot_swap"]["pause_max_ms"] > 0.0
+    assert report["drift_loop"]["drifted"]
+    assert report["drift_loop"]["outcome"] in ("promoted", "rolled_back")
+    assert (tmp_path / "BENCH_fleet.json").exists()
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        # CI-sized pass; keep the committed full-size JSON untouched.
+        import tempfile
+
+        tmp = Path(tempfile.mkdtemp())
+        print(json.dumps(
+            run_benchmark(n_fit=24, n_queries=80, m=64, k=2, seed=3,
+                          n_shards=2, n_swaps=3,
+                          output=tmp / "BENCH_fleet.json",
+                          registry_dir=tmp / "registry"),
+            indent=2,
+        ))
+    else:
+        print(json.dumps(run_benchmark(), indent=2))

@@ -102,6 +102,8 @@ from .exceptions import (
     ProfileChecksumError,
     ProfileError,
     ProfileSchemaError,
+    QueueClosedError,
+    RegistryError,
     ReproError,
     SchemaVersionError,
     ShapeMismatchError,
@@ -117,11 +119,18 @@ from .preprocessing import minmax_scale, zscore
 from .search import CentroidIndex, IndexStats
 from .serving import (
     CentroidMaintainer,
+    DriftCycleReport,
     DriftReport,
+    FleetStats,
     MicroBatchQueue,
+    ModelRegistry,
     Prediction,
+    PromotionReport,
     ServingStats,
+    ShapeFleet,
     ShapePredictor,
+    ShardRouter,
+    SwapReport,
     describe_artifact,
     load_model,
     save_model,
@@ -236,6 +245,14 @@ __all__ = [
     "ServingStats",
     "CentroidMaintainer",
     "DriftReport",
+    # fleet serving
+    "ModelRegistry",
+    "ShardRouter",
+    "ShapeFleet",
+    "FleetStats",
+    "SwapReport",
+    "PromotionReport",
+    "DriftCycleReport",
     # exceptions
     "ReproError",
     "ShapeMismatchError",
@@ -247,6 +264,8 @@ __all__ = [
     "ArtifactError",
     "SchemaVersionError",
     "ChecksumError",
+    "RegistryError",
+    "QueueClosedError",
     "ProfileError",
     "ProfileSchemaError",
     "ProfileChecksumError",

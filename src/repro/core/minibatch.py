@@ -76,6 +76,73 @@ class MiniBatchKShape:
         self.n_seen_: int = 0
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_state(
+        cls,
+        centroids,
+        reservoirs=None,
+        **params,
+    ) -> "MiniBatchKShape":
+        """Warm-start a streaming refit from served state.
+
+        The drift loop in :mod:`repro.serving.fleet` refits a deployed
+        model in the background; starting from the incumbent's centroids
+        (and, when available, a :class:`~repro.serving.CentroidMaintainer`'s
+        reservoirs) means the first :meth:`partial_fit` batch refines an
+        already-reasonable solution instead of re-seeding from scratch —
+        the KASBA-style "don't restart what is nearly converged" shortcut.
+
+        Parameters
+        ----------
+        centroids:
+            ``(k, m)`` starting centroids; ``n_clusters`` is taken from
+            them (passing a conflicting ``n_clusters`` raises).
+        reservoirs:
+            Optional per-cluster member pools (``k`` arrays of shape
+            ``(r_j, m)``); each is trimmed FIFO to ``reservoir_size``.
+            Omitted reservoirs start empty, so each cluster's first
+            update pool is just the incoming members plus the centroid
+            reference.
+        **params:
+            Remaining constructor parameters (``batch_size``,
+            ``reservoir_size``, ``random_state``, ...).
+        """
+        from .._validation import as_dataset
+
+        C = as_dataset(centroids, "centroids")
+        k = C.shape[0]
+        declared = params.pop("n_clusters", k)
+        if declared != k:
+            from ..exceptions import ShapeMismatchError
+
+            raise ShapeMismatchError(
+                f"n_clusters={declared} conflicts with {k} starting centroids"
+            )
+        model = cls(n_clusters=k, **params)
+        model.centroids_ = C.copy()
+        if reservoirs is None:
+            reservoirs = [np.empty((0, C.shape[1])) for _ in range(k)]
+        if len(reservoirs) != k:
+            from ..exceptions import ShapeMismatchError
+
+            raise ShapeMismatchError(
+                f"expected {k} reservoirs, got {len(reservoirs)}"
+            )
+        pools = []
+        for j, pool in enumerate(reservoirs):
+            pool = np.asarray(pool, dtype=np.float64)
+            if pool.ndim != 2 or pool.shape[1] != C.shape[1]:
+                from ..exceptions import ShapeMismatchError
+
+                raise ShapeMismatchError(
+                    f"reservoir {j} must be (r, {C.shape[1]}), got {pool.shape}"
+                )
+            pools.append(pool[-model.reservoir_size:].copy())
+        model._reservoirs = pools
+        model.n_seen_ = int(sum(pool.shape[0] for pool in pools))
+        return model
+
+    # ------------------------------------------------------------------
     def _require_fitted(self) -> np.ndarray:
         if self.centroids_ is None:
             raise NotFittedError(

@@ -175,7 +175,12 @@ def _dtw_naive(
             continue
         for i in range(i_lo, i_hi + 1):
             j = d - i
-            c = (float(xv[i]) - float(yv[j])) ** 2
+            # An explicit multiply, not `** 2`: CPython's float pow goes
+            # through libm and can land 1 ULP off the exact product, while
+            # numpy lowers `arr ** 2` to `x * x` — the oracle must square
+            # the same way the wavefront kernel does to stay bit-identical.
+            diff = float(xv[i]) - float(yv[j])
+            c = diff * diff
             if d == 0:
                 cur[i] = c
             else:

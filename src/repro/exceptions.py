@@ -47,6 +47,14 @@ class ChecksumError(ArtifactError):
     """An artifact's payload does not match its recorded checksum."""
 
 
+class QueueClosedError(InvalidParameterError):
+    """A request was submitted to a serving queue after it was closed."""
+
+
+class RegistryError(ArtifactError):
+    """A model registry's index could not be read, written, or validated."""
+
+
 class ProfileError(ReproError, ValueError):
     """A hardware profile could not be written, read, or validated."""
 

@@ -25,7 +25,10 @@ from ..violations import Violation
 from . import Rule, dotted_name, register
 
 #: modules whose outputs feed artifact checksums: wall-clock & co. banned
-CHECKSUM_MODULES = ("serving/artifacts.py",)
+#: (the registry index carries a checksummed canonical body, so timestamps
+#: or nonces there would make publishes irreproducible exactly like in the
+#: artifacts themselves)
+CHECKSUM_MODULES = ("serving/artifacts.py", "serving/registry.py")
 
 _GLOBAL_RNG_PREFIXES = ("np.random.", "numpy.random.")
 

@@ -1,7 +1,7 @@
-"""Model serving: persisted artifacts, batched inference, drift upkeep.
+"""Model serving: persisted artifacts, batched inference, fleet operations.
 
 The training side of this package answers "what are the clusters?"; this
-subpackage answers "how do we *serve* them". Four pieces:
+subpackage answers "how do we *serve* them". Seven pieces:
 
 * :mod:`~repro.serving.artifacts` — versioned, checksummed
   :func:`save_model` / :func:`load_model` persistence for fitted
@@ -11,10 +11,19 @@ subpackage answers "how do we *serve* them". Four pieces:
   envelopes) precomputed once at load time;
 * :mod:`~repro.serving.queue` — :class:`MicroBatchQueue`, coalescing
   single-series traffic into batched kernel calls under a
-  max-batch/max-latency policy, with :class:`ServingStats` counters;
+  max-batch/max-latency policy, with :class:`ServingStats` counters and
+  a graceful ``close(drain=...)`` shutdown;
 * :mod:`~repro.serving.maintenance` — :class:`CentroidMaintainer`,
   folding labeled traffic back into centroids with decayed shape
-  extraction and flagging distribution drift.
+  extraction and flagging distribution drift;
+* :mod:`~repro.serving.registry` — :class:`ModelRegistry`, a directory
+  of many published, checksummed model versions with pin/retire and
+  atomic index updates;
+* :mod:`~repro.serving.router` — :class:`ShardRouter`, seeded
+  consistent-hash routing of series keys across fleet shards;
+* :mod:`~repro.serving.fleet` — :class:`ShapeFleet`, sharded serving
+  with loss-free hot artifact swap, staged canary promotion, and a
+  closed drift-refit loop, rolled up into :class:`FleetStats`.
 """
 
 from .artifacts import (
@@ -23,12 +32,22 @@ from .artifacts import (
     load_model,
     save_model,
 )
+from .fleet import (
+    DriftCycleReport,
+    FleetStats,
+    PromotionReport,
+    ShapeFleet,
+    SwapReport,
+)
 from .maintenance import CentroidMaintainer, DriftReport
 from .predictor import Prediction, ShapePredictor, soft_memberships
 from .queue import MicroBatchQueue, ServingStats
+from .registry import REGISTRY_SCHEMA_VERSION, ModelRegistry
+from .router import ShardRouter
 
 __all__ = [
     "SCHEMA_VERSION",
+    "REGISTRY_SCHEMA_VERSION",
     "save_model",
     "load_model",
     "describe_artifact",
@@ -39,4 +58,11 @@ __all__ = [
     "ServingStats",
     "CentroidMaintainer",
     "DriftReport",
+    "ModelRegistry",
+    "ShardRouter",
+    "ShapeFleet",
+    "FleetStats",
+    "SwapReport",
+    "PromotionReport",
+    "DriftCycleReport",
 ]

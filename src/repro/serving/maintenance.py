@@ -302,6 +302,27 @@ class CentroidMaintainer:
         self._baseline = []
         self._recent.clear()
 
+    def reset_after_swap(self, centroids: Optional[ArrayLike] = None) -> None:
+        """Forget all state tied to the previous model version.
+
+        After a hot artifact swap the maintainer's reservoirs hold members
+        assigned under the *old* centroids and its drift windows measure
+        distances to them — folding either into the new version corrupts
+        both the centroids and the drift statistics. This clears the
+        reservoirs, re-learns the drift baseline from future traffic, and
+        (when ``centroids`` is given) adopts the new version's centroids —
+        the cluster count may change across versions. Lifetime counters
+        (``n_updates_``, ``n_seen_``) keep accumulating.
+        """
+        if centroids is not None:
+            C = as_dataset(centroids, "centroids")
+            self.centroids_ = C.copy()
+            self.n_clusters, self.m = C.shape
+        self._reservoirs = [
+            np.empty((0, self.m)) for _ in range(self.n_clusters)
+        ]
+        self.reset_baseline()
+
     def predictor(self, **kwargs: object) -> ShapePredictor:
         """A fresh :class:`~repro.serving.ShapePredictor` over the current
         centroids (rFFTs recomputed, since updates invalidate them)."""

@@ -34,7 +34,7 @@ import numpy as np
 from numpy.typing import ArrayLike
 
 from .._validation import as_series, check_positive_int
-from ..exceptions import InvalidParameterError
+from ..exceptions import InvalidParameterError, QueueClosedError
 from .predictor import ShapePredictor
 
 __all__ = [
@@ -70,6 +70,10 @@ class ServingStats:
         Series answered.
     batches:
         Kernel invocations performed.
+    rejected:
+        Series whose futures were failed with
+        :class:`~repro.exceptions.QueueClosedError` by a
+        ``close(drain=False)`` shutdown.
     batch_occupancy:
         Series summed over all batches (``completed`` counted at flush
         time); ``mean_batch_size`` derives from it.
@@ -91,6 +95,7 @@ class ServingStats:
 
     requests: int = 0
     completed: int = 0
+    rejected: int = 0
     batches: int = 0
     batch_occupancy: int = 0
     max_batch_size: int = 0
@@ -230,18 +235,24 @@ class MicroBatchQueue:
 
     # ------------------------------------------------------------------
     def submit(self, x: ArrayLike) -> Future:
-        """Enqueue one series; the future resolves to ``(label, distance)``."""
-        if self._closed:
-            raise InvalidParameterError("queue is closed")
+        """Enqueue one series; the future resolves to ``(label, distance)``.
+
+        Raises :class:`~repro.exceptions.QueueClosedError` once the queue
+        has been closed — a late submit can never be silently dropped.
+        """
         series = as_series(x, "x")
         request = _Request(series=series, future=Future())
+        # The closed check and the enqueue share the lock with close(), so
+        # no request can slip into the inbox after close() swept it.
         with self._lock:
+            if self._closed:
+                raise QueueClosedError("queue is closed")
             self._stats.requests += 1
             self._stats.queue_depth += 1
             self._stats.max_queue_depth = max(
                 self._stats.max_queue_depth, self._stats.queue_depth
             )
-        self._inbox.put(request)
+            self._inbox.put(request)
         return request.future
 
     def predict(self, x: ArrayLike) -> Tuple[int, float]:
@@ -353,17 +364,51 @@ class MicroBatchQueue:
                 batch.append(item)
             self._process(batch)
 
+    def _reject_waiting(self) -> int:
+        """Fail every waiting request with ``QueueClosedError``."""
+        rejected = 0
+        while True:
+            batch = self._drain_waiting(self.max_batch)
+            if not batch:
+                break
+            for request in batch:
+                request.future.set_exception(
+                    QueueClosedError("queue closed before this request ran")
+                )
+            with self._lock:
+                self._stats.rejected += len(batch)
+                self._stats.queue_depth -= len(batch)
+            rejected += len(batch)
+        return rejected
+
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Stop accepting requests, drain the backlog, stop the collector."""
-        if self._closed:
-            return
-        self._closed = True
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests and stop the collector.
+
+        Parameters
+        ----------
+        drain:
+            ``True`` (default) answers every waiting request before
+            returning — the graceful path hot swaps rely on, so a response
+            is never lost. ``False`` fails the backlog's futures with
+            :class:`~repro.exceptions.QueueClosedError` instead (emergency
+            teardown); either way no future is left unresolved.
+
+        Subsequent :meth:`submit` calls raise
+        :class:`~repro.exceptions.QueueClosedError`. Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._thread is not None:
             self._inbox.put(None)
             self._thread.join()
             self._thread = None
-        self.flush()  # anything the collector left behind
+        if drain:
+            self.flush()  # anything the collector left behind
+        else:
+            self._reject_waiting()
 
     def __enter__(self) -> "MicroBatchQueue":
         return self

@@ -1,0 +1,359 @@
+"""Versioned multi-model registry over the artifact layer.
+
+A fleet serves *many* model versions over its lifetime: the version it
+launched with, every drift-triggered refit, and whatever an operator
+publishes by hand. :class:`ModelRegistry` is the shared source of truth
+they all load from — a directory of :mod:`repro.serving.artifacts`
+directories plus one checksummed index:
+
+```
+root/
+    registry.json          # the index: versions, states, pin, checksum
+    models/<version>/      # one artifact directory per published version
+        manifest.json
+        payload.npz
+```
+
+Three properties the fleet's hot-swap path depends on:
+
+* **atomic layout** — :meth:`~ModelRegistry.publish` writes the artifact
+  into a staging directory and ``os.replace``-renames it into
+  ``models/<version>``, then rewrites the index the same way (temp file +
+  rename), so a crash mid-publish never leaves a half-written version
+  that a concurrent loader could pick up;
+* **checksums end to end** — every load goes through
+  :func:`~repro.serving.artifacts.load_model` (payload SHA-256 verified)
+  *and* cross-checks the payload digest recorded in the index against the
+  artifact's own manifest, so a swapped-out payload is caught even when
+  its manifest was rewritten to match; the index itself carries a SHA-256
+  over its canonical body, mirroring :mod:`repro.tuning.profile`'s trust
+  model;
+* **determinism** — publishing the same fitted model twice produces
+  byte-identical artifacts and index bodies (monotonic sequence numbers,
+  no timestamps; enforced by lint rule RPR003).
+
+Malformed or tampered indexes raise
+:class:`~repro.exceptions.RegistryError`; artifact-level problems keep
+their :class:`~repro.exceptions.ArtifactError` /
+:class:`~repro.exceptions.ChecksumError` /
+:class:`~repro.exceptions.SchemaVersionError` types, so a fleet can
+distinguish "bad registry" from "bad candidate version" and roll back
+accordingly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+from typing import Any, Dict, List, Optional
+
+from ..exceptions import ChecksumError, RegistryError
+from .artifacts import describe_artifact, load_model, save_model
+
+__all__ = ["REGISTRY_SCHEMA_VERSION", "ModelRegistry"]
+
+REGISTRY_SCHEMA_VERSION = 1
+REGISTRY_KIND = "repro-model-registry"
+
+_INDEX = "registry.json"
+_MODELS_DIR = "models"
+_STAGING_PREFIX = ".staging-"
+
+#: published version names: path-safe, no separators, no leading dot
+_VERSION_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_STATES = ("active", "retired")
+
+
+def _index_checksum(body: Dict[str, Any]) -> str:
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise RegistryError(message)
+
+
+class ModelRegistry:
+    """Versioned, checksummed store of published model artifacts.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created (with an empty index) if missing.
+
+    Notes
+    -----
+    The index is read once at construction and kept in memory; every
+    mutation rewrites it atomically. Two processes publishing *different*
+    versions concurrently are safe on POSIX rename semantics; two
+    processes racing to publish the *same* version name surface as a
+    :class:`~repro.exceptions.RegistryError` for the loser.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        self._models = os.path.join(self.root, _MODELS_DIR)
+        os.makedirs(self._models, exist_ok=True)
+        index_path = os.path.join(self.root, _INDEX)
+        if os.path.exists(index_path):
+            self._index = self._read_index(index_path)
+        else:
+            self._index = {
+                "kind": REGISTRY_KIND,
+                "schema_version": REGISTRY_SCHEMA_VERSION,
+                "versions": {},
+                "pinned": None,
+            }
+            self._write_index()
+
+    # ------------------------------------------------------------- index io
+    def _read_index(self, path: str) -> Dict[str, Any]:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(
+                f"unreadable registry index {path!r}: {exc}"
+            ) from exc
+        _require(isinstance(payload, dict), f"registry index {path!r} is not an object")
+        recorded = payload.pop("checksum", None)
+        _require(
+            isinstance(recorded, str),
+            f"registry index {path!r} has no checksum (truncated write?)",
+        )
+        _require(
+            payload.get("kind") == REGISTRY_KIND,
+            f"{path!r} is not a model-registry index "
+            f"(kind={payload.get('kind')!r})",
+        )
+        version = payload.get("schema_version")
+        _require(
+            isinstance(version, int) and version == REGISTRY_SCHEMA_VERSION,
+            f"registry index {path!r} has schema_version {version!r}; this "
+            f"build reads version {REGISTRY_SCHEMA_VERSION}",
+        )
+        if _index_checksum(payload) != recorded:
+            raise RegistryError(
+                f"registry index {path!r} failed checksum verification "
+                "(edited by hand or corrupted on disk?)"
+            )
+        records = payload.get("versions")
+        _require(
+            isinstance(records, dict),
+            f"registry index {path!r}: versions must be an object",
+        )
+        for name, record in records.items():
+            _require(
+                isinstance(record, dict)
+                and record.get("state") in _STATES
+                and isinstance(record.get("sequence"), int)
+                and isinstance(record.get("payload_sha256"), str)
+                and isinstance(record.get("model_type"), str),
+                f"registry index {path!r}: malformed record for "
+                f"version {name!r}",
+            )
+        pinned = payload.get("pinned")
+        _require(
+            pinned is None or pinned in records,
+            f"registry index {path!r}: pinned version {pinned!r} is not "
+            "a published version",
+        )
+        return payload
+
+    def _write_index(self) -> None:
+        body = {
+            "kind": REGISTRY_KIND,
+            "schema_version": REGISTRY_SCHEMA_VERSION,
+            "versions": {
+                name: dict(record)
+                for name, record in sorted(self._index["versions"].items())
+            },
+            "pinned": self._index["pinned"],
+        }
+        body["checksum"] = _index_checksum(
+            {key: value for key, value in body.items() if key != "checksum"}
+        )
+        target = os.path.join(self.root, _INDEX)
+        staging = target + ".tmp"
+        with open(staging, "w") as handle:
+            json.dump(body, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(staging, target)
+        self._index = {key: value for key, value in body.items() if key != "checksum"}
+
+    # ------------------------------------------------------------- queries
+    def _record(self, version: str) -> Dict[str, Any]:
+        record = self._index["versions"].get(version)
+        if record is None:
+            raise RegistryError(
+                f"version {version!r} is not in the registry; published: "
+                f"{self.versions(include_retired=True)}"
+            )
+        return record
+
+    def versions(self, include_retired: bool = False) -> List[str]:
+        """Published version names in publication order."""
+        items = sorted(
+            self._index["versions"].items(), key=lambda kv: kv[1]["sequence"]
+        )
+        return [
+            name
+            for name, record in items
+            if include_retired or record["state"] == "active"
+        ]
+
+    def latest(self) -> Optional[str]:
+        """Most recently published active version, or ``None``."""
+        active = self.versions()
+        return active[-1] if active else None
+
+    @property
+    def pinned(self) -> Optional[str]:
+        """The explicitly pinned version, or ``None``."""
+        return self._index["pinned"]
+
+    def resolve(self) -> str:
+        """The version a fleet should serve: pinned, else latest active."""
+        version = self.pinned or self.latest()
+        if version is None:
+            raise RegistryError(
+                f"registry at {self.root!r} has no active versions to serve"
+            )
+        return version
+
+    def path_of(self, version: str) -> str:
+        """On-disk artifact directory of a published version."""
+        self._record(version)
+        return os.path.join(self._models, version)
+
+    def describe(self, version: str) -> Dict[str, Any]:
+        """Registry record plus the artifact manifest (arrays not loaded)."""
+        record = dict(self._record(version))
+        manifest = describe_artifact(os.path.join(self._models, version))
+        return {"version": version, **record, "manifest": manifest}
+
+    # ----------------------------------------------------------- mutations
+    def publish(
+        self,
+        model: object,
+        version: Optional[str] = None,
+        preprocessing: Optional[dict] = None,
+    ) -> str:
+        """Save a fitted model as a new version; returns its name.
+
+        ``version=None`` auto-names ``v0001``, ``v0002``, … from the next
+        sequence number. The artifact lands in a staging directory first
+        and is renamed into place before the index mentions it.
+        """
+        sequence = 1 + max(
+            (record["sequence"] for record in self._index["versions"].values()),
+            default=0,
+        )
+        if version is None:
+            version = f"v{sequence:04d}"
+        # fullmatch, not match: `$` alone would accept a trailing newline,
+        # and version names become directory names.
+        if not _VERSION_RE.fullmatch(version):
+            raise RegistryError(
+                f"version name {version!r} must match {_VERSION_RE.pattern}"
+            )
+        if version in self._index["versions"]:
+            raise RegistryError(
+                f"version {version!r} is already published; versions are "
+                "immutable — publish under a new name instead"
+            )
+        staging = os.path.join(self.root, f"{_STAGING_PREFIX}{version}")
+        final = os.path.join(self._models, version)
+        if os.path.exists(staging):
+            shutil.rmtree(staging)
+        try:
+            save_model(model, staging, preprocessing=preprocessing)
+            manifest = describe_artifact(staging)
+            os.replace(staging, final)
+        except Exception:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self._index["versions"][version] = {
+            "state": "active",
+            "sequence": sequence,
+            "model_type": manifest["model_type"],
+            "payload_sha256": manifest["payload"]["sha256"],
+        }
+        self._write_index()
+        return version
+
+    def pin(self, version: str) -> None:
+        """Pin :meth:`resolve` to a version (must be active)."""
+        record = self._record(version)
+        _require(
+            record["state"] == "active",
+            f"cannot pin retired version {version!r}",
+        )
+        self._index["pinned"] = version
+        self._write_index()
+
+    def unpin(self) -> None:
+        """Return :meth:`resolve` to latest-active semantics."""
+        if self._index["pinned"] is not None:
+            self._index["pinned"] = None
+            self._write_index()
+
+    def retire(self, version: str) -> None:
+        """Mark a version unservable (its files stay for forensics)."""
+        record = self._record(version)
+        _require(
+            self._index["pinned"] != version,
+            f"cannot retire pinned version {version!r}; unpin first",
+        )
+        if record["state"] != "retired":
+            record["state"] = "retired"
+            self._write_index()
+
+    # ------------------------------------------------------------- loading
+    def verify(self, version: str) -> Dict[str, Any]:
+        """Re-hash a version's payload against manifest *and* index.
+
+        Returns the registry record on success; raises
+        :class:`~repro.exceptions.ChecksumError` when either recorded
+        digest disagrees with the bytes on disk.
+        """
+        record = self._record(version)
+        path = os.path.join(self._models, version)
+        manifest = describe_artifact(path)
+        from .artifacts import _PAYLOAD, _sha256
+
+        actual = _sha256(os.path.join(path, _PAYLOAD))
+        for source, recorded in (
+            ("manifest", manifest["payload"]["sha256"]),
+            ("registry index", record["payload_sha256"]),
+        ):
+            if actual != recorded:
+                raise ChecksumError(
+                    f"version {version!r}: payload hashes to {actual}, but "
+                    f"the {source} records {recorded}"
+                )
+        return dict(record)
+
+    def load(self, version: str) -> object:
+        """Checksum-verified load of a published version's estimator.
+
+        On top of :func:`~repro.serving.artifacts.load_model`'s own
+        manifest-vs-payload check, the payload digest must match what the
+        index recorded at publish time — a tampered artifact *directory*
+        (manifest rewritten to match a swapped payload) still fails here.
+        """
+        record = self._record(version)
+        path = os.path.join(self._models, version)
+        manifest = describe_artifact(path)
+        if manifest["payload"]["sha256"] != record["payload_sha256"]:
+            raise ChecksumError(
+                f"version {version!r}: artifact manifest records payload "
+                f"digest {manifest['payload']['sha256']}, but the registry "
+                f"recorded {record['payload_sha256']} at publish time"
+            )
+        return load_model(path)

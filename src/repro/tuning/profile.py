@@ -216,6 +216,27 @@ class HardwareProfile:
     def serving_max_latency_s(self) -> float:
         return float(self.serving["max_latency_s"])
 
+    def serving_policy(self, n_shards: int = 1) -> Dict[str, float]:
+        """Per-shard micro-batch policy when traffic splits across shards.
+
+        The calibrated ``max_batch`` was measured against the *whole*
+        arrival stream; a fleet routes ~1/N of that stream to each shard,
+        so a shard waiting for the full calibrated batch would sit on
+        requests N times longer than the calibration assumed. Dividing the
+        batch budget across shards (never below 1) keeps each shard's
+        worst-case queue wait at the calibrated deadline; the latency
+        bound itself is per-request and stays unchanged.
+        """
+        if n_shards < 1:
+            raise ProfileError(
+                f"n_shards must be >= 1, got {n_shards}"
+            )
+        per_shard = max(1, -(-self.serving_max_batch // int(n_shards)))
+        return {
+            "max_batch": float(per_shard),
+            "max_latency_s": self.serving_max_latency_s,
+        }
+
     # ------------------------------------------------------------ (de)code
     def body_dict(self) -> Dict[str, Any]:
         """The canonical JSON body (everything but the checksum)."""

@@ -434,3 +434,23 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for code in rule_codes():
         assert code in out
+
+
+def test_rpr003_wall_clock_fires_in_registry_module(tmp_path):
+    # The registry writes a checksummed index: it inherits artifacts.py's
+    # determinism contract.
+    root = build_tree(tmp_path, {"src/repro/serving/registry.py": "rpr003_bad.py"})
+    violations = run_lint(root=root)
+    assert [v.code for v in violations] == ["RPR003", "RPR003"]
+    assert any("time.time" in v.message for v in violations)
+
+
+def test_shipped_registry_module_is_clean():
+    import repro.serving.registry as registry_module
+
+    violations = [
+        v
+        for v in run_lint(paths=[Path(registry_module.__file__)])
+        if v.code == "RPR003"
+    ]
+    assert violations == []

@@ -129,3 +129,60 @@ class TestUnifiedAssignment:
         X, _ = big_two_class
         model = MiniBatchKShape(2, random_state=3).fit(X)
         assert np.array_equal(model.predict(X), model.result(X).labels)
+
+
+class TestFromState:
+    def test_warm_start_equals_continuing_original(self, two_class_data):
+        """from_state(copy of model state) continues bit-identically."""
+        X, _ = two_class_data
+        model = MiniBatchKShape(2, random_state=0, batch_size=8).fit(X)
+        clone = MiniBatchKShape.from_state(
+            model.centroids_.copy(),
+            [r.copy() for r in model._reservoirs],
+            reservoir_size=model.reservoir_size,
+        )
+        assert np.array_equal(clone.centroids_, model.centroids_)
+        model.partial_fit(X[:8])
+        clone.partial_fit(X[:8])
+        assert np.array_equal(clone.centroids_, model.centroids_)
+        assert np.array_equal(clone.predict(X), model.predict(X))
+
+    def test_centroids_only_state_is_usable(self, two_class_data):
+        X, _ = two_class_data
+        model = MiniBatchKShape(2, random_state=0).fit(X)
+        clone = MiniBatchKShape.from_state(model.centroids_)
+        assert clone.n_seen_ == 0
+        assert all(r.shape[0] == 0 for r in clone._reservoirs)
+        assert np.array_equal(clone.predict(X), model.predict(X))
+        clone.partial_fit(X)  # reservoirs rebuild from fresh traffic
+
+    def test_reservoirs_trimmed_fifo_to_reservoir_size(self, two_class_data):
+        X, _ = two_class_data
+        model = MiniBatchKShape(2, random_state=0).fit(X)
+        pools = [np.tile(X[:6], (3, 1)), X[:4]]
+        clone = MiniBatchKShape.from_state(
+            model.centroids_, pools, reservoir_size=5
+        )
+        assert [r.shape[0] for r in clone._reservoirs] == [5, 4]
+        # FIFO: the *last* five rows of the oversized pool survive.
+        assert np.array_equal(clone._reservoirs[0], np.tile(X[:6], (3, 1))[-5:])
+        assert clone.n_seen_ == 9
+
+    def test_state_validation(self, two_class_data):
+        from repro.exceptions import ShapeMismatchError
+
+        X, _ = two_class_data
+        model = MiniBatchKShape(2, random_state=0).fit(X)
+        with pytest.raises(ShapeMismatchError):
+            MiniBatchKShape.from_state(
+                model.centroids_, n_clusters=5  # conflicts with (2, m) state
+            )
+        with pytest.raises(ShapeMismatchError):
+            MiniBatchKShape.from_state(
+                model.centroids_, [model._reservoirs[0]]  # 1 pool for k=2
+            )
+        with pytest.raises(ShapeMismatchError):
+            MiniBatchKShape.from_state(
+                model.centroids_,
+                [np.empty((0, 9)), np.empty((0, 9))],  # wrong length
+            )

@@ -219,3 +219,41 @@ class TestConstruction:
         assert np.array_equal(
             predictor.transform(X), fresh.transform(X)
         )
+
+
+class TestResetAfterSwap:
+    def test_clears_reservoirs_and_windows(self, fitted, rng):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model, baseline_window=10)
+        keeper.update(X)
+        keeper.update(_shifted_traffic(X, rng))
+        assert any(r.shape[0] for r in keeper._reservoirs)
+        assert keeper._baseline and len(keeper._recent) > 0
+        seen = keeper.n_seen_
+
+        keeper.reset_after_swap()
+        assert all(r.shape[0] == 0 for r in keeper._reservoirs)
+        assert keeper._baseline == [] and len(keeper._recent) == 0
+        assert keeper.n_seen_ == seen  # lifetime counters survive
+        report = keeper.check_drift()
+        assert not report.drifted and report.z_score == 0.0
+
+    def test_adopts_new_centroids_and_cluster_count(self, fitted, rng):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model)
+        keeper.update(X)
+        new_centroids = zscore(rng.normal(size=(3, X.shape[1])))
+        keeper.reset_after_swap(new_centroids)
+        assert keeper.n_clusters == 3
+        assert np.array_equal(keeper.centroids_, new_centroids)
+        assert len(keeper._reservoirs) == 3
+        labels = keeper.update(X)
+        assert labels.min() >= 0 and labels.max() < 3
+
+    def test_reset_without_centroids_keeps_current(self, fitted):
+        X, model = fitted
+        keeper = CentroidMaintainer.from_model(model)
+        keeper.update(X)
+        drifted_centroids = keeper.centroids_.copy()
+        keeper.reset_after_swap()
+        assert np.array_equal(keeper.centroids_, drifted_centroids)

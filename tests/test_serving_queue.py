@@ -206,3 +206,67 @@ class TestLatencyAndDepthGauges:
         assert payload["p50_latency_s"] > 0.0
         assert payload["p99_latency_s"] >= payload["p50_latency_s"]
         assert payload["max_queue_depth"] == 1
+
+
+class TestGracefulShutdown:
+    def test_close_drain_false_rejects_backlog(self, predictor, two_class_data):
+        from repro.exceptions import QueueClosedError
+
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, max_batch=4, autostart=False)
+        futures = [queue.submit(x) for x in X[:6]]
+        queue.close(drain=False)
+        for future in futures:
+            assert future.done()
+            with pytest.raises(QueueClosedError):
+                future.result()
+        stats = queue.stats()
+        assert stats.rejected == 6
+        assert stats.completed == 0
+        assert stats.queue_depth == 0  # gauge released either way
+
+    def test_close_drain_true_is_deterministic(self, predictor, two_class_data):
+        """Drained answers equal a plain flush's answers, bit for bit."""
+        X, _ = two_class_data
+        reference = predictor.predict_full(X)
+        queue = MicroBatchQueue(predictor, max_batch=4, autostart=False)
+        futures = [queue.submit(x) for x in X]
+        queue.close(drain=True)
+        for i, future in enumerate(futures):
+            label, dist = future.result()
+            assert label == int(reference.labels[i])
+            assert dist == float(reference.distances[i])
+        stats = queue.stats()
+        assert stats.completed == X.shape[0]
+        assert stats.rejected == 0
+
+    def test_late_submit_raises_queue_closed(self, predictor, two_class_data):
+        from repro.exceptions import QueueClosedError
+
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, autostart=False)
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.submit(X[0])
+        # QueueClosedError stays an InvalidParameterError subtype, so
+        # callers catching the broad type keep working.
+        assert issubclass(QueueClosedError, InvalidParameterError)
+
+    def test_threaded_close_drain_false(self, predictor, two_class_data):
+        from repro.exceptions import QueueClosedError
+
+        X, _ = two_class_data
+        queue = MicroBatchQueue(predictor, max_batch=1000, max_latency_s=30.0)
+        futures = [queue.submit(x) for x in X[:3]]
+        queue.close(drain=False)
+        resolved = [f for f in futures if f.done()]
+        assert len(resolved) == 3
+        outcomes = set()
+        for future in futures:
+            try:
+                future.result()
+                outcomes.add("answered")
+            except QueueClosedError:
+                outcomes.add("rejected")
+        # Every future resolved one way or the other — none left hanging.
+        assert outcomes <= {"answered", "rejected"}

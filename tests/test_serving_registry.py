@@ -1,0 +1,248 @@
+"""Tests for repro.serving.registry (versioned multi-model registry)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import KShape, TimeSeriesKMeans
+from repro.exceptions import ChecksumError, RegistryError
+from repro.serving import ModelRegistry, ShapePredictor
+
+
+@pytest.fixture
+def model(two_class_data):
+    X, _ = two_class_data
+    return KShape(n_clusters=2, random_state=0).fit(X)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(str(tmp_path / "registry"))
+
+
+class TestPublish:
+    def test_auto_versioning_is_sequential(self, registry, model):
+        assert registry.publish(model) == "v0001"
+        assert registry.publish(model) == "v0002"
+        assert registry.versions() == ["v0001", "v0002"]
+        assert registry.latest() == "v0002"
+
+    def test_explicit_names_keep_publication_order(self, registry, model):
+        registry.publish(model, version="zeta")
+        registry.publish(model, version="alpha")
+        assert registry.versions() == ["zeta", "alpha"]  # by sequence
+        assert registry.latest() == "alpha"
+
+    def test_duplicate_version_rejected(self, registry, model):
+        registry.publish(model, version="r1")
+        with pytest.raises(RegistryError, match="immutable"):
+            registry.publish(model, version="r1")
+
+    def test_bad_version_names_rejected(self, registry, model):
+        for bad in ("", ".hidden", "a/b", "a b", "..", "x\n"):
+            with pytest.raises(RegistryError):
+                registry.publish(model, version=bad)
+
+    def test_unfitted_model_leaves_no_version_behind(self, registry, model):
+        with pytest.raises(Exception):
+            registry.publish(KShape(n_clusters=2))
+        assert registry.versions(include_retired=True) == []
+        assert not any(
+            name.startswith(".staging-")
+            for name in os.listdir(registry.root)
+        )
+
+    def test_describe_exposes_record_and_manifest(self, registry, model):
+        registry.publish(model, version="r1")
+        info = registry.describe("r1")
+        assert info["version"] == "r1"
+        assert info["state"] == "active"
+        assert info["model_type"] == "KShape"
+        assert info["manifest"]["payload"]["sha256"] == info["payload_sha256"]
+        assert os.path.isdir(registry.path_of("r1"))
+
+
+class TestRoundTrip:
+    def test_predictions_bit_identical_after_reload(
+        self, registry, model, two_class_data
+    ):
+        X, _ = two_class_data
+        registry.publish(model, version="r1")
+        loaded = registry.load("r1")
+        reference = ShapePredictor.from_model(model).predict_full(X)
+        served = ShapePredictor.from_model(loaded).predict_full(X)
+        assert np.array_equal(reference.labels, served.labels)
+        assert np.array_equal(reference.distances, served.distances)
+
+    def test_reopen_from_disk(self, registry, model):
+        registry.publish(model, version="r1")
+        registry.pin("r1")
+        reopened = ModelRegistry(registry.root)
+        assert reopened.versions() == ["r1"]
+        assert reopened.pinned == "r1"
+        assert reopened.resolve() == "r1"
+
+    def test_metric_survives(self, registry, two_class_data):
+        X, _ = two_class_data
+        km = TimeSeriesKMeans(
+            n_clusters=2, metric="ed", random_state=0
+        ).fit(X)
+        registry.publish(km, version="km")
+        assert registry.load("km").metric == "ed"
+
+
+class TestPinRetireResolve:
+    def test_resolve_prefers_pin_over_latest(self, registry, model):
+        registry.publish(model, version="r1")
+        registry.publish(model, version="r2")
+        assert registry.resolve() == "r2"
+        registry.pin("r1")
+        assert registry.resolve() == "r1"
+        registry.unpin()
+        assert registry.resolve() == "r2"
+
+    def test_retired_versions_hidden_but_kept(self, registry, model):
+        registry.publish(model, version="r1")
+        registry.publish(model, version="r2")
+        registry.retire("r2")
+        assert registry.versions() == ["r1"]
+        assert registry.versions(include_retired=True) == ["r1", "r2"]
+        assert registry.latest() == "r1"
+        assert os.path.isdir(registry.path_of("r2"))  # forensics
+
+    def test_cannot_pin_retired_or_retire_pinned(self, registry, model):
+        registry.publish(model, version="r1")
+        registry.publish(model, version="r2")
+        registry.retire("r2")
+        with pytest.raises(RegistryError):
+            registry.pin("r2")
+        registry.pin("r1")
+        with pytest.raises(RegistryError, match="unpin first"):
+            registry.retire("r1")
+
+    def test_empty_registry_cannot_resolve(self, registry):
+        with pytest.raises(RegistryError, match="no active versions"):
+            registry.resolve()
+
+    def test_unknown_version_everywhere(self, registry, model):
+        registry.publish(model, version="r1")
+        for op in (
+            registry.load,
+            registry.describe,
+            registry.pin,
+            registry.retire,
+            registry.verify,
+            registry.path_of,
+        ):
+            with pytest.raises(RegistryError, match="not in the registry"):
+                op("ghost")
+
+
+class TestCorruption:
+    """Mirrors test_tuning_profile's tamper matrix for the registry index."""
+
+    def test_tampered_payload_fails_load_and_verify(self, registry, model):
+        registry.publish(model, version="r1")
+        payload = os.path.join(registry.path_of("r1"), "payload.npz")
+        with open(payload, "r+b") as handle:
+            handle.seek(40)
+            handle.write(b"\xff\xff\xff")
+        with pytest.raises(ChecksumError):
+            registry.load("r1")
+        with pytest.raises(ChecksumError):
+            registry.verify("r1")
+
+    def test_swapped_artifact_caught_by_index_cross_check(
+        self, registry, model, two_class_data
+    ):
+        # A whole-directory swap keeps the artifact internally consistent
+        # (manifest matches payload), so only the registry's own recorded
+        # digest can catch it.
+        import shutil
+
+        X, _ = two_class_data
+        other = KShape(n_clusters=2, random_state=9).fit(X)
+        registry.publish(model, version="r1")
+        registry.publish(other, version="r2")
+        r1, r2 = registry.path_of("r1"), registry.path_of("r2")
+        for name in ("manifest.json", "payload.npz"):
+            shutil.copy(os.path.join(r2, name), os.path.join(r1, name))
+        from repro.serving.artifacts import load_model
+
+        load_model(r1)  # internally consistent: artifact layer can't tell
+        with pytest.raises(ChecksumError, match="at publish time"):
+            registry.load("r1")
+
+    def test_hand_edited_index_rejected(self, registry, model):
+        registry.publish(model, version="r1")
+        index = os.path.join(registry.root, "registry.json")
+        with open(index) as handle:
+            payload = json.load(handle)
+        payload["pinned"] = "r1"  # edit without recomputing the checksum
+        with open(index, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(RegistryError, match="checksum"):
+            ModelRegistry(registry.root)
+
+    def test_truncated_index_rejected(self, registry, model):
+        registry.publish(model, version="r1")
+        index = os.path.join(registry.root, "registry.json")
+        with open(index) as handle:
+            text = handle.read()
+        with open(index, "w") as handle:
+            handle.write(text[: len(text) // 2])
+        with pytest.raises(RegistryError, match="unreadable"):
+            ModelRegistry(registry.root)
+
+    def test_wrong_kind_and_schema_rejected(self, registry, model, tmp_path):
+        registry.publish(model, version="r1")
+        index = os.path.join(registry.root, "registry.json")
+        with open(index) as handle:
+            payload = json.load(handle)
+
+        def rewrite(mutate):
+            body = {k: v for k, v in payload.items() if k != "checksum"}
+            mutate(body)
+            from repro.serving.registry import _index_checksum
+
+            body["checksum"] = _index_checksum(body)
+            with open(index, "w") as handle:
+                json.dump(body, handle)
+
+        rewrite(lambda b: b.update(kind="something-else"))
+        with pytest.raises(RegistryError, match="not a model-registry"):
+            ModelRegistry(registry.root)
+        rewrite(lambda b: b.update(kind="repro-model-registry", schema_version=99))
+        with pytest.raises(RegistryError, match="schema_version"):
+            ModelRegistry(registry.root)
+
+    def test_pinned_ghost_rejected(self, registry, model):
+        registry.publish(model, version="r1")
+        index = os.path.join(registry.root, "registry.json")
+        with open(index) as handle:
+            payload = json.load(handle)
+        body = {k: v for k, v in payload.items() if k != "checksum"}
+        body["pinned"] = "ghost"
+        from repro.serving.registry import _index_checksum
+
+        body["checksum"] = _index_checksum(body)
+        with open(index, "w") as handle:
+            json.dump(body, handle)
+        with pytest.raises(RegistryError, match="pinned"):
+            ModelRegistry(registry.root)
+
+
+class TestDeterminism:
+    def test_index_bytes_reproducible(self, tmp_path, model):
+        paths = []
+        for name in ("a", "b"):
+            root = str(tmp_path / name)
+            reg = ModelRegistry(root)
+            reg.publish(model, version="r1")
+            reg.publish(model, version="r2")
+            reg.pin("r1")
+            paths.append(os.path.join(root, "registry.json"))
+        with open(paths[0], "rb") as fa, open(paths[1], "rb") as fb:
+            assert fa.read() == fb.read()

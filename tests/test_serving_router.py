@@ -1,0 +1,120 @@
+"""Tests for repro.serving.router (consistent-hash shard routing)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.serving import ShardRouter
+
+KEYS = [f"sensor-{i}" for i in range(2000)]
+
+
+class TestDeterminism:
+    def test_rebuilt_router_routes_identically(self):
+        a = ShardRouter(["s0", "s1", "s2"], seed=7)
+        b = ShardRouter(["s2", "s0", "s1"], seed=7)  # order must not matter
+        assert [a.route(k) for k in KEYS[:200]] == [
+            b.route(k) for k in KEYS[:200]
+        ]
+
+    def test_seed_changes_routing(self):
+        a = ShardRouter(["s0", "s1", "s2"], seed=0)
+        b = ShardRouter(["s0", "s1", "s2"], seed=1)
+        moved = sum(a.route(k) != b.route(k) for k in KEYS[:300])
+        assert moved > 0
+
+    def test_route_batch_matches_route(self):
+        router = ShardRouter(["s0", "s1", "s2", "s3"])
+        assert router.route_batch(KEYS[:500]) == [
+            router.route(k) for k in KEYS[:500]
+        ]
+        assert router.route_batch([]) == []
+
+    def test_key_types(self):
+        router = ShardRouter(["s0", "s1"])
+        assert router.route("abc") == router.route("abc")
+        assert router.route(42) == router.route(np.int64(42))
+        assert router.route(b"raw") == router.route(b"raw")
+        with pytest.raises(InvalidParameterError):
+            router.route(3.14)
+
+    def test_key_position_stable_in_unit_interval(self):
+        router = ShardRouter(["s0", "s1"], seed=3)
+        positions = [router.key_position(k) for k in KEYS[:200]]
+        assert all(0.0 <= p < 1.0 for p in positions)
+        assert positions == [router.key_position(k) for k in KEYS[:200]]
+
+
+class TestLoadBalance:
+    def test_no_shard_starves(self):
+        router = ShardRouter(["s0", "s1", "s2", "s3"])
+        load = router.load_map(KEYS)
+        assert set(load) == {"s0", "s1", "s2", "s3"}
+        # 2000 keys over 4 shards: every shard sees a nontrivial slice.
+        assert min(load.values()) > len(KEYS) / 4 / 4
+
+    def test_ring_size(self):
+        router = ShardRouter(["a", "b"], replicas=16)
+        assert router.ring_size == 32
+
+
+class TestResizeStability:
+    def test_add_shard_moves_only_to_new_shard(self):
+        router = ShardRouter([f"s{i}" for i in range(4)])
+        before = router.route_batch(KEYS)
+        router.add_shard("s4")
+        after = router.route_batch(KEYS)
+        moved = [
+            (b, a) for b, a in zip(before, after) if b != a
+        ]
+        # Every migrated key lands on the NEW shard — nobody reshuffles
+        # between surviving shards.
+        assert moved and all(a == "s4" for _, a in moved)
+        # ~1/N of the keys move (N = 5 after the add); allow generous slack.
+        assert len(moved) / len(KEYS) < 2.0 / 5.0
+
+    def test_remove_shard_moves_only_its_keys(self):
+        router = ShardRouter([f"s{i}" for i in range(5)])
+        before = router.route_batch(KEYS)
+        router.remove_shard("s2")
+        after = router.route_batch(KEYS)
+        for b, a in zip(before, after):
+            if b != "s2":
+                assert a == b  # survivors keep every key they had
+            else:
+                assert a != "s2"
+        moved = sum(b != a for b, a in zip(before, after))
+        assert moved == before.count("s2")
+
+    def test_add_then_remove_roundtrips(self):
+        router = ShardRouter(["s0", "s1", "s2"])
+        before = router.route_batch(KEYS[:500])
+        router.add_shard("s3")
+        router.remove_shard("s3")
+        assert router.route_batch(KEYS[:500]) == before
+
+
+class TestValidation:
+    def test_empty_and_duplicate_shards(self):
+        with pytest.raises(InvalidParameterError):
+            ShardRouter([])
+        with pytest.raises(InvalidParameterError):
+            ShardRouter(["a", "a"])
+        with pytest.raises(InvalidParameterError):
+            ShardRouter(["a", ""])
+
+    def test_add_existing_and_remove_unknown(self):
+        router = ShardRouter(["a", "b"])
+        with pytest.raises(InvalidParameterError):
+            router.add_shard("a")
+        with pytest.raises(InvalidParameterError):
+            router.remove_shard("zz")
+
+    def test_cannot_remove_last_shard(self):
+        router = ShardRouter(["only"])
+        with pytest.raises(InvalidParameterError):
+            router.remove_shard("only")
+
+    def test_bad_replicas(self):
+        with pytest.raises(InvalidParameterError):
+            ShardRouter(["a"], replicas=0)

@@ -257,3 +257,30 @@ def test_use_profile_nests_and_restores():
         assert get_active_profile() is outer
     # Back to the suite-wide "static constants" override.
     assert get_active_profile() is None
+
+
+# ---------------------------------------------------------------------------
+# per-shard serving policy
+
+
+def test_serving_policy_splits_batch_across_shards():
+    profile = make_profile()
+    assert profile.serving_policy() == {
+        "max_batch": 64.0,
+        "max_latency_s": 0.004,
+    }
+    assert profile.serving_policy(n_shards=4)["max_batch"] == 16.0
+    assert profile.serving_policy(n_shards=3)["max_batch"] == 22.0  # ceil
+    # The latency deadline is per-request and does not divide.
+    assert profile.serving_policy(n_shards=4)["max_latency_s"] == 0.004
+
+
+def test_serving_policy_never_below_one():
+    profile = make_profile(serving={"max_batch": 2.0, "max_latency_s": 0.004})
+    assert profile.serving_policy(n_shards=16)["max_batch"] == 1.0
+
+
+def test_serving_policy_rejects_bad_shard_count():
+    profile = make_profile()
+    with pytest.raises(ProfileError):
+        profile.serving_policy(n_shards=0)
